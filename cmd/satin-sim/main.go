@@ -1,0 +1,174 @@
+// Command satin-sim runs a full attack-vs-defense scenario on the simulated
+// Juno r1 board and prints a timeline summary: SATIN (or the baseline)
+// introspecting the rich OS while TZ-Evader probes, hides, and reinstalls.
+//
+// Usage:
+//
+//	satin-sim                                   # SATIN vs fast TZ-Evader, 10 full scans
+//	satin-sim -defense baseline -rounds 5       # baseline checker instead
+//	satin-sim -evader thread                    # full thread-level evader
+//	satin-sim -evader none                      # clean system
+//	satin-sim -tp 4s -scans 3 -seed 9 -v        # tweak schedule; -v prints per-round lines
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"satin"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "satin-sim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	seed := flag.Uint64("seed", 1, "root seed")
+	defense := flag.String("defense", "satin", "defense: satin | baseline | none")
+	evader := flag.String("evader", "fast", "attacker: fast | thread | none")
+	tp := flag.Duration("tp", 8*time.Second, "average period between introspection rounds")
+	scans := flag.Int("scans", 10, "full kernel scans to run (SATIN)")
+	rounds := flag.Int("rounds", 10, "rounds to run (baseline)")
+	threshold := flag.Duration("threshold", satin.DefaultThreshold, "evader probing threshold")
+	verbose := flag.Bool("v", false, "print each round")
+	timeline := flag.String("timeline", "", "write the merged event timeline to this file (.json for JSON, else text)")
+	routing := flag.String("routing", "nonpreemptive", "NS interrupt routing: nonpreemptive | preemptive")
+	flood := flag.Float64("flood", 0, "SGI flood rate per core (interrupts/s); 0 disables")
+	guard := flag.String("guard", "off", "synchronous guard: off | on | bypassed")
+	flag.Parse()
+
+	opts := []satin.Option{satin.WithSeed(*seed)}
+	switch *routing {
+	case "nonpreemptive":
+	case "preemptive":
+		opts = append(opts, satin.WithRouting(satin.Preemptive))
+	default:
+		return fmt.Errorf("unknown routing %q", *routing)
+	}
+	if *flood > 0 {
+		opts = append(opts, satin.WithFlood(*flood))
+	}
+	switch *guard {
+	case "off":
+	case "on":
+		opts = append(opts, satin.WithSyncGuard(false))
+	case "bypassed":
+		opts = append(opts, satin.WithSyncGuard(true))
+	default:
+		return fmt.Errorf("unknown guard %q", *guard)
+	}
+	switch *evader {
+	case "fast":
+		opts = append(opts, satin.WithFastEvader(0, *threshold))
+	case "thread":
+		opts = append(opts, satin.WithThreadEvader(*threshold))
+	case "none":
+	default:
+		return fmt.Errorf("unknown evader %q", *evader)
+	}
+	switch *defense {
+	case "satin":
+		cfg := satin.DefaultConfig()
+		cfg.Tgoal = 19 * *tp
+		cfg.MaxRounds = *scans * 19
+		cfg.Seed = *seed + 2
+		opts = append(opts, satin.WithSATIN(cfg))
+	case "baseline":
+		opts = append(opts, satin.WithBaseline(satin.BaselineConfig{
+			Period:          *tp,
+			RandomizePeriod: true,
+			Selection:       satin.RandomCore,
+			Technique:       satin.DirectHash,
+			MaxRounds:       *rounds,
+		}))
+	case "none":
+	default:
+		return fmt.Errorf("unknown defense %q", *defense)
+	}
+
+	sc, err := satin.NewScenario(opts...)
+	if err != nil {
+		return err
+	}
+	if s := sc.SATIN(); s != nil && *verbose {
+		s.OnRound(func(r satin.Round) {
+			verdict := "clean"
+			if !r.Clean {
+				verdict = "ALARM"
+			}
+			fmt.Printf("[%12v] round %3d: core %d area %2d %8v %s\n",
+				r.Started.Duration().Truncate(time.Millisecond), r.Index, r.CoreID, r.Area,
+				r.Elapsed().Truncate(time.Microsecond), verdict)
+		})
+	}
+	if *defense == "none" && *evader == "none" {
+		return fmt.Errorf("nothing to simulate: pick a defense or an evader")
+	}
+	switch {
+	case *defense == "none":
+		// Attack-only runs have no natural end; watch for a minute.
+		sc.Run(time.Minute)
+	case *evader == "thread" || *flood > 0:
+		// Thread-level evaders and floods schedule events forever, so the
+		// queue never drains; run a horizon generous enough for every
+		// randomized round to land.
+		n := *scans * 19
+		if *defense == "baseline" {
+			n = *rounds
+		}
+		sc.Run(time.Duration(n+7) * 2 * *tp)
+	default:
+		sc.RunToCompletion()
+	}
+
+	fmt.Printf("simulated %v of board time\n", sc.Now().Truncate(time.Millisecond))
+	if s := sc.SATIN(); s != nil {
+		fmt.Printf("SATIN: %d rounds, %d full scans, %d alarms\n",
+			len(s.Rounds()), s.FullScans(), len(s.Alarms()))
+		for _, a := range s.Alarms() {
+			fmt.Printf("  alarm: round %d flagged area %d at %v\n", a.Round, a.Area, a.At.Duration().Truncate(time.Millisecond))
+		}
+	}
+	if b := sc.Baseline(); b != nil {
+		clean := 0
+		for _, o := range b.Outcomes() {
+			if o.Clean {
+				clean++
+			}
+		}
+		fmt.Printf("baseline: %d rounds, %d reported clean\n", len(b.Outcomes()), clean)
+	}
+	if rk := sc.Rootkit(); rk != nil {
+		fmt.Printf("rootkit: state %v, %d state transitions\n", rk.State(), len(rk.Transitions()))
+	}
+	if fe := sc.FastEvader(); fe != nil {
+		fmt.Printf("evader: %d suspect events\n", len(fe.SuspectEvents()))
+	}
+	if te := sc.ThreadEvader(); te != nil {
+		fmt.Printf("evader: %d suspect events, max staleness %v\n", len(te.SuspectEvents()), te.MaxStaleness())
+	}
+	if *timeline != "" {
+		f, err := os.Create(*timeline)
+		if err != nil {
+			return fmt.Errorf("creating timeline file: %w", err)
+		}
+		defer f.Close()
+		tl := sc.Timeline()
+		if strings.HasSuffix(*timeline, ".json") {
+			err = tl.WriteJSON(f)
+		} else {
+			err = tl.WriteText(f)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("timeline: %d events written to %s\n", tl.Len(), *timeline)
+	}
+	return nil
+}

@@ -1,0 +1,153 @@
+// Command tzevader runs the attack-side studies: probing threshold
+// calibration (§VII-B), the prober's detection delay against a live secure
+// entry, and the KProber-I trace demonstration.
+//
+// Usage:
+//
+//	tzevader -mode calibrate -observe 30s     # learn Tns_threshold on a quiet device
+//	tzevader -mode detect                     # measure Tns_delay against one secure entry
+//	tzevader -mode kprober1                   # show KProber-I's tick reports and its memory trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"satin/internal/attack"
+	"satin/internal/hw"
+	"satin/internal/mem"
+	"satin/internal/richos"
+	"satin/internal/simclock"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "tzevader: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+type rig struct {
+	engine *simclock.Engine
+	plat   *hw.Platform
+	image  *mem.Image
+	os     *richos.OS
+	buffer *attack.ReportBuffer
+}
+
+func newRig(seed uint64) (*rig, error) {
+	e := simclock.NewEngine()
+	p, err := hw.NewJunoR1(e)
+	if err != nil {
+		return nil, err
+	}
+	im, err := mem.NewJunoImage(seed)
+	if err != nil {
+		return nil, err
+	}
+	osim, err := richos.NewOS(p, im, richos.Config{Seed: seed + 1})
+	if err != nil {
+		return nil, err
+	}
+	buf, err := attack.NewReportBuffer(p.NumCores(), attack.JunoCrossCoreNoise(), seed+2)
+	if err != nil {
+		return nil, err
+	}
+	return &rig{engine: e, plat: p, image: im, os: osim, buffer: buf}, nil
+}
+
+func run() error {
+	seed := flag.Uint64("seed", 1, "root seed")
+	mode := flag.String("mode", "calibrate", "calibrate | detect | kprober1 | flood")
+	observe := flag.Duration("observe", 30*time.Second, "calibration observation window")
+	kind := flag.String("prober", "kprober2", "prober kind: user | kprober2")
+	flag.Parse()
+
+	proberKind := attack.KProberII
+	if *kind == "user" {
+		proberKind = attack.UserProber
+	} else if *kind != "kprober2" {
+		return fmt.Errorf("unknown prober %q", *kind)
+	}
+
+	r, err := newRig(*seed)
+	if err != nil {
+		return err
+	}
+	switch *mode {
+	case "calibrate":
+		finish, err := attack.CalibrateThreshold(r.os, r.buffer, proberKind, *observe, attack.DefaultThresholdSafety)
+		if err != nil {
+			return err
+		}
+		r.engine.RunFor(*observe + time.Second)
+		threshold, err := finish()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("observed for %v on a quiet device (%s)\n", observe, proberKind)
+		fmt.Printf("suggested Tns_threshold: %v (paper operates at 1.8ms)\n", threshold)
+		return nil
+
+	case "detect":
+		var suspectAt simclock.Time
+		prober, err := attack.NewThreadProber(r.os, r.buffer, attack.ProberConfig{
+			Kind:      proberKind,
+			Threshold: 1800 * time.Microsecond,
+			OnSuspect: func(core int, at simclock.Time) {
+				if suspectAt == 0 {
+					suspectAt = at
+					fmt.Printf("prober flagged core %d at %v\n", core, at.Duration())
+				}
+			},
+		})
+		if err != nil {
+			return err
+		}
+		if err := prober.Start(); err != nil {
+			return err
+		}
+		const entry = 2 * time.Second
+		r.engine.After(entry, "steal", func() { r.plat.Core(4).SetWorld(hw.SecureWorld) })
+		r.engine.After(entry+80*time.Millisecond, "release", func() { r.plat.Core(4).SetWorld(hw.NormalWorld) })
+		r.engine.RunFor(3 * time.Second)
+		if suspectAt == 0 {
+			return fmt.Errorf("prober missed the secure entry")
+		}
+		fmt.Printf("secure entry at %v; Tns_delay = %v\n", entry, suspectAt.Duration()-entry)
+		return nil
+
+	case "kprober1":
+		kp1 := attack.NewKProber1(r.os, r.buffer)
+		if err := kp1.Install(true); err != nil {
+			return err
+		}
+		r.engine.RunFor(2 * time.Second)
+		fmt.Printf("KProber-I installed at %#x (IRQ vector hijack)\n", kp1.HijackAddr())
+		for c := 0; c < r.plat.NumCores(); c++ {
+			fmt.Printf("  core %d reported %d times in 2s (HZ=%d)\n", c, kp1.ReportCount(c), r.os.Config().HZ)
+		}
+		mod := r.image.Modified()
+		fmt.Printf("memory trace: %d modified bytes in kernel text (introspection of area 0 finds them)\n", len(mod))
+		return nil
+
+	case "flood":
+		flood, err := attack.NewInterruptFlood(r.plat, 30000, nil)
+		if err != nil {
+			return err
+		}
+		if err := flood.Start(); err != nil {
+			return err
+		}
+		r.engine.RunFor(2 * time.Second)
+		fmt.Printf("SGI flood: %d interrupts raised in 2s across %d cores (30 kHz per core)\n",
+			flood.Raised(), r.plat.NumCores())
+		fmt.Println("against SATIN's SCR_EL3.IRQ=0 routing this is inert; see `benchtables -only flood`")
+		return nil
+
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+}

@@ -1,0 +1,63 @@
+package satin_test
+
+import (
+	"fmt"
+	"time"
+
+	"satin"
+)
+
+// The headline scenario: SATIN versus TZ-Evader. Every pass over the
+// attacked area raises an alarm even though the evader detects and reacts
+// to every single round.
+func Example() {
+	cfg := satin.DefaultConfig()
+	cfg.Tgoal = 19 * time.Second // tp = 1 s for a quick demo
+	cfg.MaxRounds = 38           // two full kernel scans
+
+	sc, err := satin.NewScenario(
+		satin.WithSeed(42),
+		satin.WithSATIN(cfg),
+		satin.WithFastEvader(0, satin.DefaultThreshold),
+	)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	sc.RunToCompletion()
+	fmt.Printf("rounds: %d\n", len(sc.SATIN().Rounds()))
+	fmt.Printf("alarms: %d\n", len(sc.SATIN().Alarms()))
+	// Output:
+	// rounds: 38
+	// alarms: 2
+}
+
+// The baseline story: the same evader walks straight past a randomized
+// whole-kernel checker.
+func ExampleNewScenario_baseline() {
+	sc, err := satin.NewScenario(
+		satin.WithSeed(7),
+		satin.WithBaseline(satin.BaselineConfig{
+			Period:          4 * time.Second,
+			RandomizePeriod: true,
+			Selection:       satin.RandomCore,
+			Technique:       satin.DirectHash,
+			MaxRounds:       4,
+		}),
+		satin.WithFastEvader(0, 0),
+	)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	sc.RunToCompletion()
+	clean := 0
+	for _, o := range sc.Baseline().Outcomes() {
+		if o.Clean {
+			clean++
+		}
+	}
+	fmt.Printf("evaded %d of %d checks\n", clean, len(sc.Baseline().Outcomes()))
+	// Output:
+	// evaded 4 of 4 checks
+}

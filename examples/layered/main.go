@@ -1,0 +1,32 @@
+// Layered defense: the paper's §VII-A and §VII-C argument, end to end.
+//
+//  1. A SPROBES/TZ-RKP-style synchronous guard write-protects the syscall
+//     table and the exception vectors: the rootkit's install is trapped and
+//     denied.
+//  2. The attacker runs the published bypass — a write-what-where data
+//     attack that flips the page-table AP bits — and installs the rootkit
+//     without the guard seeing anything.
+//  3. Asynchronous introspection (SATIN's area checks) flags BOTH traces on
+//     its next pass: the hijacked syscall-table entry (area 14) and the
+//     flipped PTE bytes in kernel .data (area 17). One layer's blind spot
+//     is the other layer's evidence.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"satin/internal/experiment"
+)
+
+func main() {
+	res, err := experiment.RunSyncBypass(2024)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("synchronous guard installed: vector table + syscall table write-protected")
+	fmt.Print(res.Render())
+	fmt.Println("\n§VII-C: with a small execution overhead, asynchronous introspection")
+	fmt.Println("provides one more layer of protection — the bypass that silences the")
+	fmt.Println("synchronous guard is itself bytes the asynchronous checker can hash.")
+}

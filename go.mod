@@ -1,0 +1,3 @@
+module satin
+
+go 1.22

@@ -1,0 +1,51 @@
+package attack
+
+import (
+	"fmt"
+	"time"
+
+	"satin/internal/richos"
+)
+
+// DefaultThresholdSafety is the multiplier applied to the largest observed
+// staleness when deriving a working threshold. The paper's detection
+// experiment uses 1.8e-3 s against observed maxima near 1.77e-3 s — a thin
+// margin; the calibrator defaults slightly wider.
+const DefaultThresholdSafety = 1.15
+
+// CalibrateThreshold implements the attacker's §VII-B procedure for
+// learning Tns_threshold on a device it controls: run the probers for
+// `observe` of quiet time (no secure-world activity), take the largest
+// staleness ever observed, and pad it with the safety factor. The returned
+// closure must be invoked only after the observation window has elapsed on
+// the engine; it finalizes and returns the threshold.
+//
+// Choosing the threshold this way trades detection latency against false
+// positives: below the observed maximum the prober would flag phantom
+// introspections; far above it, Tns_delay grows and the evader loses races
+// it could have won (Equation 1).
+func CalibrateThreshold(os *richos.OS, buffer *ReportBuffer, kind ProberKind, observe time.Duration, safety float64) (func() (time.Duration, error), error) {
+	if observe <= 0 {
+		return nil, fmt.Errorf("attack: observation window %v must be positive", observe)
+	}
+	if safety < 1 {
+		return nil, fmt.Errorf("attack: safety factor %v must be >= 1", safety)
+	}
+	prober, err := NewThreadProber(os, buffer, ProberConfig{Kind: kind})
+	if err != nil {
+		return nil, err
+	}
+	if err := prober.Start(); err != nil {
+		return nil, err
+	}
+	deadline := os.ReadCounter().Add(observe)
+	return func() (time.Duration, error) {
+		if os.ReadCounter().Before(deadline) {
+			return 0, fmt.Errorf("attack: calibration window not yet elapsed (now %v, deadline %v)", os.ReadCounter(), deadline)
+		}
+		if prober.Observations() == 0 {
+			return 0, fmt.Errorf("attack: no observations during calibration")
+		}
+		return time.Duration(float64(prober.MaxStaleness()) * safety), nil
+	}, nil
+}

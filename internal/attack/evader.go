@@ -1,0 +1,357 @@
+package attack
+
+import (
+	"fmt"
+	"time"
+
+	"satin/internal/richos"
+	"satin/internal/simclock"
+)
+
+// EvaderState is the TZ-Evader state machine of §III-C: attack while no
+// introspection is suspected, hide when a core vanishes, reinstall when it
+// returns.
+type EvaderState int
+
+// Evader states.
+const (
+	EvaderAttacking EvaderState = iota + 1
+	EvaderHiding                // spending Tns_recover to remove the trace
+	EvaderHidden
+	EvaderReinstalling // spending the same cost to re-arm the attack
+)
+
+// String names the state.
+func (s EvaderState) String() string {
+	switch s {
+	case EvaderAttacking:
+		return "attacking"
+	case EvaderHiding:
+		return "hiding"
+	case EvaderHidden:
+		return "hidden"
+	case EvaderReinstalling:
+		return "reinstalling"
+	default:
+		return fmt.Sprintf("EvaderState(%d)", int(s))
+	}
+}
+
+// EventKind classifies evader log entries.
+type EventKind int
+
+// Evader event kinds.
+const (
+	// EventSuspect: a comparer flagged a core as gone secure.
+	EventSuspect EventKind = iota + 1
+	// EventHidden: the trace restore completed.
+	EventHidden
+	// EventCoreBack: a suspected core reported again.
+	EventCoreBack
+	// EventReinstalled: the attack is active again.
+	EventReinstalled
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventSuspect:
+		return "suspect"
+	case EventHidden:
+		return "hidden"
+	case EventCoreBack:
+		return "core-back"
+	case EventReinstalled:
+		return "reinstalled"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one entry in the evader's log.
+type Event struct {
+	At   simclock.Time
+	Kind EventKind
+	// Core is the flagged core for EventSuspect/EventCoreBack, else -1.
+	Core int
+}
+
+// ReporterKind selects where the evader's Time Reporters run.
+type ReporterKind int
+
+// Reporter deployments.
+const (
+	// ThreadReporters runs the reporter inside each per-core prober
+	// thread (pure KProber-II, the default).
+	ThreadReporters ReporterKind = iota + 1
+	// TickReporters is the paper's evaluated configuration (§IV-A1):
+	// "we implement Time Reporter with KProber-I and Time Comparer with
+	// KProber-II". Reports come from the hijacked timer-interrupt path at
+	// HZ, so the rich OS should be configured with HZ=1000 (the paper's
+	// upper bound) to keep report staleness under the 1.8 ms threshold;
+	// KProber-I's busy threads keep every core out of NO_HZ idle.
+	TickReporters
+)
+
+// String names the kind.
+func (k ReporterKind) String() string {
+	switch k {
+	case ThreadReporters:
+		return "thread-reporters"
+	case TickReporters:
+		return "tick-reporters (KProber-I)"
+	default:
+		return fmt.Sprintf("ReporterKind(%d)", int(k))
+	}
+}
+
+// EvaderConfig tunes the full-fidelity evader.
+type EvaderConfig struct {
+	// Prober configures the probing threads (kind, sleep, threshold).
+	// OnSuspect/OnRecover must be nil: the evader wires its own reactions.
+	Prober ProberConfig
+	// Reporters selects the Time Reporter deployment; zero means
+	// ThreadReporters.
+	Reporters ReporterKind
+	// Seed drives the evader's randomness (recovery-time draws).
+	Seed uint64
+}
+
+// Evader is the full TZ-Evader: per-core prober threads (Figure 2) fused
+// with the hide/reinstall reaction. The thread whose comparer first flags a
+// core performs the recovery itself, spending Tns_recover of CPU on its own
+// (normal-world) core before the trace write lands — so the recovery
+// genuinely races the introspection in virtual time, and even stalls if the
+// secure world takes the evader's core mid-recovery.
+type Evader struct {
+	os      *richos.OS
+	rootkit *Rootkit
+	buffer  *ReportBuffer
+	cfg     EvaderConfig
+	rng     *simclock.RNG
+	kp1     *KProber1
+
+	state     EvaderState
+	suspected []bool
+	// busyCore is the core whose evader thread is currently spending
+	// Tns_recover on hide/reinstall work. Its own reports pause during the
+	// computation, which would look to its peers exactly like a secure
+	// entry — so the comparers exempt it (the attacker knows which of its
+	// threads is busy). -1 when none.
+	busyCore int
+	// busyGraceUntil[c] extends the exemption after core c's cleaner
+	// finishes: a spike-delayed buffer read (up to the visibility cap,
+	// which is below the threshold) can replay the cleaner's silence just
+	// after it ends, so observations of c are ignored until fresh reports
+	// are guaranteed visible.
+	busyGraceUntil []simclock.Time
+	// clearedAt debounces re-suspicion: after a core is cleared, a
+	// delayed-visibility read can still show staleness past the threshold
+	// for up to the visibility-delay cap. A genuine re-entry needs at
+	// least `threshold` to re-accumulate, so re-flagging sooner than that
+	// is always an artifact.
+	clearedAt []simclock.Time
+	events    []Event
+
+	maxStaleness time.Duration
+}
+
+// NewEvader builds the evader. Call Start to install the rootkit and spawn
+// the prober threads.
+func NewEvader(os *richos.OS, rootkit *Rootkit, buffer *ReportBuffer, cfg EvaderConfig) (*Evader, error) {
+	if cfg.Prober.OnSuspect != nil || cfg.Prober.OnRecover != nil {
+		return nil, fmt.Errorf("attack: evader wires its own prober callbacks")
+	}
+	cfg.Prober = cfg.Prober.withDefaults()
+	if cfg.Reporters == 0 {
+		cfg.Reporters = ThreadReporters
+	}
+	if cfg.Reporters != ThreadReporters && cfg.Reporters != TickReporters {
+		return nil, fmt.Errorf("attack: unknown reporter kind %v", cfg.Reporters)
+	}
+	if err := cfg.Prober.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Prober.Threshold <= 0 {
+		return nil, fmt.Errorf("attack: evader needs a positive probing threshold")
+	}
+	if len(cfg.Prober.Cores) == 0 {
+		cfg.Prober.Cores = os.AllCores()
+	}
+	return &Evader{
+		os:             os,
+		rootkit:        rootkit,
+		buffer:         buffer,
+		cfg:            cfg,
+		rng:            simclock.NewRNG(cfg.Seed, "attack.evader"),
+		state:          EvaderAttacking,
+		suspected:      make([]bool, os.Platform().NumCores()),
+		clearedAt:      make([]simclock.Time, os.Platform().NumCores()),
+		busyCore:       -1,
+		busyGraceUntil: make([]simclock.Time, os.Platform().NumCores()),
+	}, nil
+}
+
+// Start installs the rootkit and spawns one evader thread per probed core.
+// With TickReporters it first installs KProber-I (the vector hijack plus
+// its per-core busy threads), so reporting rides the timer interrupt.
+func (e *Evader) Start() error {
+	if err := e.rootkit.Install(e.os.ReadCounter()); err != nil {
+		return err
+	}
+	if e.cfg.Reporters == TickReporters {
+		e.kp1 = NewKProber1(e.os, e.buffer)
+		if err := e.kp1.Install(true); err != nil {
+			return err
+		}
+	}
+	policy, prio := richos.PolicyCFS, 0
+	if e.cfg.Prober.Kind == KProberII {
+		policy, prio = richos.PolicyFIFO, richos.MaxRTPriority
+	}
+	for _, core := range e.cfg.Prober.Cores {
+		core := core
+		prog := &evaderProgram{e: e, myCore: core}
+		if _, err := e.os.Spawn(fmt.Sprintf("evader-%d", core), policy, prio, []int{core}, prog); err != nil {
+			return fmt.Errorf("attack: spawning evader thread on core %d: %w", core, err)
+		}
+	}
+	return nil
+}
+
+// State reports the evader's current phase.
+func (e *Evader) State() EvaderState { return e.state }
+
+// KProber1 returns the tick reporter, or nil when ThreadReporters is used.
+func (e *Evader) KProber1() *KProber1 { return e.kp1 }
+
+// Events returns the evader's log.
+func (e *Evader) Events() []Event { return e.events }
+
+// MaxStaleness reports the largest staleness any comparer observed.
+func (e *Evader) MaxStaleness() time.Duration { return e.maxStaleness }
+
+// SuspectEvents returns only the EventSuspect entries — what the paper
+// counts when it says KProber "faithfully reported all 190 rounds of
+// introspection without any false negative or false positive" (§VI-B1).
+func (e *Evader) SuspectEvents() []Event {
+	var out []Event
+	for _, ev := range e.events {
+		if ev.Kind == EventSuspect {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+func (e *Evader) log(at simclock.Time, kind EventKind, core int) {
+	e.events = append(e.events, Event{At: at, Kind: kind, Core: core})
+}
+
+// evaderPhase is the per-thread continuation.
+type evaderPhase int
+
+const (
+	phaseProbe evaderPhase = iota
+	phaseFinishHide
+	phaseFinishReinstall
+)
+
+// evaderProgram is the per-core thread body.
+type evaderProgram struct {
+	e      *Evader
+	myCore int
+	phase  evaderPhase
+}
+
+// Next implements richos.Program.
+func (p *evaderProgram) Next(tc *richos.ThreadContext) richos.Step {
+	e := p.e
+	now := tc.Now()
+	switch p.phase {
+	case phaseFinishHide:
+		p.phase = phaseProbe
+		e.busyCore = -1
+		e.busyGraceUntil[p.myCore] = now.Add(e.cfg.Prober.Threshold)
+		if err := e.rootkit.Hide(now); err != nil {
+			panic(fmt.Sprintf("attack: hide failed: %v", err))
+		}
+		e.state = EvaderHidden
+		e.log(now, EventHidden, -1)
+	case phaseFinishReinstall:
+		p.phase = phaseProbe
+		e.busyCore = -1
+		e.busyGraceUntil[p.myCore] = now.Add(e.cfg.Prober.Threshold)
+		if err := e.rootkit.Install(now); err != nil {
+			panic(fmt.Sprintf("attack: reinstall failed: %v", err))
+		}
+		e.state = EvaderAttacking
+		e.log(now, EventReinstalled, -1)
+	}
+
+	// Time Reporter (unless KProber-I's tick path reports for us).
+	if e.cfg.Reporters == ThreadReporters {
+		e.buffer.Write(p.myCore, now, now)
+	}
+	// Time Comparer.
+	anySuspected := false
+	for _, x := range e.cfg.Prober.Cores {
+		if x == e.busyCore || now.Before(e.busyGraceUntil[x]) {
+			continue // our own cleaner, silent (or just silent) by design
+		}
+		if x == p.myCore {
+			if e.suspected[x] {
+				// We are running on x, so x is demonstrably back.
+				e.suspected[x] = false
+				e.clearedAt[x] = now
+				e.log(now, EventCoreBack, x)
+			}
+			continue
+		}
+		v, ok := e.buffer.Read(x, now)
+		if !ok {
+			continue
+		}
+		staleness := now.Sub(v)
+		if staleness > e.maxStaleness {
+			e.maxStaleness = staleness
+		}
+		if staleness > e.cfg.Prober.Threshold {
+			// Debounce: a delayed-visibility read right after a clear can
+			// replay the stale report; genuine re-entry needs at least
+			// `threshold` to re-accumulate.
+			if !e.suspected[x] && now.Sub(e.clearedAt[x]) > e.cfg.Prober.Threshold {
+				e.suspected[x] = true
+				e.log(now, EventSuspect, x)
+			}
+		} else if e.suspected[x] {
+			e.suspected[x] = false
+			e.clearedAt[x] = now
+			e.log(now, EventCoreBack, x)
+		}
+		anySuspected = anySuspected || e.suspected[x]
+	}
+	for _, s := range e.suspected {
+		anySuspected = anySuspected || s
+	}
+
+	// React.
+	coreType := e.os.Platform().Core(tc.CoreID()).Type()
+	switch e.state {
+	case EvaderAttacking:
+		if anySuspected {
+			e.state = EvaderHiding
+			e.busyCore = p.myCore
+			p.phase = phaseFinishHide
+			return richos.Compute(e.os.Platform().Perf().RecoverTime(coreType, e.rootkit.TraceSize(), e.rng))
+		}
+	case EvaderHidden:
+		if !anySuspected {
+			e.state = EvaderReinstalling
+			e.busyCore = p.myCore
+			p.phase = phaseFinishReinstall
+			return richos.Compute(e.os.Platform().Perf().RecoverTime(coreType, e.rootkit.TraceSize(), e.rng))
+		}
+	}
+	return richos.Sleep(e.cfg.Prober.Sleep)
+}

@@ -1,0 +1,554 @@
+package attack
+
+import (
+	"testing"
+	"time"
+
+	"satin/internal/hw"
+	"satin/internal/mem"
+	"satin/internal/richos"
+	"satin/internal/simclock"
+)
+
+func TestRootkitInstallHideCycle(t *testing.T) {
+	r := newRig(t)
+	rk := NewRootkit(r.os, r.image)
+	if rk.State() != RootkitHidden {
+		t.Fatal("fresh rootkit should be hidden")
+	}
+	if err := rk.Install(10); err != nil {
+		t.Fatal(err)
+	}
+	if rk.State() != RootkitActive {
+		t.Error("state after install")
+	}
+	if err := rk.Install(11); err == nil {
+		t.Error("double install accepted")
+	}
+	// The table entry really points at the malicious body.
+	entry := r.image.Layout().SyscallEntryAddr(mem.GettidNR)
+	got, err := r.image.Mem().Uint64(entry)
+	if err != nil || got == r.image.BenignHandler(mem.GettidNR) {
+		t.Errorf("table entry = %#x, %v; want malicious", got, err)
+	}
+	if len(r.image.Modified()) == 0 {
+		t.Error("install left no trace")
+	}
+	if err := rk.Hide(20); err != nil {
+		t.Fatal(err)
+	}
+	if rk.State() != RootkitHidden {
+		t.Error("state after hide")
+	}
+	if err := rk.Hide(21); err == nil {
+		t.Error("double hide accepted")
+	}
+	if len(r.image.Modified()) != 0 {
+		t.Error("hide left residual modifications")
+	}
+}
+
+func TestRootkitCapturesSyscalls(t *testing.T) {
+	r := newRig(t)
+	rk := NewRootkit(r.os, r.image)
+	if err := rk.Install(0); err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	if _, err := r.os.Spawn("victim", richos.PolicyCFS, 0, []int{0},
+		richos.ProgramFunc(func(tc *richos.ThreadContext) richos.Step {
+			calls++
+			if calls > 5 {
+				return richos.Exit()
+			}
+			v, err := tc.Syscall(mem.GettidNR)
+			if err != nil || v != uint64(mem.GettidNR) {
+				t.Errorf("hijacked gettid = %d, %v (must stay transparent)", v, err)
+			}
+			return richos.Compute(time.Microsecond)
+		})); err != nil {
+		t.Fatal(err)
+	}
+	r.engine.RunFor(10 * time.Millisecond)
+	if rk.Captures() != 5 {
+		t.Errorf("Captures = %d, want 5", rk.Captures())
+	}
+}
+
+func TestRootkitActiveBetween(t *testing.T) {
+	r := newRig(t)
+	rk := NewRootkit(r.os, r.image)
+	mustInstall := func(at simclock.Time) {
+		t.Helper()
+		if err := rk.Install(at); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustHide := func(at simclock.Time) {
+		t.Helper()
+		if err := rk.Hide(at); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustInstall(100)
+	mustHide(200)
+	mustInstall(300)
+	cases := []struct {
+		from, to simclock.Time
+		want     bool
+	}{
+		{0, 50, false},    // before first install
+		{110, 190, true},  // fully inside first active span
+		{110, 250, false}, // hide lands inside
+		{210, 250, false}, // fully hidden
+		{310, 400, true},  // active again, no later transitions
+		{100, 200, false}, // boundary: hide at `to` counts as interruption
+	}
+	for i, tc := range cases {
+		if got := rk.ActiveBetween(tc.from, tc.to); got != tc.want {
+			t.Errorf("case %d: ActiveBetween(%v, %v) = %v, want %v", i, tc.from, tc.to, got, tc.want)
+		}
+	}
+}
+
+func TestEvaderConfigValidation(t *testing.T) {
+	r := newRig(t)
+	rk := NewRootkit(r.os, r.image)
+	if _, err := NewEvader(r.os, rk, r.buffer, EvaderConfig{
+		Prober: ProberConfig{Kind: KProberII, OnSuspect: func(int, simclock.Time) {}},
+	}); err == nil {
+		t.Error("external OnSuspect accepted")
+	}
+	if _, err := NewEvader(r.os, rk, r.buffer, EvaderConfig{
+		Prober: ProberConfig{Kind: KProberII}, // no threshold
+	}); err == nil {
+		t.Error("zero threshold accepted")
+	}
+}
+
+func TestEvaderHidesOnSecureEntryAndReinstalls(t *testing.T) {
+	r := newRig(t)
+	rk := NewRootkit(r.os, r.image)
+	ev, err := NewEvader(r.os, rk, r.buffer, EvaderConfig{
+		Prober: ProberConfig{Kind: KProberII, Threshold: 1800 * time.Microsecond},
+		Seed:   3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ev.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if rk.State() != RootkitActive {
+		t.Fatal("rootkit not installed at start")
+	}
+	const entry = time.Second
+	const exit = entry + 80*time.Millisecond // a full-kernel-check-sized residency
+	r.engine.After(entry, "steal", func() { r.plat.Core(4).SetWorld(hw.SecureWorld) })
+	r.engine.After(exit, "release", func() { r.plat.Core(4).SetWorld(hw.NormalWorld) })
+	r.engine.RunFor(2 * time.Second)
+
+	// Walk the event log: suspect → hidden → core-back → reinstalled.
+	var suspectAt, hiddenAt, reinstalledAt simclock.Time
+	for _, e := range ev.Events() {
+		switch e.Kind {
+		case EventSuspect:
+			if suspectAt == 0 {
+				suspectAt = e.At
+			}
+		case EventHidden:
+			if hiddenAt == 0 {
+				hiddenAt = e.At
+			}
+		case EventReinstalled:
+			if reinstalledAt == 0 {
+				reinstalledAt = e.At
+			}
+		}
+	}
+	if suspectAt == 0 || hiddenAt == 0 || reinstalledAt == 0 {
+		t.Fatalf("incomplete cycle: %+v", ev.Events())
+	}
+	// Detection ≈ entry + threshold (±Tsleep); hide completes Tns_recover
+	// (≈5–6.1ms) later; reinstall after the core returns.
+	if d := suspectAt.Sub(simclock.Time(entry)); d < time.Millisecond || d > 3*time.Millisecond {
+		t.Errorf("suspect delay = %v", d)
+	}
+	if d := hiddenAt.Sub(suspectAt); d < 4*time.Millisecond || d > 8*time.Millisecond {
+		t.Errorf("hide took %v, want ≈Tns_recover (5–6.1ms)", d)
+	}
+	if reinstalledAt.Before(simclock.Time(exit)) {
+		t.Error("reinstalled before the introspection core returned")
+	}
+	if d := reinstalledAt.Sub(simclock.Time(exit)); d > 10*time.Millisecond {
+		t.Errorf("reinstall lagged %v after core return", d)
+	}
+	if ev.State() != EvaderAttacking {
+		t.Errorf("final state = %v, want attacking", ev.State())
+	}
+	if rk.State() != RootkitActive {
+		t.Error("rootkit not re-armed")
+	}
+	// The trace was absent during [hiddenAt, reinstall-start].
+	if rk.ActiveBetween(hiddenAt.Add(time.Microsecond), reinstalledAt.Add(-time.Microsecond)) {
+		t.Error("trace present while hidden")
+	}
+}
+
+func TestEvaderBeatsSlowFullKernelScanLoses60msToucher(t *testing.T) {
+	// Race sanity directly against wall-clock arithmetic: with detection
+	// at ≈1.8ms and recovery done by ≈8ms, a checker touching the
+	// malicious bytes at 65ms into its scan must see them clean, and a
+	// checker touching them at 1ms must see them dirty.
+	r := newRig(t)
+	rk := NewRootkit(r.os, r.image)
+	ev, err := NewEvader(r.os, rk, r.buffer, EvaderConfig{
+		Prober: ProberConfig{Kind: KProberII, Threshold: 1800 * time.Microsecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ev.Start(); err != nil {
+		t.Fatal(err)
+	}
+	const entry = time.Second
+	r.engine.After(entry, "steal", func() { r.plat.Core(5).SetWorld(hw.SecureWorld) })
+	r.engine.After(entry+80*time.Millisecond, "release", func() { r.plat.Core(5).SetWorld(hw.NormalWorld) })
+	r.engine.RunFor(1200 * time.Millisecond)
+
+	t0 := simclock.Time(entry)
+	// Touched 1 ms in (small-area SATIN-style): trace still present.
+	if !rk.ActiveBetween(t0, t0.Add(time.Millisecond)) {
+		t.Error("trace already gone 1ms into the check; evader impossibly fast")
+	}
+	// Touched 65 ms in (full-kernel baseline): trace long gone.
+	if rk.ActiveBetween(t0, t0.Add(65*time.Millisecond)) {
+		t.Error("trace still present 65ms into the check; evader failed to hide")
+	}
+}
+
+func TestFastEvaderMatchesThreadEvaderTimings(t *testing.T) {
+	// Cross-validation: the O(1) FastEvader must produce the same cycle
+	// (suspect → hidden → reinstalled) with delays statistically matching
+	// the thread-level evader on the same scenario.
+	run := func(fast bool) (suspect, hidden, reinstalled time.Duration) {
+		r := newRig(t)
+		rk := NewRootkit(r.os, r.image)
+		var events func() []Event
+		if fast {
+			fe, err := NewFastEvader(r.plat, r.image, rk, DefaultProberSleep, 1800*time.Microsecond, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := fe.Start(); err != nil {
+				t.Fatal(err)
+			}
+			events = fe.Events
+		} else {
+			ev, err := NewEvader(r.os, rk, r.buffer, EvaderConfig{
+				Prober: ProberConfig{Kind: KProberII, Threshold: 1800 * time.Microsecond},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ev.Start(); err != nil {
+				t.Fatal(err)
+			}
+			events = ev.Events
+		}
+		const entry = time.Second
+		r.engine.After(entry, "steal", func() { r.plat.Core(2).SetWorld(hw.SecureWorld) })
+		r.engine.After(entry+50*time.Millisecond, "release", func() { r.plat.Core(2).SetWorld(hw.NormalWorld) })
+		r.engine.RunFor(2 * time.Second)
+		for _, e := range events() {
+			switch e.Kind {
+			case EventSuspect:
+				if suspect == 0 {
+					suspect = e.At.Sub(simclock.Time(entry))
+				}
+			case EventHidden:
+				if hidden == 0 {
+					hidden = e.At.Sub(simclock.Time(entry))
+				}
+			case EventReinstalled:
+				if reinstalled == 0 {
+					reinstalled = e.At.Sub(simclock.Time(entry))
+				}
+			}
+		}
+		return suspect, hidden, reinstalled
+	}
+	ts, th, tr := run(false)
+	fs, fh, fr := run(true)
+	if ts == 0 || th == 0 || tr == 0 || fs == 0 || fh == 0 || fr == 0 {
+		t.Fatalf("incomplete cycles: thread(%v %v %v) fast(%v %v %v)", ts, th, tr, fs, fh, fr)
+	}
+	within := func(a, b, tol time.Duration) bool {
+		d := a - b
+		if d < 0 {
+			d = -d
+		}
+		return d <= tol
+	}
+	if !within(ts, fs, time.Millisecond) {
+		t.Errorf("suspect delay: thread %v vs fast %v", ts, fs)
+	}
+	if !within(th, fh, 2*time.Millisecond) {
+		t.Errorf("hidden delay: thread %v vs fast %v", th, fh)
+	}
+	if !within(tr, fr, 10*time.Millisecond) {
+		t.Errorf("reinstall delay: thread %v vs fast %v", tr, fr)
+	}
+}
+
+func TestFastEvaderIgnoresBlinkEntries(t *testing.T) {
+	// A secure residency far shorter than the threshold never trips the
+	// prober: the reporter republishes before staleness crosses it.
+	r := newRig(t)
+	rk := NewRootkit(r.os, r.image)
+	fe, err := NewFastEvader(r.plat, r.image, rk, DefaultProberSleep, 1800*time.Microsecond, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fe.Start(); err != nil {
+		t.Fatal(err)
+	}
+	r.engine.After(time.Second, "steal", func() { r.plat.Core(1).SetWorld(hw.SecureWorld) })
+	r.engine.After(time.Second+300*time.Microsecond, "release", func() { r.plat.Core(1).SetWorld(hw.NormalWorld) })
+	r.engine.RunFor(2 * time.Second)
+	if n := len(fe.SuspectEvents()); n != 0 {
+		t.Errorf("%d suspicions for a 0.3ms residency", n)
+	}
+	if rk.State() != RootkitActive {
+		t.Error("rootkit should still be attacking")
+	}
+}
+
+func TestFastEvaderValidation(t *testing.T) {
+	r := newRig(t)
+	rk := NewRootkit(r.os, r.image)
+	if _, err := NewFastEvader(r.plat, r.image, rk, 0, time.Millisecond, 1); err == nil {
+		t.Error("zero sleep accepted")
+	}
+	if _, err := NewFastEvader(r.plat, r.image, rk, time.Millisecond, 0, 1); err == nil {
+		t.Error("zero threshold accepted")
+	}
+	fe, err := NewFastEvader(r.plat, r.image, rk, DefaultProberSleep, time.Millisecond, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fe.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fe.Start(); err == nil {
+		t.Error("double start accepted")
+	}
+}
+
+func TestCalibrateThreshold(t *testing.T) {
+	r := newRig(t)
+	finish, err := CalibrateThreshold(r.os, r.buffer, KProberII, 3*time.Second, DefaultThresholdSafety)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Too early: must refuse.
+	if _, err := finish(); err == nil {
+		t.Error("calibration finished before the window elapsed")
+	}
+	r.engine.RunFor(3100 * time.Millisecond)
+	threshold, err := finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A quiet KProber-II run observes maxima near Tsleep + jitter; with
+	// the 1.15 safety factor the result lands in the paper's threshold
+	// ballpark, well under the 1.8e-3 s used operationally.
+	if threshold < 230*time.Microsecond || threshold > 2*time.Millisecond {
+		t.Errorf("calibrated threshold = %v", threshold)
+	}
+	// Validation errors.
+	if _, err := CalibrateThreshold(r.os, r.buffer, KProberII, 0, 1.1); err == nil {
+		t.Error("zero window accepted")
+	}
+	if _, err := CalibrateThreshold(r.os, r.buffer, KProberII, time.Second, 0.5); err == nil {
+		t.Error("safety < 1 accepted")
+	}
+}
+
+func TestThresholdModelTable2Shape(t *testing.T) {
+	m := JunoThresholdModel(hw.JunoR1PerfModel())
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g := simclock.NewRNG(1, "tbl2")
+	periods := []time.Duration{8 * time.Second, 16 * time.Second, 30 * time.Second, 120 * time.Second, 300 * time.Second}
+	var avgs []float64
+	var maxAll time.Duration
+	for _, p := range periods {
+		rounds := m.RoundSet(p, 200, g)
+		var sum time.Duration
+		for _, v := range rounds {
+			sum += v
+			if v > maxAll {
+				maxAll = v
+			}
+			if v < 100*time.Microsecond {
+				t.Errorf("round threshold %v below plausible floor", v)
+			}
+		}
+		avgs = append(avgs, (sum / time.Duration(len(rounds))).Seconds())
+	}
+	// Table II shape: averages increase with period.
+	for i := 1; i < len(avgs); i++ {
+		if avgs[i] <= avgs[i-1] {
+			t.Errorf("average threshold not increasing: %v", avgs)
+		}
+	}
+	// 8 s average ≈ 2.61e-4 s (±40%).
+	if avgs[0] < 1.8e-4 || avgs[0] > 3.7e-4 {
+		t.Errorf("8s average = %.3g, want ≈2.61e-4", avgs[0])
+	}
+	// 300 s average ≈ 6.61e-4 s (±40%).
+	if avgs[4] < 4.0e-4 || avgs[4] > 9.5e-4 {
+		t.Errorf("300s average = %.3g, want ≈6.61e-4", avgs[4])
+	}
+	// Extremes stay under ≈1.8e-3 s, the paper's operational threshold.
+	if maxAll > 1800*time.Microsecond {
+		t.Errorf("max threshold %v exceeds 1.8e-3 s", maxAll)
+	}
+}
+
+func TestThresholdModelSingleCoreQuarter(t *testing.T) {
+	m := JunoThresholdModel(hw.JunoR1PerfModel())
+	s := m.SingleCoreModel()
+	g := simclock.NewRNG(2, "single")
+	var allSum, singleSum time.Duration
+	const n = 300
+	for i := 0; i < n; i++ {
+		allSum += m.SampleRound(8*time.Second, g)
+		singleSum += s.SampleRound(8*time.Second, g)
+	}
+	ratio := float64(singleSum) / float64(allSum)
+	// §IV-B2: single-core threshold ≈ 1/4 of all-core.
+	if ratio < 0.15 || ratio > 0.40 {
+		t.Errorf("single/all ratio = %.2f, want ≈0.25", ratio)
+	}
+}
+
+func TestThresholdModelCrossValidatesThreadProber(t *testing.T) {
+	// The analytic model's 8s-round prediction must straddle what the
+	// thread-level prober actually measures over an 8s quiet run.
+	r := newRig(t)
+	p, err := NewThreadProber(r.os, r.buffer, ProberConfig{Kind: KProberII})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	r.engine.RunFor(8 * time.Second)
+	measured := p.MaxStaleness()
+
+	m := JunoThresholdModel(r.plat.Perf())
+	g := simclock.NewRNG(4, "xval")
+	var sum time.Duration
+	const n = 200
+	for i := 0; i < n; i++ {
+		sum += m.SampleRound(8*time.Second, g)
+	}
+	predicted := sum / n
+	ratio := float64(measured) / float64(predicted)
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Errorf("thread-level 8s max staleness %v vs model prediction %v (ratio %.2f)",
+			measured, predicted, ratio)
+	}
+}
+
+func TestThresholdModelRejectsBadPeriod(t *testing.T) {
+	m := JunoThresholdModel(hw.JunoR1PerfModel())
+	g := simclock.NewRNG(1, "bad")
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive period did not panic")
+		}
+	}()
+	m.SampleRound(0, g)
+}
+
+func TestHybridEvaderTickReportersDetectsSATINEntry(t *testing.T) {
+	// The paper's evaluated configuration (§IV-A1): Time Reporter via
+	// KProber-I (timer-interrupt hijack at HZ=1000) and Time Comparer via
+	// KProber-II threads.
+	e := simclock.NewEngine()
+	p, err := hw.NewJunoR1(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := mem.NewJunoImage(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	osim, err := richos.NewOS(p, im, richos.Config{Seed: 7, HZ: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := NewReportBuffer(p.NumCores(), JunoCrossCoreNoise(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rk := NewRootkit(osim, im)
+	ev, err := NewEvader(osim, rk, buf, EvaderConfig{
+		Prober:    ProberConfig{Kind: KProberII, Threshold: 1800 * time.Microsecond},
+		Reporters: TickReporters,
+		Seed:      3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ev.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if ev.KProber1() == nil || !ev.KProber1().Installed() {
+		t.Fatal("KProber-I not installed")
+	}
+	// Let staleness settle, then a check-sized secure residency.
+	const entry = 2 * time.Second
+	e.After(entry, "steal", func() { p.Core(4).SetWorld(hw.SecureWorld) })
+	e.After(entry+50*time.Millisecond, "release", func() { p.Core(4).SetWorld(hw.NormalWorld) })
+	e.RunFor(3 * time.Second)
+
+	suspects := ev.SuspectEvents()
+	if len(suspects) != 1 {
+		t.Fatalf("suspects = %d, want exactly 1 (no FPs at HZ=1000)", len(suspects))
+	}
+	if suspects[0].Core != 4 {
+		t.Errorf("flagged core %d, want 4", suspects[0].Core)
+	}
+	delay := suspects[0].At.Sub(simclock.Time(entry))
+	// Tick reporters are coarser than thread reporters: the last report
+	// before entry may already be up to one tick (1 ms at HZ=1000) old,
+	// so staleness crosses the threshold anywhere in
+	// [threshold - tick, threshold + comparer sleep + jitter].
+	if delay < 500*time.Microsecond || delay > 4*time.Millisecond {
+		t.Errorf("detection delay = %v", delay)
+	}
+	// The hide/reinstall cycle still completes.
+	if rk.State() != RootkitActive {
+		t.Errorf("rootkit state = %v after the cycle", rk.State())
+	}
+	// And the infrastructure left its tell-tale vector bytes.
+	if len(im.Modified()) == 0 {
+		t.Error("KProber-I left no trace (rootkit reinstalled + vector hijack expected)")
+	}
+}
+
+func TestEvaderRejectsUnknownReporterKind(t *testing.T) {
+	r := newRig(t)
+	rk := NewRootkit(r.os, r.image)
+	if _, err := NewEvader(r.os, rk, r.buffer, EvaderConfig{
+		Prober:    ProberConfig{Kind: KProberII, Threshold: time.Millisecond},
+		Reporters: ReporterKind(9),
+	}); err == nil {
+		t.Error("bad reporter kind accepted")
+	}
+}

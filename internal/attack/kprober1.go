@@ -1,0 +1,111 @@
+package attack
+
+import (
+	"fmt"
+	"time"
+
+	"satin/internal/mem"
+	"satin/internal/richos"
+)
+
+// KProber1Offset is where the KProber-I body is "loaded" in the module
+// arena.
+const kprober1Offset = 0x2000
+
+// KProber1 is the timer-interrupt prober of §III-C1: it hijacks the IRQ
+// exception vector so the Time Reporter runs inside every timer interrupt,
+// guaranteeing a reporting frequency no lower than HZ on every non-idle
+// core. Its weakness is also the paper's: the hijack rewrites vector bytes
+// inside kernel text, leaving a trace the introspection can find (the
+// vector lives in area 0 of the Juno layout).
+//
+// To keep every core out of NO_HZ idle — so the per-core timer keeps
+// ticking — KProber1 optionally spawns a low-priority user-level busy
+// thread per core, as the paper describes.
+type KProber1 struct {
+	os     *richos.OS
+	buffer *ReportBuffer
+
+	hijackAddr   uint64
+	originalVec  uint64
+	installed    bool
+	keepBusy     []*richos.Thread
+	reportCounts []int
+}
+
+// NewKProber1 builds the prober; Install performs the hijack.
+func NewKProber1(os *richos.OS, buffer *ReportBuffer) *KProber1 {
+	return &KProber1{
+		os:           os,
+		buffer:       buffer,
+		reportCounts: make([]int, os.Platform().NumCores()),
+	}
+}
+
+// Install hijacks the IRQ vector and, when keepBusy is set, spawns one
+// CFS busy thread per core so no core enters NO_HZ idle.
+func (k *KProber1) Install(keepBusy bool) error {
+	if k.installed {
+		return fmt.Errorf("attack: KProber-I already installed")
+	}
+	image := k.os.Image()
+	vecAddr := image.Layout().IRQVectorAddr()
+	orig, err := image.Mem().Uint64(vecAddr)
+	if err != nil {
+		return fmt.Errorf("attack: reading IRQ vector: %w", err)
+	}
+	k.originalVec = orig
+	k.hijackAddr = image.ModuleBase() + kprober1Offset
+	// The prober body: report, then trampoline to the original handler.
+	k.os.RegisterIRQHandler(k.hijackAddr, func(coreID int) {
+		now := k.os.ReadCounter()
+		k.buffer.Write(coreID, now, now)
+		k.reportCounts[coreID]++
+		k.os.KernelTick(coreID)
+	})
+	// A kernel-privilege write: a synchronous guard protecting the vector
+	// table blocks this hijack (§VII-A) until the AP-flip exploit runs.
+	if err := k.os.KernelPutUint64(vecAddr, k.hijackAddr); err != nil {
+		return fmt.Errorf("attack: rewriting IRQ vector: %w", err)
+	}
+	k.installed = true
+	if keepBusy {
+		for _, core := range k.os.AllCores() {
+			th, err := k.os.Spawn(fmt.Sprintf("kp1-busy-%d", core), richos.PolicyCFS, 0, []int{core},
+				richos.ProgramFunc(func(*richos.ThreadContext) richos.Step {
+					return richos.Compute(time.Millisecond)
+				}))
+			if err != nil {
+				return fmt.Errorf("attack: spawning busy thread: %w", err)
+			}
+			k.keepBusy = append(k.keepBusy, th)
+		}
+	}
+	return nil
+}
+
+// Uninstall restores the original vector — the trace-removal KProber-I
+// would need to perform if the defender closes in.
+func (k *KProber1) Uninstall() error {
+	if !k.installed {
+		return fmt.Errorf("attack: KProber-I not installed")
+	}
+	image := k.os.Image()
+	if err := k.os.KernelPutUint64(image.Layout().IRQVectorAddr(), k.originalVec); err != nil {
+		return fmt.Errorf("attack: restoring IRQ vector: %w", err)
+	}
+	k.installed = false
+	return nil
+}
+
+// Installed reports whether the hijack is active.
+func (k *KProber1) Installed() bool { return k.installed }
+
+// HijackAddr reports where the prober body lives (module arena).
+func (k *KProber1) HijackAddr() uint64 { return k.hijackAddr }
+
+// TraceSize reports how many kernel-text bytes the hijack modifies.
+func (k *KProber1) TraceSize() int { return mem.SyscallEntrySize }
+
+// ReportCount reports how many tick-driven reports core c has published.
+func (k *KProber1) ReportCount(c int) int { return k.reportCounts[c] }

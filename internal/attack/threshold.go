@@ -1,0 +1,157 @@
+package attack
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"satin/internal/hw"
+	"satin/internal/simclock"
+)
+
+// ThresholdModel is the scalable model of KProber's probing threshold —
+// the per-round maximum of the cross-core report-time differences the
+// paper's Table II tabulates for probing periods from 8 s to 300 s.
+//
+// Why a model instead of running the thread-level prober: reproducing
+// Table II verbatim means 50 rounds × (8+16+30+120+300) s of probing at a
+// 2e-4 s wake interval — about two billion scheduler events. The model
+// samples each round's maximum directly from the same three ingredients the
+// thread-level simulation exhibits, and the test suite cross-validates it
+// against ThreadProber runs at small scale:
+//
+//  1. Phase offsets: the per-core reporters free-run at Tsleep, so at any
+//     instant the pairwise report-time differences are the phase offsets,
+//     uniform in [0, Tsleep) and drifting slowly with scheduling jitter. A
+//     round's base maximum is the maximum offset over all pairs and drift
+//     epochs, approaching Tsleep from below.
+//  2. Wake/dispatch jitter: each report is late by the scheduler's wake
+//     latency, adding its near-maximum over a round's many samples.
+//  3. Cross-core visibility spikes (§IV-B2's "abnormal large delay ... up
+//     to 1.3e-3 s"): rare, so short rounds usually see none (Table II's 8 s
+//     average ≈ Tsleep + jitter) while long rounds collect several, raising
+//     both the average and the extremes.
+type ThresholdModel struct {
+	// Sleep is the prober's Tsleep.
+	Sleep time.Duration
+	// WakeJitter is the dispatch-latency distribution of the rich OS.
+	WakeJitter simclock.Dist
+	// Noise is the cross-core visibility model.
+	Noise CrossCoreNoise
+	// Pairs is the number of ordered (comparer, peer) pairs probed.
+	Pairs int
+	// ReadsPerSecond is how many buffer reads per second all comparers
+	// perform together, converting Noise.SpikeProb into a spike rate.
+	ReadsPerSecond float64
+	// DriftPeriod is how long pairwise phases stay put before drifting to
+	// fresh offsets.
+	DriftPeriod time.Duration
+}
+
+// JunoThresholdModel returns the model for the paper's configuration:
+// KProber-II on all six Juno cores with Tsleep = 2e-4 s.
+func JunoThresholdModel(perf hw.PerfModel) ThresholdModel {
+	const cores = 6
+	sleep := DefaultProberSleep
+	return ThresholdModel{
+		Sleep:          sleep,
+		WakeJitter:     perf.ThreadWakeLatency,
+		Noise:          JunoCrossCoreNoise(),
+		Pairs:          cores * (cores - 1),
+		ReadsPerSecond: float64(cores*(cores-1)) / sleep.Seconds(),
+		DriftPeriod:    20 * time.Second,
+	}
+}
+
+// SingleCoreModel adapts m to the dedicated single-core prober: one pair,
+// a spinning reporter (period SpinQuantum, no sleep-phase term), matching
+// §IV-B2's observation that single-core probing is ≈4x more precise.
+func (m ThresholdModel) SingleCoreModel() ThresholdModel {
+	out := m
+	out.Sleep = SpinQuantum
+	out.Pairs = 1
+	out.ReadsPerSecond = 1 / DefaultProberSleep.Seconds() // one comparer
+	return out
+}
+
+// Validate checks the model.
+func (m ThresholdModel) Validate() error {
+	if m.Sleep <= 0 || m.Pairs <= 0 || m.ReadsPerSecond <= 0 || m.DriftPeriod <= 0 {
+		return fmt.Errorf("attack: threshold model has non-positive parameters: %+v", m)
+	}
+	if err := m.WakeJitter.Validate(); err != nil {
+		return fmt.Errorf("attack: wake jitter: %w", err)
+	}
+	return m.Noise.Validate()
+}
+
+// SampleRound draws one probing round's threshold (the round's maximum
+// observed report-time difference) for the given probing period.
+func (m ThresholdModel) SampleRound(period time.Duration, g *simclock.RNG) time.Duration {
+	if period <= 0 {
+		panic(fmt.Sprintf("attack: probing period %v must be positive", period))
+	}
+	epochs := int(period / m.DriftPeriod)
+	if epochs < 1 {
+		epochs = 1
+	}
+	// Base term: max phase offset over pairs and epochs, plus a
+	// near-maximal wake jitter. max of K uniforms on [0, Sleep) sampled
+	// via inverse transform U^(1/K).
+	k := float64(m.Pairs * epochs)
+	maxPhase := time.Duration(float64(m.Sleep) * math.Pow(g.Float64(), 1/k))
+	jitter := m.drawNearMaxJitter(g)
+	round := maxPhase + jitter
+
+	// Spike term: Poisson-many visibility spikes over the round, each
+	// landing on a read with a fresh phase offset.
+	rate := m.Noise.SpikeProb * m.ReadsPerSecond
+	n := poisson(rate*period.Seconds(), g)
+	for i := 0; i < n; i++ {
+		spike := time.Duration(g.ExpFloat64() * float64(m.Noise.SpikeMean))
+		if spike > m.Noise.SpikeCap {
+			spike = m.Noise.SpikeCap
+		}
+		cand := time.Duration(g.Float64()*float64(m.Sleep)) + m.drawNearMaxJitter(g) + spike
+		if cand > round {
+			round = cand
+		}
+	}
+	return round
+}
+
+// drawNearMaxJitter samples the round-maximum of the wake-jitter term. With
+// thousands of reports per round the maximum sits in the top of the jitter
+// distribution's range.
+func (m ThresholdModel) drawNearMaxJitter(g *simclock.RNG) time.Duration {
+	span := float64(m.WakeJitter.Max - m.WakeJitter.Avg)
+	return m.WakeJitter.Max - time.Duration(0.3*span*g.Float64())
+}
+
+// RoundSet samples `rounds` thresholds for one probing period, the raw data
+// behind one Table II row / Figure 4 box.
+func (m ThresholdModel) RoundSet(period time.Duration, rounds int, g *simclock.RNG) []time.Duration {
+	out := make([]time.Duration, rounds)
+	for i := range out {
+		out[i] = m.SampleRound(period, g)
+	}
+	return out
+}
+
+// poisson samples a Poisson variate by Knuth's method; fine for the small
+// means (≤ ~10) this model produces.
+func poisson(mean float64, g *simclock.RNG) int {
+	if mean <= 0 {
+		return 0
+	}
+	l := math.Exp(-mean)
+	n := 0
+	p := 1.0
+	for {
+		p *= g.Float64()
+		if p <= l {
+			return n
+		}
+		n++
+	}
+}

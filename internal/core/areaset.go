@@ -1,0 +1,55 @@
+package core
+
+import (
+	"satin/internal/simclock"
+)
+
+// AreaSet implements §V-B's pseudo-random area selection without
+// replacement: each round draws a uniformly random remaining area; when the
+// set empties it is refilled with all areas. Every m consecutive rounds
+// therefore cover the entire kernel exactly once, while the normal world
+// cannot predict which area any given round will touch.
+type AreaSet struct {
+	total     int
+	remaining []int
+	rng       *simclock.RNG
+	refills   int
+}
+
+// NewAreaSet builds a set over areas 0..total-1.
+func NewAreaSet(total int, rng *simclock.RNG) *AreaSet {
+	s := &AreaSet{total: total, rng: rng}
+	s.refill()
+	s.refills = 0 // the initial fill is not a refill
+	return s
+}
+
+func (s *AreaSet) refill() {
+	s.remaining = make([]int, s.total)
+	for i := range s.remaining {
+		s.remaining[i] = i
+	}
+	s.refills++
+}
+
+// Pick removes and returns a uniformly random remaining area index,
+// refilling first if the set is empty (setarea == NULL in the paper's
+// notation).
+func (s *AreaSet) Pick() int {
+	if len(s.remaining) == 0 {
+		s.refill()
+	}
+	i := s.rng.IntN(len(s.remaining))
+	area := s.remaining[i]
+	last := len(s.remaining) - 1
+	s.remaining[i] = s.remaining[last]
+	s.remaining = s.remaining[:last]
+	return area
+}
+
+// Remaining reports how many areas are left in the current pass.
+func (s *AreaSet) Remaining() int { return len(s.remaining) }
+
+// Refills reports how many times the set has been refilled — the number of
+// completed full-kernel passes.
+func (s *AreaSet) Refills() int { return s.refills }

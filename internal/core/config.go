@@ -1,0 +1,136 @@
+// Package core implements SATIN — the paper's contribution: a Secure and
+// Trustworthy Asynchronous INtrospection mechanism for multi-core ARM
+// TrustZone platforms that defeats the TZ-Evader evasion attack (§V).
+//
+// SATIN wins the race of Equation 1 from the defender's side by making
+// every introspection round too short to evade and its schedule impossible
+// to predict or exploit:
+//
+//   - The integrity-checking module divides the kernel into areas small
+//     enough (Equation 2) that one area is fully checked before the evader
+//     can detect the secure entry and scrub its trace, and picks areas
+//     pseudo-randomly without replacement so coverage is guaranteed every m
+//     rounds while the next target stays unpredictable.
+//   - The self-activation module wakes the secure world from per-core
+//     secure timers the normal world cannot read or disturb, at times
+//     drawn as tp ± uniform deviation, so wake-ups are unpredictable.
+//   - Multi-core collaboration rotates rounds across all cores through a
+//     wake-up time queue in secure memory (no cross-core interrupts, which
+//     a prober could observe), so the checking core is unpredictable too.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"satin/internal/introspect"
+)
+
+// Paper-calibrated race parameters (§IV-C): the inputs to Equation 2's
+// area-size bound.
+const (
+	// DefaultTnsSched is the evader's probing interval Tns_sched.
+	DefaultTnsSched = 200 * time.Microsecond
+	// DefaultTnsThreshold is the worst-case (largest, i.e. slowest to
+	// trip) probing threshold the paper measured.
+	DefaultTnsThreshold = 1800 * time.Microsecond
+	// DefaultTnsRecover is the attacker's worst-case trace recovery time.
+	DefaultTnsRecover = 6130 * time.Microsecond
+	// DefaultTsSwitch is the world-switch cost.
+	DefaultTsSwitch = 3600 * time.Nanosecond
+	// DefaultTsPerByte is the fastest per-byte inspection rate (A57).
+	DefaultTsPerByte = 6.67e-9
+)
+
+// RaceBound computes Equation 2's area-size bound: the largest area (in
+// bytes) the checker is guaranteed to finish before the evader can remove
+// its trace, given the race parameters. With the paper's §IV-C numbers it
+// reproduces their 1,218,351-byte bound.
+func RaceBound(tnsSched, tnsThreshold, tnsRecover, tsSwitch time.Duration, tsPerByte float64) int {
+	window := tnsSched + tnsThreshold + tnsRecover - tsSwitch
+	if window <= 0 || tsPerByte <= 0 {
+		return 0
+	}
+	return int(window.Seconds() / tsPerByte)
+}
+
+// DefaultRaceBound is RaceBound with the paper's calibrated parameters.
+func DefaultRaceBound() int {
+	return RaceBound(DefaultTnsSched, DefaultTnsThreshold, DefaultTnsRecover, DefaultTsSwitch, DefaultTsPerByte)
+}
+
+// Config tunes SATIN.
+type Config struct {
+	// Tgoal is the period within which every kernel area must be scanned
+	// at least once; the base wake period is tp = Tgoal / m for m areas
+	// (§V-C). The paper's experiment runs with tp ≈ 8 s.
+	Tgoal time.Duration
+	// Technique is the acquisition technique; SATIN defaults to
+	// DirectHash, which Table I shows is faster and leaner.
+	Technique introspect.Technique
+	// RandomDeviation applies the ±tp uniform deviation to each wake-up.
+	// Disabling it (ablation) makes wake times predictable.
+	RandomDeviation bool
+	// FixedCore, when >= 0, pins every round to one core (ablation); -1
+	// uses the multi-core collaboration of §V-D.
+	FixedCore int
+	// MaxRounds stops SATIN after that many rounds; 0 means run forever.
+	MaxRounds int
+	// AreaBound is the Equation 2 bound areas are validated against.
+	// Zero means DefaultRaceBound.
+	AreaBound int
+	// AllowUnsafeAreas skips the bound validation (ablation: whole-kernel
+	// "areas" that lose the race).
+	AllowUnsafeAreas bool
+	// Seed drives area selection and wake-time randomness.
+	Seed uint64
+}
+
+// DefaultConfig returns the paper's experimental configuration: 19 areas
+// scanned within Tgoal = 19×8 s, direct hashing, random deviation, all
+// cores.
+func DefaultConfig() Config {
+	return Config{
+		Tgoal:           19 * 8 * time.Second,
+		Technique:       introspect.DirectHash,
+		RandomDeviation: true,
+		FixedCore:       -1,
+		Seed:            1,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Technique == 0 {
+		c.Technique = introspect.DirectHash
+	}
+	if c.AreaBound == 0 {
+		c.AreaBound = DefaultRaceBound()
+	}
+	return c
+}
+
+func (c Config) validate(numCores, numAreas int) error {
+	if c.Tgoal <= 0 {
+		return fmt.Errorf("core: Tgoal %v must be positive", c.Tgoal)
+	}
+	if numAreas == 0 {
+		return fmt.Errorf("core: no areas to check")
+	}
+	if c.FixedCore < -1 || c.FixedCore >= numCores {
+		return fmt.Errorf("core: fixed core %d outside [-1, %d)", c.FixedCore, numCores)
+	}
+	if c.MaxRounds < 0 {
+		return fmt.Errorf("core: MaxRounds %d must be >= 0", c.MaxRounds)
+	}
+	switch c.Technique {
+	case introspect.DirectHash, introspect.SnapshotHash:
+	default:
+		return fmt.Errorf("core: unknown technique %v", c.Technique)
+	}
+	return nil
+}
+
+// BasePeriod returns tp = Tgoal / m.
+func (c Config) BasePeriod(numAreas int) time.Duration {
+	return c.Tgoal / time.Duration(numAreas)
+}

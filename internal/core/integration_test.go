@@ -1,0 +1,161 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"satin/internal/attack"
+	"satin/internal/introspect"
+	"satin/internal/richos"
+)
+
+// TestSATINBeatsFastEvader is the headline result (§VI-B1) at reduced
+// scale: SATIN checks every area before the evader can scrub, so each pass
+// over the attacked area raises an alarm even though the evader detects
+// every single round.
+func TestSATINBeatsFastEvader(t *testing.T) {
+	r := newRig(t)
+	cfg := DefaultConfig()
+	cfg.Tgoal = 19 * time.Second // tp = 1 s for test speed; rounds still ≪ tp
+	cfg.MaxRounds = 57           // three full passes
+	s := newSATIN(t, r, cfg)
+
+	rootkit := attack.NewRootkit(mustOS(t, r), r.image)
+	evader, err := attack.NewFastEvader(r.plat, r.image, rootkit, attack.DefaultProberSleep, 1800*time.Microsecond, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := evader.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	r.engine.RunFor(90 * time.Second)
+
+	rounds := s.Rounds()
+	if len(rounds) != 57 {
+		t.Fatalf("rounds = %d, want 57", len(rounds))
+	}
+	// The evader's prober flagged every round (no false negatives), and
+	// raised no phantom suspicions (no false positives).
+	suspects := evader.SuspectEvents()
+	if len(suspects) != len(rounds) {
+		t.Errorf("evader flagged %d rounds of %d", len(suspects), len(rounds))
+	}
+	// Every pass over area 14 caught the rootkit: 3 alarms, all area 14.
+	alarms := s.Alarms()
+	if len(alarms) != 3 {
+		t.Fatalf("alarms = %d, want 3 (one per pass)", len(alarms))
+	}
+	for _, a := range alarms {
+		if a.Area != 14 {
+			t.Errorf("alarm in area %d, want 14", a.Area)
+		}
+	}
+}
+
+// TestSATINBeatsThreadEvader repeats the headline result against the
+// full-fidelity thread-level evader (one pass, to bound simulation cost).
+func TestSATINBeatsThreadEvader(t *testing.T) {
+	r := newRig(t)
+	cfg := DefaultConfig()
+	cfg.Tgoal = 19 * time.Second
+	cfg.MaxRounds = 19
+	s := newSATIN(t, r, cfg)
+
+	os := mustOS(t, r)
+	buf, err := attack.NewReportBuffer(r.plat.NumCores(), attack.JunoCrossCoreNoise(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rootkit := attack.NewRootkit(os, r.image)
+	evader, err := attack.NewEvader(os, rootkit, buf, attack.EvaderConfig{
+		Prober: attack.ProberConfig{Kind: attack.KProberII, Threshold: 1800 * time.Microsecond},
+		Seed:   5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := evader.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	r.engine.RunFor(30 * time.Second)
+
+	rounds := s.Rounds()
+	if len(rounds) != 19 {
+		t.Fatalf("rounds = %d, want 19", len(rounds))
+	}
+	alarms := s.Alarms()
+	if len(alarms) != 1 || alarms[0].Area != 14 {
+		t.Fatalf("alarms = %+v, want one alarm in area 14", alarms)
+	}
+	if got := len(evader.SuspectEvents()); got != 19 {
+		t.Errorf("evader flagged %d of 19 rounds", got)
+	}
+}
+
+// TestBaselineLosesToThreadEvader closes the loop: the same evader that
+// SATIN catches walks right past the full-kernel baseline, because the
+// malicious bytes sit ~81%% into the scan and are long restored by then.
+func TestBaselineLosesToThreadEvader(t *testing.T) {
+	r := newRig(t)
+	os := mustOS(t, r)
+	buf, err := attack.NewReportBuffer(r.plat.NumCores(), attack.JunoCrossCoreNoise(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rootkit := attack.NewRootkit(os, r.image)
+	evader, err := attack.NewEvader(os, rootkit, buf, attack.EvaderConfig{
+		Prober: attack.ProberConfig{Kind: attack.KProberII, Threshold: 1800 * time.Microsecond},
+		Seed:   5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := evader.Start(); err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := introspect.NewBaseline(r.plat, r.monitor, r.checker, r.image, 11, introspect.BaselineConfig{
+		Period:          2 * time.Second,
+		RandomizePeriod: true,
+		Selection:       introspect.RandomCore,
+		Technique:       introspect.DirectHash,
+		MaxRounds:       5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := baseline.Start(); err != nil {
+		t.Fatal(err)
+	}
+	r.engine.RunFor(25 * time.Second)
+
+	outs := baseline.Outcomes()
+	if len(outs) != 5 {
+		t.Fatalf("baseline rounds = %d, want 5", len(outs))
+	}
+	for i, o := range outs {
+		if !o.Clean {
+			t.Errorf("baseline round %d detected the rootkit; the evader should have hidden in time", i)
+		}
+	}
+	// And yet the attack is real: the rootkit spends almost all its time
+	// active.
+	if rootkit.State() != attack.RootkitActive {
+		t.Error("rootkit should be active between checks")
+	}
+}
+
+// mustOS boots a rich OS on the rig's platform (needed by the attack side).
+func mustOS(t *testing.T, r *rig) *richos.OS {
+	t.Helper()
+	os, err := richos.NewOS(r.plat, r.image, richos.Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return os
+}

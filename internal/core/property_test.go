@@ -1,0 +1,101 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"satin/internal/simclock"
+)
+
+// TestWakeQueueProperties drives the queue through arbitrary extraction
+// patterns and checks the coordination invariants §V-D requires:
+//
+//  1. within one generation every owner gets a distinct slot;
+//  2. wake times never precede the caller's `now`;
+//  3. generations advance the schedule (the horizon grows by n*tp each
+//     refresh), so rounds never stall.
+func TestWakeQueueProperties(t *testing.T) {
+	f := func(seed uint64, nOwners uint8, gens uint8) bool {
+		n := int(nOwners%6) + 1
+		generations := int(gens%5) + 1
+		tp := time.Second
+		rng := simclock.NewRNG(seed, "wq-prop")
+		q := NewWakeQueue(n, tp, true, rng, 0)
+		now := simclock.Time(0)
+		for g := 0; g < generations; g++ {
+			seen := make(map[simclock.Time]bool, n)
+			var genMax simclock.Time
+			for owner := 0; owner < n; owner++ {
+				w := q.Next(owner, now)
+				if w.Before(now) {
+					return false // invariant 2
+				}
+				// Distinctness: clamped times can collide only at `now`;
+				// un-clamped assigned times must be distinct.
+				if w != now && seen[w] {
+					return false // invariant 1
+				}
+				seen[w] = true
+				if w.After(genMax) {
+					genMax = w
+				}
+			}
+			if !q.AllTaken() {
+				return false
+			}
+			// Advance roughly through the generation.
+			if genMax.After(now) {
+				now = genMax
+			}
+		}
+		// invariant 3: refreshes happened as generations were consumed.
+		return q.Refreshes() == generations-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAreaSetProperties checks the without-replacement selection for
+// arbitrary set sizes: every pass is a permutation of all areas.
+func TestAreaSetProperties(t *testing.T) {
+	f := func(seed uint64, size uint8, passes uint8) bool {
+		n := int(size%40) + 1
+		p := int(passes%4) + 1
+		s := NewAreaSet(n, simclock.NewRNG(seed, "as-prop"))
+		for pass := 0; pass < p; pass++ {
+			seen := make(map[int]bool, n)
+			for i := 0; i < n; i++ {
+				a := s.Pick()
+				if a < 0 || a >= n || seen[a] {
+					return false
+				}
+				seen[a] = true
+			}
+		}
+		return s.Refills() == p-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRaceBoundMonotonicity: Equation 2's bound grows with the attacker's
+// latencies and shrinks with defender speed — the direction every design
+// argument in §V leans on.
+func TestRaceBoundMonotonicity(t *testing.T) {
+	base := RaceBound(DefaultTnsSched, DefaultTnsThreshold, DefaultTnsRecover, DefaultTsSwitch, DefaultTsPerByte)
+	slowerAttacker := RaceBound(DefaultTnsSched, DefaultTnsThreshold, DefaultTnsRecover+time.Millisecond, DefaultTsSwitch, DefaultTsPerByte)
+	if slowerAttacker <= base {
+		t.Error("slower recovery should widen the safe-area bound")
+	}
+	fasterDefender := RaceBound(DefaultTnsSched, DefaultTnsThreshold, DefaultTnsRecover, DefaultTsSwitch, DefaultTsPerByte/2)
+	if fasterDefender <= base {
+		t.Error("faster per-byte inspection should widen the bound")
+	}
+	tighterProber := RaceBound(DefaultTnsSched, DefaultTnsThreshold/2, DefaultTnsRecover, DefaultTsSwitch, DefaultTsPerByte)
+	if tighterProber >= base {
+		t.Error("a faster prober should shrink the bound")
+	}
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"satin/internal/mem"
+)
+
+func TestReporterSignAndVerify(t *testing.T) {
+	key := []byte("secure-world-device-key")
+	r, err := NewReporter(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Alarm{Round: 7, Area: 14, At: 1000}
+	rec := r.Sign(a, 0xDEAD)
+	if !VerifyAlarm(key, rec) {
+		t.Fatal("genuine record failed verification")
+	}
+	// Any tampering breaks the tag.
+	tampered := rec
+	tampered.Area = 3
+	if VerifyAlarm(key, tampered) {
+		t.Error("area tampering went undetected")
+	}
+	tampered = rec
+	tampered.Sum = 0xBEEF
+	if VerifyAlarm(key, tampered) {
+		t.Error("sum tampering went undetected")
+	}
+	tampered = rec
+	tampered.Sequence++
+	if VerifyAlarm(key, tampered) {
+		t.Error("sequence tampering went undetected")
+	}
+	// Wrong key fails.
+	if VerifyAlarm([]byte("other key"), rec) {
+		t.Error("wrong key verified")
+	}
+}
+
+func TestNewReporterValidation(t *testing.T) {
+	if _, err := NewReporter(nil); err == nil {
+		t.Error("empty key accepted")
+	}
+}
+
+func TestVerifySequenceDetectsSuppression(t *testing.T) {
+	key := []byte("k")
+	r, err := NewReporter(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		r.Sign(Alarm{Round: i, Area: 14, At: 0}, uint64(i))
+	}
+	recs := r.Reports()
+	if err := VerifySequence(0, recs); err != nil {
+		t.Errorf("complete batch rejected: %v", err)
+	}
+	// Drop the middle report: the rich OS suppressing an alarm.
+	gapped := append(append([]SignedAlarm(nil), recs[:2]...), recs[3])
+	if err := VerifySequence(0, gapped); err == nil {
+		t.Error("suppressed alarm went undetected")
+	}
+	// Reordering is also detected.
+	swapped := []SignedAlarm{recs[1], recs[0]}
+	if err := VerifySequence(0, swapped); err == nil {
+		t.Error("reordered batch accepted")
+	}
+}
+
+func TestReporterAttachedToSATIN(t *testing.T) {
+	r := newRig(t)
+	entry := r.image.Layout().SyscallEntryAddr(mem.GettidNR)
+	if err := r.image.Mem().PutUint64(entry, r.image.ModuleBase()+0x100); err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Tgoal = 19 * time.Second
+	cfg.MaxRounds = 19
+	s := newSATIN(t, r, cfg)
+	key := []byte("device-key")
+	rep, err := NewReporter(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Attach(s)
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	r.engine.RunFor(40 * time.Second)
+	reports := rep.Reports()
+	if len(reports) != 1 {
+		t.Fatalf("reports = %d, want 1", len(reports))
+	}
+	rec := reports[0]
+	if rec.Area != 14 {
+		t.Errorf("report area = %d, want 14", rec.Area)
+	}
+	if !VerifyAlarm(key, rec) {
+		t.Error("attached report failed verification")
+	}
+	if err := VerifySequence(0, reports); err != nil {
+		t.Error(err)
+	}
+	// The signed sum is the dirty hash the round observed.
+	round := s.Rounds()[rec.Round]
+	if round.Sum != rec.Sum || round.Clean {
+		t.Errorf("report sum %#x vs round sum %#x (clean=%v)", rec.Sum, round.Sum, round.Clean)
+	}
+}

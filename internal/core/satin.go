@@ -1,0 +1,250 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"satin/internal/hw"
+	"satin/internal/introspect"
+	"satin/internal/mem"
+	"satin/internal/simclock"
+	"satin/internal/trustzone"
+)
+
+// minRearmGap is the earliest a core may be re-armed after finishing a
+// round: comfortably past the world exit's Ts_switch (≤3.6 µs), so the next
+// secure timer interrupt always finds the core back in the normal world.
+const minRearmGap = 10 * time.Microsecond
+
+// Round records one completed SATIN introspection round.
+type Round struct {
+	Index    int
+	Area     int
+	CoreID   int
+	Started  simclock.Time // secure payload start (after Ts_switch)
+	Finished simclock.Time
+	Sum      uint64
+	Clean    bool
+}
+
+// Elapsed reports the round's checking duration.
+func (r Round) Elapsed() time.Duration { return r.Finished.Sub(r.Started) }
+
+// Alarm is raised when an area's hash mismatches its authorized value —
+// the signal SATIN would forward "to the server side or the device user"
+// (§V-B).
+type Alarm struct {
+	Round int
+	Area  int
+	At    simclock.Time
+}
+
+// SATIN is the secure-world introspection service. It implements
+// trustzone.Service: the secure monitor dispatches it whenever any core's
+// secure timer fires.
+type SATIN struct {
+	platform *hw.Platform
+	monitor  *trustzone.Monitor
+	image    *mem.Image
+	checker  *introspect.Checker
+	cfg      Config
+	rng      *simclock.RNG
+
+	areas  []mem.Area
+	golden []uint64
+	tp     time.Duration
+
+	areaSet *AreaSet
+	queue   *WakeQueue
+	// partIndex maps a core ID to its slot-owner index in the wake queue
+	// (only participating cores have entries).
+	partIndex map[int]int
+
+	rounds  []Round
+	alarms  []Alarm
+	onRound []func(Round)
+	onAlarm []func(Alarm)
+	started bool
+}
+
+// New assembles SATIN over the given areas. The golden hash table is
+// computed from the image's pristine (trusted-boot) content. Areas must
+// respect the Equation 2 bound unless cfg.AllowUnsafeAreas is set.
+func New(p *hw.Platform, monitor *trustzone.Monitor, image *mem.Image, checker *introspect.Checker, areas []mem.Area, cfg Config) (*SATIN, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(p.NumCores(), len(areas)); err != nil {
+		return nil, err
+	}
+	if !cfg.AllowUnsafeAreas {
+		for _, a := range areas {
+			if a.Size >= cfg.AreaBound {
+				return nil, fmt.Errorf("core: %v violates the race bound of %d bytes (Equation 2); the evader would win", a, cfg.AreaBound)
+			}
+		}
+	}
+	golden, err := introspect.GoldenTable(image, checker.Hash(), areas)
+	if err != nil {
+		return nil, err
+	}
+	return &SATIN{
+		platform: p,
+		monitor:  monitor,
+		image:    image,
+		checker:  checker,
+		cfg:      cfg,
+		rng:      simclock.NewRNG(cfg.Seed, "core.satin"),
+		areas:    areas,
+		golden:   golden,
+		tp:       cfg.BasePeriod(len(areas)),
+	}, nil
+}
+
+// NewJuno assembles SATIN with the paper's 19-area Juno partition and
+// default configuration overridden by cfg.
+func NewJuno(p *hw.Platform, monitor *trustzone.Monitor, image *mem.Image, checker *introspect.Checker, cfg Config) (*SATIN, error) {
+	areas, err := mem.BuildAreas(image.Layout(), mem.JunoAreaGroups())
+	if err != nil {
+		return nil, err
+	}
+	return New(p, monitor, image, checker, areas, cfg)
+}
+
+// Start performs the trusted-boot initialization: install SATIN as the
+// secure service, build the wake-up queue, and program every
+// participating core's secure timer with its first wake time.
+func (s *SATIN) Start() error {
+	if s.started {
+		return fmt.Errorf("core: SATIN already started")
+	}
+	s.started = true
+	s.monitor.SetService(s)
+	s.areaSet = NewAreaSet(len(s.areas), s.rng)
+	now := s.platform.Engine().Now()
+
+	cores := s.participatingCores()
+	s.partIndex = make(map[int]int, len(cores))
+	for i, coreID := range cores {
+		s.partIndex[coreID] = i
+	}
+	s.queue = NewWakeQueue(len(cores), s.tp, s.cfg.RandomDeviation, s.rng, now)
+	for _, coreID := range cores {
+		if err := s.armCore(coreID, s.queue.Next(s.partIndex[coreID], now)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// participatingCores lists the cores that take introspection turns.
+func (s *SATIN) participatingCores() []int {
+	if s.cfg.FixedCore >= 0 {
+		return []int{s.cfg.FixedCore}
+	}
+	ids := make([]int, s.platform.NumCores())
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}
+
+// armCore writes a core's secure timer with secure privilege.
+func (s *SATIN) armCore(coreID int, at simclock.Time) error {
+	st := s.platform.Core(coreID).SecureTimer()
+	if err := st.WriteCVAL(hw.SecureWorld, at); err != nil {
+		return fmt.Errorf("core: arming core %d: %w", coreID, err)
+	}
+	if err := st.WriteCTL(hw.SecureWorld, true); err != nil {
+		return fmt.Errorf("core: enabling core %d timer: %w", coreID, err)
+	}
+	return nil
+}
+
+// OnSecureTimer implements trustzone.Service: one SATIN round.
+func (s *SATIN) OnSecureTimer(ctx *trustzone.Context) {
+	st := ctx.Core().SecureTimer()
+	// §VI-A1: stop the secure timer while the round runs.
+	if err := st.WriteCTL(hw.SecureWorld, false); err != nil {
+		panic(fmt.Sprintf("core: stopping secure timer: %v", err))
+	}
+	if s.cfg.MaxRounds > 0 && len(s.rounds) >= s.cfg.MaxRounds {
+		// Budget exhausted: let this core stay dormant.
+		ctx.Exit()
+		return
+	}
+	areaIdx := s.areaSet.Pick()
+	area := s.areas[areaIdx]
+	roundIdx := len(s.rounds)
+	err := s.checker.Check(ctx, s.cfg.Technique, area.Addr, area.Size, func(res introspect.Result) {
+		round := Round{
+			Index:    roundIdx,
+			Area:     areaIdx,
+			CoreID:   ctx.Core().ID(),
+			Started:  res.Started,
+			Finished: res.Finished,
+			Sum:      res.Sum,
+			Clean:    res.Sum == s.golden[areaIdx],
+		}
+		s.rounds = append(s.rounds, round)
+		if !round.Clean {
+			alarm := Alarm{Round: roundIdx, Area: areaIdx, At: res.Finished}
+			s.alarms = append(s.alarms, alarm)
+			for _, fn := range s.onAlarm {
+				fn(alarm)
+			}
+		}
+		for _, fn := range s.onRound {
+			fn(round)
+		}
+		// §V-C/§V-D: take the next wake time from the queue and restart
+		// this core's own timer; then return to the normal world.
+		if s.cfg.MaxRounds == 0 || len(s.rounds) < s.cfg.MaxRounds {
+			next := s.queue.Next(s.partIndex[ctx.Core().ID()], ctx.Now())
+			// A deviation can land the assigned time in the past; fire
+			// no earlier than after this round's world exit completes,
+			// or the interrupt would assert while we still hold the core.
+			earliest := ctx.Now().Add(minRearmGap)
+			if next.Before(earliest) {
+				next = earliest
+			}
+			if err := s.armCore(ctx.Core().ID(), next); err != nil {
+				panic(err)
+			}
+		}
+		ctx.Exit()
+	})
+	if err != nil {
+		panic(fmt.Sprintf("core: SATIN round failed to start: %v", err))
+	}
+}
+
+// Rounds returns all completed rounds.
+func (s *SATIN) Rounds() []Round { return s.rounds }
+
+// Alarms returns all raised alarms.
+func (s *SATIN) Alarms() []Alarm { return s.alarms }
+
+// OnRound registers an observer for completed rounds.
+func (s *SATIN) OnRound(fn func(Round)) { s.onRound = append(s.onRound, fn) }
+
+// OnAlarm registers an observer for alarms.
+func (s *SATIN) OnAlarm(fn func(Alarm)) { s.onAlarm = append(s.onAlarm, fn) }
+
+// Areas returns the introspection areas.
+func (s *SATIN) Areas() []mem.Area { return s.areas }
+
+// BasePeriod returns tp.
+func (s *SATIN) BasePeriod() time.Duration { return s.tp }
+
+// FullScans reports how many complete kernel passes have finished.
+func (s *SATIN) FullScans() int { return len(s.rounds) / len(s.areas) }
+
+// AreaRounds returns the rounds that checked the given area, in order.
+func (s *SATIN) AreaRounds(area int) []Round {
+	var out []Round
+	for _, r := range s.rounds {
+		if r.Area == area {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,248 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"satin/internal/attack"
+	"satin/internal/core"
+	"satin/internal/mem"
+	"satin/internal/stats"
+)
+
+// AblationVariant identifies one degraded SATIN configuration.
+type AblationVariant int
+
+// Ablation variants, one per design choice §V motivates.
+const (
+	// VariantFull is SATIN as designed: small areas, random area order,
+	// random deviation, random core.
+	VariantFull AblationVariant = iota + 1
+	// VariantFixedCore pins every round to one (A53) core; the attacker
+	// answers with the ≈4x more precise single-core prober (§IV-B2),
+	// shrinking its threshold and thus its reaction time.
+	VariantFixedCore
+	// VariantNoDeviation drops the ±tp randomness; wake times become
+	// predictable, so the evader hides *before* each check instead of
+	// probing (§V-C's threat).
+	VariantNoDeviation
+	// VariantWholeKernel checks the entire kernel as one "area",
+	// violating Equation 2 — the pre-SATIN baseline structure.
+	VariantWholeKernel
+)
+
+// String names the variant.
+func (v AblationVariant) String() string {
+	switch v {
+	case VariantFull:
+		return "SATIN (full design)"
+	case VariantFixedCore:
+		return "fixed A53 core"
+	case VariantNoDeviation:
+		return "no random deviation"
+	case VariantWholeKernel:
+		return "whole-kernel area"
+	default:
+		return fmt.Sprintf("AblationVariant(%d)", int(v))
+	}
+}
+
+// AblationRow is one variant's outcome across the trace-depth sweep.
+type AblationRow struct {
+	Variant AblationVariant
+	// Passes is the total number of checks of the attacked region across
+	// all depths.
+	Passes int
+	// Detections is how many raised an alarm.
+	Detections int
+}
+
+// Rate is the detection rate across the sweep — the fraction of
+// (depth, pass) combinations the variant protects.
+func (r AblationRow) Rate() float64 {
+	if r.Passes == 0 {
+		return 0
+	}
+	return float64(r.Detections) / float64(r.Passes)
+}
+
+// AblationResult compares SATIN's design choices (E11 in DESIGN.md): each
+// variant faces its best-response evader, with the 8-byte trace planted at
+// varying depths inside the attacked area (the paper's own attack sits near
+// the area start, where every variant succeeds; depth is what separates
+// them).
+type AblationResult struct {
+	Rows []AblationRow
+}
+
+// Row returns the entry for variant v.
+func (r AblationResult) Row(v AblationVariant) (AblationRow, error) {
+	for _, row := range r.Rows {
+		if row.Variant == v {
+			return row, nil
+		}
+	}
+	return AblationRow{}, fmt.Errorf("experiment: no ablation row for %v", v)
+}
+
+// Render prints the comparison.
+func (r AblationResult) Render() string {
+	tbl := stats.NewTable("Variant", "Checks of attacked region", "Detections", "Detection rate")
+	for _, row := range r.Rows {
+		tbl.AddRow(row.Variant.String(),
+			fmt.Sprintf("%d", row.Passes),
+			fmt.Sprintf("%d", row.Detections),
+			stats.Pct(row.Rate()))
+	}
+	return tbl.String()
+}
+
+// AblationConfig tunes the ablation.
+type AblationConfig struct {
+	// Depths is how many trace positions to sweep inside the attacked
+	// area.
+	Depths int
+	// ScansPerDepth is how many full kernel passes each depth gets.
+	ScansPerDepth int
+	// PerRoundPeriod is tp.
+	PerRoundPeriod time.Duration
+	Seed           uint64
+}
+
+// DefaultAblationConfig keeps the runs short but conclusive.
+func DefaultAblationConfig() AblationConfig {
+	return AblationConfig{Depths: 8, ScansPerDepth: 2, PerRoundPeriod: time.Second, Seed: 1}
+}
+
+// RunAblation evaluates each variant against the strongest evader that
+// variant allows.
+func RunAblation(cfg AblationConfig) (AblationResult, error) {
+	if cfg.Depths <= 0 || cfg.ScansPerDepth <= 0 || cfg.PerRoundPeriod <= 0 {
+		return AblationResult{}, fmt.Errorf("experiment: invalid ablation config %+v", cfg)
+	}
+	var result AblationResult
+	for _, v := range []AblationVariant{VariantFull, VariantFixedCore, VariantNoDeviation, VariantWholeKernel} {
+		row := AblationRow{Variant: v}
+		for d := 0; d < cfg.Depths; d++ {
+			frac := (float64(d) + 0.5) / float64(cfg.Depths)
+			passes, detections, err := runAblationTrial(cfg, v, frac, uint64(d))
+			if err != nil {
+				return AblationResult{}, fmt.Errorf("experiment: variant %v depth %.2f: %w", v, frac, err)
+			}
+			row.Passes += passes
+			row.Detections += detections
+		}
+		result.Rows = append(result.Rows, row)
+	}
+	return result, nil
+}
+
+// runAblationTrial runs one variant with the trace planted at fraction frac
+// of the attacked area.
+func runAblationTrial(cfg AblationConfig, v AblationVariant, frac float64, salt uint64) (passes, detections int, err error) {
+	rig, err := NewRig(cfg.Seed + uint64(v)*1000 + salt*31)
+	if err != nil {
+		return 0, 0, err
+	}
+	areas, err := rig.JunoAreas()
+	if err != nil {
+		return 0, 0, err
+	}
+	attackedArea := 14
+
+	satinCfg := core.DefaultConfig()
+	satinCfg.Seed = cfg.Seed + 3 + salt
+	switch v {
+	case VariantFixedCore:
+		satinCfg.FixedCore = 0 // an A53 core: slower per-byte, weaker defense
+	case VariantNoDeviation:
+		satinCfg.RandomDeviation = false
+	case VariantWholeKernel:
+		layout := rig.Image.Layout()
+		areas = []mem.Area{{Index: 0, Addr: layout.Base, Size: layout.TotalSize(), Sections: layout.Sections}}
+		satinCfg.AllowUnsafeAreas = true
+		attackedArea = 0
+	}
+	satinCfg.Tgoal = time.Duration(len(areas)) * cfg.PerRoundPeriod
+	satinCfg.MaxRounds = cfg.ScansPerDepth * len(areas)
+	satin, err := core.New(rig.Plat, rig.Monitor, rig.Image, rig.Checker, areas, satinCfg)
+	if err != nil {
+		return 0, 0, err
+	}
+
+	// Plant the trace at the requested depth of the attacked area.
+	target := areas[attackedArea].Addr + uint64(frac*float64(areas[attackedArea].Size))
+	if target+8 > areas[attackedArea].End() {
+		target = areas[attackedArea].End() - 8
+	}
+	rootkit := attack.NewRootkitAt(rig.OS, rig.Image, target)
+
+	if v == VariantNoDeviation {
+		// Predictable schedule: the evader hides shortly before each
+		// deterministic wake and reinstalls after the round — no probing
+		// needed.
+		if err := schedulePredictiveEvader(rig, rootkit, satinCfg.BasePeriod(len(areas)), satinCfg.MaxRounds, areas); err != nil {
+			return 0, 0, err
+		}
+	} else {
+		threshold := core.DefaultTnsThreshold
+		sleep := attack.DefaultProberSleep
+		if v == VariantFixedCore {
+			// Single-core probing: spinning reporter, ≈4x tighter
+			// threshold (§IV-B2).
+			threshold /= 4
+			sleep = attack.SpinQuantum
+		}
+		evader, err := attack.NewFastEvader(rig.Plat, rig.Image, rootkit, sleep, threshold, cfg.Seed+9+salt)
+		if err != nil {
+			return 0, 0, err
+		}
+		if err := evader.Start(); err != nil {
+			return 0, 0, err
+		}
+	}
+	if err := satin.Start(); err != nil {
+		return 0, 0, err
+	}
+	rig.Engine.Run()
+
+	passes = len(satin.AreaRounds(attackedArea))
+	for _, a := range satin.Alarms() {
+		if a.Area == attackedArea {
+			detections++
+		}
+	}
+	return passes, detections, nil
+}
+
+// schedulePredictiveEvader models the attacker against a deterministic
+// schedule: with no deviation, system-wide wakes land exactly at k*tp
+// boundaries, so the evader hides ahead of each and reinstalls after the
+// longest possible round.
+func schedulePredictiveEvader(rig *Rig, rootkit *attack.Rootkit, tp time.Duration, maxRounds int, areas []mem.Area) error {
+	if err := rootkit.Install(rig.Engine.Now()); err != nil {
+		return err
+	}
+	// Longest round: largest area at A53 speed, plus switches and margin.
+	longest := time.Duration(float64(mem.MaxAreaSize(areas))*1.2e-8*float64(time.Second)) + time.Millisecond
+	const margin = 2 * time.Millisecond
+	base := rig.Engine.Now()
+	for k := 1; k <= maxRounds+6; k++ {
+		wake := time.Duration(k) * tp
+		rig.Engine.At(base.Add(wake-margin), "predict-hide", func() {
+			if rootkit.State() == attack.RootkitActive {
+				if err := rootkit.Hide(rig.Engine.Now()); err != nil {
+					panic(err) // unreachable: state checked
+				}
+			}
+		})
+		rig.Engine.At(base.Add(wake+longest), "predict-reinstall", func() {
+			if rootkit.State() == attack.RootkitHidden {
+				if err := rootkit.Install(rig.Engine.Now()); err != nil {
+					panic(err) // unreachable: state checked
+				}
+			}
+		})
+	}
+	return nil
+}

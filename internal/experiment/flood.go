@@ -1,0 +1,188 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"satin/internal/attack"
+	"satin/internal/core"
+	"satin/internal/stats"
+	"satin/internal/trustzone"
+)
+
+// FloodConfig tunes the interrupt-interference ablation.
+type FloodConfig struct {
+	// Rate is the per-core SGI flood rate (interrupts/second).
+	Rate float64
+	// Depths sweeps the trace position inside the attacked area.
+	Depths int
+	// ScansPerDepth is how many full passes each depth gets.
+	ScansPerDepth int
+	// PerRoundPeriod is tp.
+	PerRoundPeriod time.Duration
+	Seed           uint64
+}
+
+// DefaultFloodConfig uses a 30 kHz flood — strong but well within what a
+// kernel-privileged attacker can generate with SGIs.
+func DefaultFloodConfig() FloodConfig {
+	return FloodConfig{
+		Rate:           30000,
+		Depths:         6,
+		ScansPerDepth:  1,
+		PerRoundPeriod: time.Second,
+		Seed:           1,
+	}
+}
+
+// FloodRow is one routing mode's outcome.
+type FloodRow struct {
+	Routing trustzone.RoutingMode
+	// Passes and Detections count checks of the attacked area across the
+	// depth sweep.
+	Passes     int
+	Detections int
+	// MeanRound is the average attacked-area round duration — the stretch
+	// the flood induces.
+	MeanRound time.Duration
+	// Preemptions counts secure-payload preemptions across all cores.
+	Preemptions int
+}
+
+// Rate is the detection rate.
+func (r FloodRow) Rate() float64 {
+	if r.Passes == 0 {
+		return 0
+	}
+	return float64(r.Detections) / float64(r.Passes)
+}
+
+// FloodResult is the §II-B/§V-B ablation: SATIN's non-preemptive secure
+// mode versus OP-TEE-style preemptive routing, both under an interrupt
+// flood from the compromised rich OS.
+type FloodResult struct {
+	Rate float64
+	Rows []FloodRow
+}
+
+// Row returns the entry for a routing mode.
+func (r FloodResult) Row(mode trustzone.RoutingMode) (FloodRow, error) {
+	for _, row := range r.Rows {
+		if row.Routing == mode {
+			return row, nil
+		}
+	}
+	return FloodRow{}, fmt.Errorf("experiment: no flood row for %v", mode)
+}
+
+// Render prints the comparison.
+func (r FloodResult) Render() string {
+	tbl := stats.NewTable("NS interrupt routing", "Checks", "Detections", "Detection rate", "Avg round", "Preemptions")
+	for _, row := range r.Rows {
+		tbl.AddRow(row.Routing.String(),
+			fmt.Sprintf("%d", row.Passes),
+			fmt.Sprintf("%d", row.Detections),
+			stats.Pct(row.Rate()),
+			row.MeanRound.Truncate(time.Microsecond).String(),
+			fmt.Sprintf("%d", row.Preemptions))
+	}
+	return tbl.String()
+}
+
+// RunFlood runs the ablation: SATIN vs the fast evader, with the trace
+// swept across depths of area 14, under an SGI flood, once per routing
+// mode.
+func RunFlood(cfg FloodConfig) (FloodResult, error) {
+	if cfg.Rate <= 0 || cfg.Depths <= 0 || cfg.ScansPerDepth <= 0 || cfg.PerRoundPeriod <= 0 {
+		return FloodResult{}, fmt.Errorf("experiment: invalid flood config %+v", cfg)
+	}
+	result := FloodResult{Rate: cfg.Rate}
+	for _, mode := range []trustzone.RoutingMode{trustzone.NonPreemptive, trustzone.Preemptive} {
+		row := FloodRow{Routing: mode}
+		var roundSum time.Duration
+		rounds := 0
+		for d := 0; d < cfg.Depths; d++ {
+			frac := (float64(d) + 0.5) / float64(cfg.Depths)
+			trial, err := runFloodTrial(cfg, mode, frac, uint64(d))
+			if err != nil {
+				return FloodResult{}, fmt.Errorf("experiment: %v depth %.2f: %w", mode, frac, err)
+			}
+			row.Passes += trial.Passes
+			row.Detections += trial.Detections
+			row.Preemptions += trial.Preemptions
+			roundSum += trial.MeanRound * time.Duration(trial.Passes)
+			rounds += trial.Passes
+		}
+		if rounds > 0 {
+			row.MeanRound = roundSum / time.Duration(rounds)
+		}
+		result.Rows = append(result.Rows, row)
+	}
+	return result, nil
+}
+
+func runFloodTrial(cfg FloodConfig, mode trustzone.RoutingMode, frac float64, salt uint64) (FloodRow, error) {
+	rig, err := NewRig(cfg.Seed + salt*17)
+	if err != nil {
+		return FloodRow{}, err
+	}
+	rig.Monitor.SetRouting(mode)
+	areas, err := rig.JunoAreas()
+	if err != nil {
+		return FloodRow{}, err
+	}
+	const attacked = 14
+	satinCfg := core.DefaultConfig()
+	satinCfg.Tgoal = time.Duration(len(areas)) * cfg.PerRoundPeriod
+	satinCfg.MaxRounds = cfg.ScansPerDepth * len(areas)
+	satinCfg.Seed = cfg.Seed + 3 + salt
+	satin, err := core.New(rig.Plat, rig.Monitor, rig.Image, rig.Checker, areas, satinCfg)
+	if err != nil {
+		return FloodRow{}, err
+	}
+	target := areas[attacked].Addr + uint64(frac*float64(areas[attacked].Size))
+	if target+8 > areas[attacked].End() {
+		target = areas[attacked].End() - 8
+	}
+	rootkit := attack.NewRootkitAt(rig.OS, rig.Image, target)
+	evader, err := attack.NewFastEvader(rig.Plat, rig.Image, rootkit,
+		attack.DefaultProberSleep, core.DefaultTnsThreshold, cfg.Seed+9+salt)
+	if err != nil {
+		return FloodRow{}, err
+	}
+	if err := evader.Start(); err != nil {
+		return FloodRow{}, err
+	}
+	flood, err := attack.NewInterruptFlood(rig.Plat, cfg.Rate, nil)
+	if err != nil {
+		return FloodRow{}, err
+	}
+	if err := flood.Start(); err != nil {
+		return FloodRow{}, err
+	}
+	if err := satin.Start(); err != nil {
+		return FloodRow{}, err
+	}
+	// The flood never stops, so drive a bounded horizon covering every
+	// randomized wake.
+	rig.Engine.RunFor(time.Duration(satinCfg.MaxRounds+len(areas)) * 2 * cfg.PerRoundPeriod)
+
+	row := FloodRow{Routing: mode}
+	var roundSum time.Duration
+	for _, r := range satin.AreaRounds(attacked) {
+		row.Passes++
+		roundSum += r.Elapsed()
+	}
+	if row.Passes > 0 {
+		row.MeanRound = roundSum / time.Duration(row.Passes)
+	}
+	for _, a := range satin.Alarms() {
+		if a.Area == attacked {
+			row.Detections++
+		}
+	}
+	for c := 0; c < rig.Plat.NumCores(); c++ {
+		row.Preemptions += rig.Monitor.Preemptions(c)
+	}
+	return row, nil
+}

@@ -1,0 +1,204 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSyncBypassLayeredDefense(t *testing.T) {
+	res, err := RunSyncBypass(21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.InstallDenied {
+		t.Error("guard failed to deny the initial hijack")
+	}
+	if res.GuardTraps == 0 {
+		t.Error("guard trapped nothing")
+	}
+	if !res.BypassSucceeded {
+		t.Error("AP-flip bypass failed")
+	}
+	if res.GuardSawBypass {
+		t.Error("bypassed write reached the screen; §VII-A says it must be silent")
+	}
+	if len(res.DirtyAreas) != 2 || res.DirtyAreas[0] != 14 || res.DirtyAreas[1] != 17 {
+		t.Errorf("dirty areas = %v, want [14 17]", res.DirtyAreas)
+	}
+	if !strings.Contains(res.Render(), "DENIED") {
+		t.Error("render missing stages")
+	}
+}
+
+func TestUserProberCapable(t *testing.T) {
+	res, err := RunUserProber(22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §III-B1's conclusion: the user prober detects a typical kernel
+	// integrity check while it runs (paper: 5.97e-3 s vs 8.04e-2 s).
+	if !res.Capable() {
+		t.Errorf("user prober delay %v >= check duration %v", res.Delay, res.CheckDuration)
+	}
+	if res.Delay <= 0 || res.Delay > 20*time.Millisecond {
+		t.Errorf("Tns_delay = %v, want single-digit milliseconds", res.Delay)
+	}
+	if res.Threshold <= 0 {
+		t.Error("calibration produced no threshold")
+	}
+	if !strings.Contains(res.Render(), "Tns_delay") {
+		t.Error("render missing rows")
+	}
+}
+
+func TestKProber1ExposedBySATIN(t *testing.T) {
+	res, err := RunKProber1Exposure(23, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passes < 2 {
+		t.Fatalf("completed %d passes, want >= 2", res.Passes)
+	}
+	// §III-C1: the vector hijack is introspection-visible — every pass
+	// over area 0 flags it.
+	if res.Area0Alarms < 2 {
+		t.Errorf("area-0 alarms = %d over %d passes; KProber-I's trace should be caught every pass", res.Area0Alarms, res.Passes)
+	}
+	if !strings.Contains(res.Render(), "area-0") {
+		t.Error("render missing rows")
+	}
+	if _, err := RunKProber1Exposure(1, 0); err == nil {
+		t.Error("zero passes accepted")
+	}
+}
+
+func TestFig3RaceTimelines(t *testing.T) {
+	res, err := RunFig3(31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("results = %d, want 2", len(res))
+	}
+	baseline, satinSized := res[0], res[1]
+	if baseline.Detected {
+		t.Error("baseline whole-kernel check should lose the Figure 3 race")
+	}
+	if !satinSized.Detected {
+		t.Error("SATIN-sized area check should win the Figure 3 race")
+	}
+	for _, r := range res {
+		if !(r.TStart < r.SecureStart && r.SecureStart < r.TouchMalicious) {
+			t.Errorf("%s: secure timeline out of order: %+v", r.Scenario, r)
+		}
+		if !(r.TStart < r.EvaderDetect && r.EvaderDetect < r.TraceGone) {
+			t.Errorf("%s: evader timeline out of order: %+v", r.Scenario, r)
+		}
+		// Consistency: the verdict must match the instants.
+		if r.Detected != (r.TouchMalicious < r.TraceGone) {
+			t.Errorf("%s: verdict inconsistent with instants: %+v", r.Scenario, r)
+		}
+	}
+	out := RenderFig3(res)
+	for _, needle := range []string{"EVADED", "DETECTED", "Ts_switch"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("render missing %q", needle)
+		}
+	}
+}
+
+func TestTable2ThreadLevelAgreesWithModel(t *testing.T) {
+	res, err := RunTable2ThreadLevel(33, 8*time.Second, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 3 {
+		t.Fatalf("rounds = %d, want 3", res.Rounds)
+	}
+	// Cross-validation: the thread-level measurement and the calibrated
+	// model agree within a factor of two on the mean (both ≈2.6e-4 s).
+	ratio := res.AgreementRatio()
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Errorf("agreement ratio = %.2f (measured %.3g, model %.3g)",
+			ratio, res.Measured.Mean, res.Model.Mean)
+	}
+	if !strings.Contains(res.Render(), "agreement") {
+		t.Error("render missing agreement line")
+	}
+	if _, err := RunTable2ThreadLevel(1, 0, 1); err == nil {
+		t.Error("zero period accepted")
+	}
+}
+
+func TestMSweepCrossover(t *testing.T) {
+	res, err := RunMSweep(35, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trials) != len(MSweepSizes()) {
+		t.Fatalf("trials = %d", len(res.Trials))
+	}
+	// Recovery time grows with M (monotone within draw noise) and the
+	// verdicts are monotone: once detected, every larger M is detected.
+	seenDetected := false
+	for i, tr := range res.Trials {
+		if tr.RecoverTime <= 0 {
+			t.Errorf("M=%d: no recovery observed", tr.M)
+		}
+		if i > 0 && tr.RecoverTime < res.Trials[i-1].RecoverTime {
+			t.Errorf("M=%d: recovery %v shorter than smaller trace's %v", tr.M, tr.RecoverTime, res.Trials[i-1].RecoverTime)
+		}
+		if seenDetected && !tr.Detected {
+			t.Errorf("M=%d evaded after a smaller M was detected", tr.M)
+		}
+		seenDetected = seenDetected || tr.Detected
+	}
+	// The paper's M=8 always evades a whole-kernel check at depth 50%.
+	if res.Trials[0].Detected {
+		t.Error("M=8 should evade")
+	}
+	// Large traces cannot be scrubbed in time.
+	if !res.Trials[len(res.Trials)-1].Detected {
+		t.Error("M=192 should be detected")
+	}
+	// Measured crossover within a factor ~2 of the Eq. 1 prediction.
+	measured := res.MeasuredCrossoverM()
+	if measured < 0 {
+		t.Fatal("no crossover observed")
+	}
+	pred := res.PredictedCrossoverM
+	if measured < pred/2 || measured > pred*2 {
+		t.Errorf("measured crossover M=%d vs predicted %d", measured, pred)
+	}
+	if !strings.Contains(res.Render(), "crossover") {
+		t.Error("render missing prediction line")
+	}
+	if _, err := RunMSweep(1, 0); err == nil {
+		t.Error("bad depth accepted")
+	}
+}
+
+func TestOverheadDecomposition(t *testing.T) {
+	res, err := RunDecomposition(37, 240*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The structural stall is real but small: positive, well under the
+	// calibrated bar.
+	if res.Structural < 0 || res.Structural > 0.02 {
+		t.Errorf("structural degradation = %.4f, want small positive", res.Structural)
+	}
+	if res.Calibrated < 0.02 || res.Calibrated > 0.07 {
+		t.Errorf("calibrated degradation = %.4f, want ≈0.039", res.Calibrated)
+	}
+	if res.StructuralShare() > 0.5 {
+		t.Errorf("structural share = %.2f; the warm-state penalty should dominate", res.StructuralShare())
+	}
+	if !strings.Contains(res.Render(), "structural share") {
+		t.Error("render missing summary line")
+	}
+	if _, err := RunDecomposition(1, 0); err == nil {
+		t.Error("zero window accepted")
+	}
+}

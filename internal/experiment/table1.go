@@ -1,0 +1,225 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"satin/internal/hw"
+	"satin/internal/introspect"
+	"satin/internal/simclock"
+	"satin/internal/stats"
+	"satin/internal/trustzone"
+)
+
+// Table1Repetitions is the paper's sample count: "Each measurement is
+// repeated 50 times" (§IV-B1).
+const Table1Repetitions = 50
+
+// Table1Cell is one (core type, technique) measurement set: the per-byte
+// introspection time statistics of Table I.
+type Table1Cell struct {
+	Core      hw.CoreType
+	Technique introspect.Technique
+	// PerByte are the per-check per-byte times in seconds.
+	PerByte stats.Summary
+}
+
+// Table1Result reproduces Table I ("Secure World Introspection Time").
+type Table1Result struct {
+	Cells []Table1Cell
+}
+
+// Cell returns the measurement set for (core, tech).
+func (r Table1Result) Cell(core hw.CoreType, tech introspect.Technique) (Table1Cell, error) {
+	for _, c := range r.Cells {
+		if c.Core == core && c.Technique == tech {
+			return c, nil
+		}
+	}
+	return Table1Cell{}, fmt.Errorf("experiment: no Table I cell for %v/%v", core, tech)
+}
+
+// Render prints the table in the paper's layout.
+func (r Table1Result) Render() string {
+	tbl := stats.NewTable("Core-Time", "Hash 1-Byte", "Snapshot 1-byte")
+	for _, core := range []hw.CoreType{hw.CortexA53, hw.CortexA57} {
+		rows := []struct {
+			label string
+			pick  func(stats.Summary) float64
+		}{
+			{"Average", func(s stats.Summary) float64 { return s.Mean }},
+			{"Max", func(s stats.Summary) float64 { return s.Max }},
+			{"Min", func(s stats.Summary) float64 { return s.Min }},
+		}
+		for _, row := range rows {
+			hashCell, err := r.Cell(core, introspect.DirectHash)
+			if err != nil {
+				continue
+			}
+			snapCell, err := r.Cell(core, introspect.SnapshotHash)
+			if err != nil {
+				continue
+			}
+			tbl.AddRow(
+				fmt.Sprintf("%v-%s", core, row.label),
+				stats.SciSeconds(row.pick(hashCell.PerByte)),
+				stats.SciSeconds(row.pick(snapCell.PerByte)),
+			)
+		}
+	}
+	return tbl.String()
+}
+
+// RunTable1 reproduces Table I: 50 repetitions of hashing and
+// snapshot-hashing the full kernel on one A53 and one A57 core, reporting
+// per-byte times.
+func RunTable1(seed uint64) (Table1Result, error) {
+	var result Table1Result
+	for _, core := range []hw.CoreType{hw.CortexA53, hw.CortexA57} {
+		for _, tech := range []introspect.Technique{introspect.DirectHash, introspect.SnapshotHash} {
+			samples, err := measurePerByte(seed, core, tech, Table1Repetitions)
+			if err != nil {
+				return Table1Result{}, err
+			}
+			result.Cells = append(result.Cells, Table1Cell{
+				Core:      core,
+				Technique: tech,
+				PerByte:   stats.Summarize(samples),
+			})
+		}
+	}
+	return result, nil
+}
+
+// measurePerByte runs reps sequential full-kernel checks and returns the
+// per-byte elapsed times.
+func measurePerByte(seed uint64, core hw.CoreType, tech introspect.Technique, reps int) ([]float64, error) {
+	rig, err := NewRig(seed)
+	if err != nil {
+		return nil, err
+	}
+	target, err := rig.Plat.FirstCoreOfType(core)
+	if err != nil {
+		return nil, err
+	}
+	layout := rig.Image.Layout()
+	size := layout.TotalSize()
+	samples := make([]float64, 0, reps)
+	var launch func(i int)
+	var launchErr error
+	launch = func(i int) {
+		if i == reps {
+			return
+		}
+		err := rig.Monitor.RequestSecure(target.ID(), func(ctx *trustzone.Context) {
+			cerr := rig.Checker.Check(ctx, tech, layout.Base, size, func(res introspect.Result) {
+				samples = append(samples, res.Elapsed().Seconds()/float64(size))
+				ctx.Exit()
+				rig.Engine.After(time.Millisecond, "next-rep", func() { launch(i + 1) })
+			})
+			if cerr != nil {
+				launchErr = cerr
+				ctx.Exit()
+			}
+		})
+		if err != nil {
+			launchErr = err
+		}
+	}
+	launch(0)
+	rig.Engine.Run()
+	if launchErr != nil {
+		return nil, launchErr
+	}
+	if len(samples) != reps {
+		return nil, fmt.Errorf("experiment: collected %d samples, want %d", len(samples), reps)
+	}
+	return samples, nil
+}
+
+// SwitchResult reproduces the §IV-B1 Ts_switch measurement: 50 world
+// switches on an A53 and an A57 core.
+type SwitchResult struct {
+	A53 stats.Summary // seconds
+	A57 stats.Summary
+}
+
+// Render prints the measurement.
+func (r SwitchResult) Render() string {
+	tbl := stats.NewTable("Core", "Ts_switch Avg", "Max", "Min")
+	tbl.AddRow("A53", stats.SciSeconds(r.A53.Mean), stats.SciSeconds(r.A53.Max), stats.SciSeconds(r.A53.Min))
+	tbl.AddRow("A57", stats.SciSeconds(r.A57.Mean), stats.SciSeconds(r.A57.Max), stats.SciSeconds(r.A57.Min))
+	return tbl.String()
+}
+
+// RunSwitch measures Ts_switch 50 times per core type.
+func RunSwitch(seed uint64) (SwitchResult, error) {
+	rig, err := NewRig(seed)
+	if err != nil {
+		return SwitchResult{}, err
+	}
+	measure := func(coreID int) []float64 {
+		var samples []float64
+		var launch func(i int)
+		launch = func(i int) {
+			if i == Table1Repetitions {
+				return
+			}
+			requested := rig.Engine.Now()
+			if err := rig.Monitor.RequestSecure(coreID, func(ctx *trustzone.Context) {
+				samples = append(samples, ctx.Now().Sub(requested).Seconds())
+				ctx.Exit()
+				rig.Engine.After(100*time.Microsecond, "next-switch", func() { launch(i + 1) })
+			}); err != nil {
+				panic(err) // unreachable: core IDs validated below
+			}
+		}
+		launch(0)
+		rig.Engine.Run()
+		return samples
+	}
+	a53, err := rig.Plat.FirstCoreOfType(hw.CortexA53)
+	if err != nil {
+		return SwitchResult{}, err
+	}
+	a57, err := rig.Plat.FirstCoreOfType(hw.CortexA57)
+	if err != nil {
+		return SwitchResult{}, err
+	}
+	return SwitchResult{
+		A53: stats.Summarize(measure(a53.ID())),
+		A57: stats.Summarize(measure(a57.ID())),
+	}, nil
+}
+
+// RecoverResult reproduces the §IV-B2 Tns_recover measurement: 50
+// recoveries of the 8-byte syscall-table trace per core type.
+type RecoverResult struct {
+	A53 stats.Summary // seconds
+	A57 stats.Summary
+}
+
+// Render prints the measurement.
+func (r RecoverResult) Render() string {
+	tbl := stats.NewTable("Core", "Tns_recover Avg", "Max", "Min")
+	tbl.AddRow("A53", stats.SciSeconds(r.A53.Mean), stats.SciSeconds(r.A53.Max), stats.SciSeconds(r.A53.Min))
+	tbl.AddRow("A57", stats.SciSeconds(r.A57.Mean), stats.SciSeconds(r.A57.Max), stats.SciSeconds(r.A57.Min))
+	return tbl.String()
+}
+
+// RunRecover samples the calibrated recovery model 50 times per core type.
+func RunRecover(seed uint64) RecoverResult {
+	perf := hw.JunoR1PerfModel()
+	g := simclock.NewRNG(seed, "experiment.recover")
+	sample := func(ct hw.CoreType) []float64 {
+		out := make([]float64, Table1Repetitions)
+		for i := range out {
+			out[i] = perf.RecoverTime(ct, 8, g).Seconds()
+		}
+		return out
+	}
+	return RecoverResult{
+		A53: stats.Summarize(sample(hw.CortexA53)),
+		A57: stats.Summarize(sample(hw.CortexA57)),
+	}
+}

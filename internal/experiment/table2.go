@@ -1,0 +1,154 @@
+package experiment
+
+import (
+	"time"
+
+	"satin/internal/attack"
+	"satin/internal/hw"
+	"satin/internal/simclock"
+	"satin/internal/stats"
+)
+
+// Table2Periods are the probing periods of Table II.
+func Table2Periods() []time.Duration {
+	return []time.Duration{
+		8 * time.Second,
+		16 * time.Second,
+		30 * time.Second,
+		120 * time.Second,
+		300 * time.Second,
+	}
+}
+
+// Table2Rounds is the paper's sample count per period ("we repeat the
+// measurement 50 times").
+const Table2Rounds = 50
+
+// Table2Row is one probing period's threshold statistics.
+type Table2Row struct {
+	Period time.Duration
+	// Thresholds are the per-round maxima in seconds.
+	Thresholds stats.Summary
+	// Box is the five-number summary rendered in Figure 4.
+	Box stats.BoxPlot
+}
+
+// Table2Result reproduces Table II ("Probing Threshold on Multi-Core") and
+// carries the box-plot data of Figure 4.
+type Table2Result struct {
+	Rows []Table2Row
+}
+
+// Render prints Table II in the paper's layout.
+func (r Table2Result) Render() string {
+	tbl := stats.NewTable("Probing Period", "Average", "Max", "Min")
+	for _, row := range r.Rows {
+		tbl.AddRow(
+			row.Period.String(),
+			stats.SciSeconds(row.Thresholds.Mean),
+			stats.SciSeconds(row.Thresholds.Max),
+			stats.SciSeconds(row.Thresholds.Min),
+		)
+	}
+	return tbl.String()
+}
+
+// RenderFig4 prints the Figure 4 box-plot data (per-period five-number
+// summaries plus outliers).
+func (r Table2Result) RenderFig4() string {
+	tbl := stats.NewTable("Period", "LowWhisk", "Q1", "Median", "Q3", "HighWhisk", "Outliers")
+	for _, row := range r.Rows {
+		outliers := ""
+		for i, o := range row.Box.Outliers {
+			if i > 0 {
+				outliers += " "
+			}
+			outliers += stats.Sci(o)
+		}
+		tbl.AddRow(
+			row.Period.String(),
+			stats.Sci(row.Box.LowerWhisk),
+			stats.Sci(row.Box.Q1),
+			stats.Sci(row.Box.Median),
+			stats.Sci(row.Box.Q3),
+			stats.Sci(row.Box.UpperWhisk),
+			outliers,
+		)
+	}
+	return tbl.String()
+}
+
+// ChartFig4 renders Figure 4 as an ASCII box-and-whisker chart.
+func (r Table2Result) ChartFig4(width int) string {
+	labels := make([]string, len(r.Rows))
+	boxes := make([]stats.BoxPlot, len(r.Rows))
+	for i, row := range r.Rows {
+		labels[i] = row.Period.String()
+		boxes[i] = row.Box
+	}
+	return stats.BoxPlotChart(labels, boxes, width, stats.Sci)
+}
+
+// RunTable2 samples 50 probing rounds per period from the calibrated
+// threshold model (see attack.ThresholdModel for why the model, not the
+// thread-level prober, generates the full-scale table, and the attack test
+// suite for the cross-validation between the two).
+func RunTable2(seed uint64) Table2Result {
+	m := attack.JunoThresholdModel(hw.JunoR1PerfModel())
+	g := simclock.NewRNG(seed, "experiment.table2")
+	var result Table2Result
+	for _, period := range Table2Periods() {
+		rounds := m.RoundSet(period, Table2Rounds, g)
+		xs := make([]float64, len(rounds))
+		for i, d := range rounds {
+			xs[i] = d.Seconds()
+		}
+		result.Rows = append(result.Rows, Table2Row{
+			Period:     period,
+			Thresholds: stats.Summarize(xs),
+			Box:        stats.NewBoxPlot(xs),
+		})
+	}
+	return result
+}
+
+// SingleCoreResult reproduces §IV-B2's single-core-probing observation: the
+// average threshold when probing one fixed core is ≈1/4 of the all-core
+// threshold.
+type SingleCoreResult struct {
+	Period     time.Duration
+	AllCores   stats.Summary
+	SingleCore stats.Summary
+	Ratio      float64
+}
+
+// Render prints the comparison.
+func (r SingleCoreResult) Render() string {
+	tbl := stats.NewTable("Probing Target", "Average Threshold", "Ratio")
+	tbl.AddRow("all 6 cores", stats.SciSeconds(r.AllCores.Mean), "1.00")
+	tbl.AddRow("single fixed core", stats.SciSeconds(r.SingleCore.Mean), stats.Sci(r.Ratio))
+	return tbl.String()
+}
+
+// RunSingleCore compares all-core and single-core probing thresholds at the
+// given period.
+func RunSingleCore(seed uint64, period time.Duration) SingleCoreResult {
+	m := attack.JunoThresholdModel(hw.JunoR1PerfModel())
+	s := m.SingleCoreModel()
+	g := simclock.NewRNG(seed, "experiment.singlecore")
+	toXs := func(ds []time.Duration) []float64 {
+		xs := make([]float64, len(ds))
+		for i, d := range ds {
+			xs[i] = d.Seconds()
+		}
+		return xs
+	}
+	all := stats.Summarize(toXs(m.RoundSet(period, Table2Rounds, g)))
+	single := stats.Summarize(toXs(s.RoundSet(period, Table2Rounds, g)))
+	return SingleCoreResult{
+		Period:     period,
+		AllCores:   all,
+		SingleCore: single,
+		Ratio:      single.Mean / all.Mean,
+	}
+}

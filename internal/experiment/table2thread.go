@@ -1,0 +1,96 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"satin/internal/attack"
+	"satin/internal/simclock"
+	"satin/internal/stats"
+)
+
+// Table2ThreadResult validates the Table II threshold model against the
+// full thread-level prober: the same per-round maxima, measured by actually
+// running six KProber-II threads on the simulated rich OS instead of
+// sampling the calibrated model. Full paper scale (50 rounds × five
+// periods) would cost billions of scheduler events; this driver runs a
+// reduced round count at one period and prints both numbers side by side.
+type Table2ThreadResult struct {
+	Period time.Duration
+	Rounds int
+	// Measured summarizes the thread-level per-round maxima (seconds).
+	Measured stats.Summary
+	// Model summarizes the calibrated sampler at the same period.
+	Model stats.Summary
+}
+
+// AgreementRatio is measured mean / model mean — the cross-validation
+// figure (≈1 means the scalable model is faithful).
+func (r Table2ThreadResult) AgreementRatio() float64 {
+	if r.Model.Mean == 0 {
+		return 0
+	}
+	return r.Measured.Mean / r.Model.Mean
+}
+
+// Render prints the comparison.
+func (r Table2ThreadResult) Render() string {
+	tbl := stats.NewTable("Source", "Rounds", "Avg threshold", "Max", "Min")
+	tbl.AddRow("thread-level prober (simulated)",
+		fmt.Sprintf("%d", r.Measured.N),
+		stats.SciSeconds(r.Measured.Mean), stats.SciSeconds(r.Measured.Max), stats.SciSeconds(r.Measured.Min))
+	tbl.AddRow("calibrated model (Table II source)",
+		fmt.Sprintf("%d", r.Model.N),
+		stats.SciSeconds(r.Model.Mean), stats.SciSeconds(r.Model.Max), stats.SciSeconds(r.Model.Min))
+	return tbl.String() + fmt.Sprintf("agreement (measured/model mean): %.2f\n", r.AgreementRatio())
+}
+
+// RunTable2ThreadLevel measures `rounds` probing rounds of the given period
+// with the real thread-level prober and compares them with the model.
+func RunTable2ThreadLevel(seed uint64, period time.Duration, rounds int) (Table2ThreadResult, error) {
+	if period <= 0 || rounds <= 0 {
+		return Table2ThreadResult{}, fmt.Errorf("experiment: period %v and rounds %d must be positive", period, rounds)
+	}
+	rig, err := NewRig(seed)
+	if err != nil {
+		return Table2ThreadResult{}, err
+	}
+	buffer, err := attack.NewReportBuffer(rig.Plat.NumCores(), attack.JunoCrossCoreNoise(), seed+4)
+	if err != nil {
+		return Table2ThreadResult{}, err
+	}
+	prober, err := attack.NewThreadProber(rig.OS, buffer, attack.ProberConfig{Kind: attack.KProberII})
+	if err != nil {
+		return Table2ThreadResult{}, err
+	}
+	if err := prober.Start(); err != nil {
+		return Table2ThreadResult{}, err
+	}
+	// Record the per-round maximum at each period boundary. Skip a warmup
+	// round so thread start-up transients don't pollute round 1.
+	var maxima []float64
+	for k := 1; k <= rounds+1; k++ {
+		k := k
+		rig.Engine.At(simclock.Time(k)*simclock.Time(period), "round-boundary", func() {
+			if k > 1 {
+				maxima = append(maxima, prober.MaxStaleness().Seconds())
+			}
+			prober.ResetMaxStaleness()
+		})
+	}
+	rig.Engine.RunUntil(simclock.Time(rounds+1) * simclock.Time(period))
+
+	model := attack.JunoThresholdModel(rig.Plat.Perf())
+	g := simclock.NewRNG(seed+9, "experiment.table2thread")
+	modelRounds := model.RoundSet(period, 200, g)
+	modelXs := make([]float64, len(modelRounds))
+	for i, d := range modelRounds {
+		modelXs[i] = d.Seconds()
+	}
+	return Table2ThreadResult{
+		Period:   period,
+		Rounds:   len(maxima),
+		Measured: stats.Summarize(maxima),
+		Model:    stats.Summarize(modelXs),
+	}, nil
+}

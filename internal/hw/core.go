@@ -1,0 +1,161 @@
+// Package hw models the hardware platform of the SATIN paper's testbed: an
+// ARM Juno r1 development board with a big.LITTLE ARMv8-A processor
+// (4 Cortex-A53 + 2 Cortex-A57 cores), per-core secure timers, a shared
+// physical counter, and a TrustZone-aware interrupt controller.
+//
+// The model is timing-faithful rather than cycle-faithful: every operation
+// the paper measures (world switches, per-byte hashing and snapshotting,
+// attack-trace recovery) draws its latency from a distribution calibrated to
+// the paper's Table I and §IV-B measurements, and the TrustZone privilege
+// rules the paper's security argument relies on (normal world cannot touch
+// secure timer registers, cannot observe the secure world directly) are
+// enforced by the register model.
+package hw
+
+import (
+	"fmt"
+
+	"satin/internal/simclock"
+)
+
+// CoreType identifies the microarchitecture of a core. The Juno r1 board is
+// big.LITTLE: power-efficient A53 cores and fast A57 cores.
+type CoreType int
+
+// Core types: the Juno r1 board's big.LITTLE pair, plus the homogeneous
+// core of the §VII-D generic-TEE portability target.
+const (
+	CortexA53 CoreType = iota + 1
+	CortexA57
+	GenericCore
+)
+
+// String returns the marketing name, e.g. "A53".
+func (t CoreType) String() string {
+	switch t {
+	case CortexA53:
+		return "A53"
+	case CortexA57:
+		return "A57"
+	case GenericCore:
+		return "generic"
+	default:
+		return fmt.Sprintf("CoreType(%d)", int(t))
+	}
+}
+
+// World is a TrustZone security state.
+type World int
+
+// The two TrustZone worlds.
+const (
+	NormalWorld World = iota + 1
+	SecureWorld
+)
+
+// String names the world as the paper does.
+func (w World) String() string {
+	switch w {
+	case NormalWorld:
+		return "normal"
+	case SecureWorld:
+		return "secure"
+	default:
+		return fmt.Sprintf("World(%d)", int(w))
+	}
+}
+
+// Core is one CPU core. Each core independently tracks which TrustZone world
+// it is executing in — the ARMv8-A property that lets the rich OS keep
+// running on the remaining cores while one core performs introspection, and
+// that TZ-Evader's probing exploits.
+type Core struct {
+	id        int
+	typ       CoreType
+	world     World
+	timer     *SecureTimer
+	observers []func(c *Core, old, new World)
+}
+
+// newCore builds a core in the normal world. Platform construction attaches
+// the secure timer.
+func newCore(id int, typ CoreType) *Core {
+	return &Core{id: id, typ: typ, world: NormalWorld}
+}
+
+// ID reports the core's index on the platform.
+func (c *Core) ID() int { return c.id }
+
+// Type reports the core's microarchitecture.
+func (c *Core) Type() CoreType { return c.typ }
+
+// World reports which TrustZone world the core is currently executing in.
+//
+// Note that *simulation* code may call this freely, but *modeled normal-world
+// software* must not: the whole premise of the paper's evasion attack is that
+// the normal world cannot read this state and must infer it through the
+// core-availability side channel. The richos and attack packages respect
+// this rule; tests assert on it.
+func (c *Core) World() World { return c.world }
+
+// SecureTimer returns the core's private secure timer.
+func (c *Core) SecureTimer() *SecureTimer { return c.timer }
+
+// SetWorld transitions the core to world w, notifying observers. It is
+// intended to be called only by the trustzone secure monitor (the EL3
+// software that owns world switches); calling it from modeled normal-world
+// code would violate the platform's security model.
+func (c *Core) SetWorld(w World) {
+	if w != NormalWorld && w != SecureWorld {
+		panic(fmt.Sprintf("hw: invalid world %d", int(w)))
+	}
+	if w == c.world {
+		return
+	}
+	old := c.world
+	c.world = w
+	for _, obs := range c.observers {
+		obs(c, old, w)
+	}
+}
+
+// OnWorldChange registers fn to run whenever the core switches worlds.
+// The rich OS uses this to pause and resume the thread that was running on
+// the core; experiment instrumentation uses it to record entry times.
+func (c *Core) OnWorldChange(fn func(c *Core, old, new World)) {
+	c.observers = append(c.observers, fn)
+}
+
+// String renders like "core2(A53)".
+func (c *Core) String() string {
+	return fmt.Sprintf("core%d(%s)", c.id, c.typ)
+}
+
+// CoreRates bundles the calibrated per-byte operation rates of one core
+// type. All rates are in seconds per byte, as float distributions because
+// the values (≈7–11 ns/byte) are too fine for nanosecond quantization.
+type CoreRates struct {
+	// HashPerByte is Ts_1byte for the direct-hash introspection technique
+	// (paper Table I, "Hash 1-Byte").
+	HashPerByte simclock.FloatDist
+	// SnapshotPerByte is Ts_1byte for the snapshot-then-hash technique
+	// (paper Table I, "Snapshot 1-byte").
+	SnapshotPerByte simclock.FloatDist
+	// RecoverPerByte is Tns_1byte, the normal-world attacker's cost to
+	// restore one malicious byte to its benign value (paper §IV-B2).
+	RecoverPerByte simclock.FloatDist
+}
+
+// Validate checks that every rate distribution is well-formed.
+func (r CoreRates) Validate() error {
+	if err := r.HashPerByte.Validate(); err != nil {
+		return fmt.Errorf("hash rate: %w", err)
+	}
+	if err := r.SnapshotPerByte.Validate(); err != nil {
+		return fmt.Errorf("snapshot rate: %w", err)
+	}
+	if err := r.RecoverPerByte.Validate(); err != nil {
+		return fmt.Errorf("recover rate: %w", err)
+	}
+	return nil
+}

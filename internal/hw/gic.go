@@ -1,0 +1,187 @@
+package hw
+
+import (
+	"fmt"
+)
+
+// IntID identifies an interrupt line. The two lines the paper's mechanisms
+// use are private per-core peripherals (PPIs) with their conventional GIC
+// numbers.
+type IntID int
+
+// Interrupt lines modeled on the platform.
+const (
+	// IntSecureTimer is the per-core secure physical timer PPI. It belongs
+	// to the secure interrupt group: the GIC always routes it to the EL3
+	// monitor, even when the core is executing in the normal world — the
+	// first routing requirement of §II-B.
+	IntSecureTimer IntID = 29
+	// IntNSTimer is the per-core non-secure physical timer PPI that drives
+	// the rich OS scheduling tick.
+	IntNSTimer IntID = 30
+	// IntSGIFlood is a software-generated interrupt (SGI) line the
+	// interrupt-flood attack uses: a compromised rich OS can raise SGIs
+	// at arbitrary rate toward any core.
+	IntSGIFlood IntID = 1
+)
+
+// String names the interrupt line.
+func (id IntID) String() string {
+	switch id {
+	case IntSecureTimer:
+		return "secure-timer"
+	case IntNSTimer:
+		return "ns-timer"
+	case IntSGIFlood:
+		return "sgi-flood"
+	default:
+		return fmt.Sprintf("int%d", int(id))
+	}
+}
+
+// Group is an interrupt security group.
+type Group int
+
+// Interrupt groups, per the ARM interrupt management framework: secure
+// interrupts route to the secure world (via EL3), non-secure ones to the
+// rich OS.
+const (
+	GroupSecure Group = iota + 1
+	GroupNonSecure
+)
+
+// Handler services an interrupt on a specific core.
+type Handler func(coreID int)
+
+// GIC models the TrustZone-aware interrupt controller. Routing implements
+// the two requirements of §II-B:
+//
+//  1. Secure interrupts are always delivered to the secure handler (the EL3
+//     monitor), regardless of which world the target core is in.
+//  2. Non-secure interrupts are delivered to the normal-world handler when
+//     the core runs in the normal world; while the core executes in the
+//     secure world with SATIN's SCR_EL3.IRQ=0 configuration, they pend at
+//     the GIC and are delivered when the core returns to the normal world
+//     (the non-preemptive secure mode of §II-B that SATIN requires).
+type GIC struct {
+	handlers map[IntID]Handler
+	groups   map[IntID]Group
+	cores    []*Core
+	// pending[coreID] holds non-secure interrupt IDs waiting for the core
+	// to return to the normal world. A set: hardware pends a level, not a
+	// count.
+	pending []map[IntID]bool
+	// preemptive, when set, is consulted for a non-secure interrupt
+	// targeting a core in the secure world: returning true delivers the
+	// interrupt immediately (the preemptive secure mode of §II-B) instead
+	// of pending it. The trustzone monitor installs it when configured
+	// for preemptive routing.
+	preemptive func(id IntID, coreID int) bool
+}
+
+// newGIC wires the controller to the platform's cores.
+func newGIC(cores []*Core) *GIC {
+	g := &GIC{
+		handlers: make(map[IntID]Handler),
+		groups: map[IntID]Group{
+			IntSecureTimer: GroupSecure,
+			IntNSTimer:     GroupNonSecure,
+		},
+		cores:   cores,
+		pending: make([]map[IntID]bool, len(cores)),
+	}
+	for i := range g.pending {
+		g.pending[i] = make(map[IntID]bool)
+	}
+	for _, c := range cores {
+		c.OnWorldChange(func(c *Core, _, newWorld World) {
+			if newWorld == NormalWorld {
+				g.drainPending(c.id)
+			}
+		})
+	}
+	return g
+}
+
+// Configure sets the security group of an interrupt line. The platform
+// pre-configures the two timer PPIs; tests use this for synthetic lines.
+func (g *GIC) Configure(id IntID, group Group) {
+	g.groups[id] = group
+}
+
+// Register installs the handler for an interrupt line, replacing any
+// previous handler. The trustzone monitor registers for secure lines; the
+// rich OS registers for non-secure lines.
+func (g *GIC) Register(id IntID, h Handler) {
+	g.handlers[id] = h
+}
+
+// Raise asserts interrupt id targeting core coreID and routes it according
+// to the rules above. Raising a line with no registered handler is a
+// platform assembly error and panics.
+func (g *GIC) Raise(id IntID, coreID int) {
+	group, ok := g.groups[id]
+	if !ok {
+		panic(fmt.Sprintf("hw: interrupt %v raised without a configured group", id))
+	}
+	switch group {
+	case GroupSecure:
+		// Secure interrupts always reach the monitor immediately.
+		g.dispatch(id, coreID)
+	case GroupNonSecure:
+		if g.cores[coreID].World() == SecureWorld {
+			if g.preemptive != nil && g.preemptive(id, coreID) {
+				g.dispatch(id, coreID)
+				return
+			}
+			g.pending[coreID][id] = true
+			return
+		}
+		g.dispatch(id, coreID)
+	default:
+		panic(fmt.Sprintf("hw: interrupt %v has invalid group %d", id, int(group)))
+	}
+}
+
+// SetPreemptiveHook installs the preemptive-routing decision function; nil
+// restores the default non-preemptive behavior (pending).
+func (g *GIC) SetPreemptiveHook(fn func(id IntID, coreID int) bool) {
+	g.preemptive = fn
+}
+
+// PendingOn reports whether interrupt id is pending delivery on core coreID.
+func (g *GIC) PendingOn(id IntID, coreID int) bool {
+	return g.pending[coreID][id]
+}
+
+func (g *GIC) dispatch(id IntID, coreID int) {
+	h, ok := g.handlers[id]
+	if !ok {
+		panic(fmt.Sprintf("hw: interrupt %v raised on core %d with no handler", id, coreID))
+	}
+	h(coreID)
+}
+
+// drainPending delivers interrupts that pended while the core was in the
+// secure world. Delivery order is numeric interrupt ID, matching GIC
+// priority order for same-priority lines and keeping the simulation
+// deterministic.
+func (g *GIC) drainPending(coreID int) {
+	p := g.pending[coreID]
+	if len(p) == 0 {
+		return
+	}
+	ids := make([]IntID, 0, len(p))
+	for id := range p {
+		ids = append(ids, id)
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	for _, id := range ids {
+		delete(p, id)
+		g.dispatch(id, coreID)
+	}
+}

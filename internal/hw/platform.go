@@ -1,0 +1,142 @@
+package hw
+
+import (
+	"fmt"
+
+	"satin/internal/simclock"
+)
+
+// Config describes a platform to assemble.
+type Config struct {
+	// CoreTypes lists the cores in ID order.
+	CoreTypes []CoreType
+	// Perf is the timing model. Use JunoR1PerfModel for the paper's board.
+	Perf PerfModel
+}
+
+// Platform is the assembled hardware: cores, their secure timers, the
+// shared physical counter, and the interrupt controller.
+type Platform struct {
+	engine *simclock.Engine
+	cores  []*Core
+	gic    *GIC
+	perf   PerfModel
+}
+
+// NewPlatform assembles a platform from cfg on the given engine.
+func NewPlatform(engine *simclock.Engine, cfg Config) (*Platform, error) {
+	if engine == nil {
+		return nil, fmt.Errorf("hw: nil engine")
+	}
+	if len(cfg.CoreTypes) == 0 {
+		return nil, fmt.Errorf("hw: platform needs at least one core")
+	}
+	if err := cfg.Perf.Validate(); err != nil {
+		return nil, fmt.Errorf("hw: invalid perf model: %w", err)
+	}
+	for _, ct := range cfg.CoreTypes {
+		if _, ok := cfg.Perf.Rates[ct]; !ok {
+			return nil, fmt.Errorf("hw: perf model lacks rates for core type %v", ct)
+		}
+	}
+	p := &Platform{engine: engine, perf: cfg.Perf}
+	p.cores = make([]*Core, len(cfg.CoreTypes))
+	for i, ct := range cfg.CoreTypes {
+		p.cores[i] = newCore(i, ct)
+	}
+	p.gic = newGIC(p.cores)
+	for _, c := range p.cores {
+		c.timer = newSecureTimer(c, engine, p.gic)
+	}
+	return p, nil
+}
+
+// NewJunoR1 assembles the paper's testbed: an ARM Juno r1 board with four
+// Cortex-A53 cores (IDs 0–3) and two Cortex-A57 cores (IDs 4–5), with the
+// timing model calibrated to the paper's measurements.
+func NewJunoR1(engine *simclock.Engine) (*Platform, error) {
+	return NewPlatform(engine, Config{
+		CoreTypes: []CoreType{
+			CortexA53, CortexA53, CortexA53, CortexA53,
+			CortexA57, CortexA57,
+		},
+		Perf: JunoR1PerfModel(),
+	})
+}
+
+// NewGenericTEE assembles the §VII-D portability target: a homogeneous
+// multi-core platform that is not ARM TrustZone but offers SATIN's three
+// requirements — multiple cores, a high-privileged operating mode, and a
+// per-core secure timer (e.g. an SMM-based x86 design like SICE). Timing is
+// a plausible homogeneous profile; nothing in SATIN or the evader depends
+// on the Juno preset.
+func NewGenericTEE(engine *simclock.Engine, numCores int) (*Platform, error) {
+	if numCores <= 0 {
+		return nil, fmt.Errorf("hw: generic TEE needs at least one core, got %d", numCores)
+	}
+	cores := make([]CoreType, numCores)
+	for i := range cores {
+		cores[i] = GenericCore
+	}
+	return NewPlatform(engine, Config{
+		CoreTypes: cores,
+		Perf: PerfModel{
+			// SMM-style world entries cost more than TrustZone's.
+			WorldSwitch: simclock.Seconds(8e-6, 10e-6, 14e-6),
+			Rates: map[CoreType]CoreRates{
+				GenericCore: {
+					HashPerByte:     simclock.FloatDist{Min: 7.5e-9, Avg: 8.0e-9, Max: 9.0e-9},
+					SnapshotPerByte: simclock.FloatDist{Min: 7.6e-9, Avg: 8.1e-9, Max: 9.5e-9},
+					RecoverPerByte:  simclock.FloatDist{Min: 6.0e-4, Avg: 6.6e-4, Max: 7.2e-4},
+				},
+			},
+			ThreadWakeLatency: simclock.Seconds(2e-6, 1.0e-5, 6e-5),
+		},
+	})
+}
+
+// Engine returns the simulation engine driving the platform.
+func (p *Platform) Engine() *simclock.Engine { return p.engine }
+
+// Cores returns the platform's cores in ID order. The slice is shared;
+// callers must not mutate it.
+func (p *Platform) Cores() []*Core { return p.cores }
+
+// Core returns the core with the given ID.
+func (p *Platform) Core(id int) *Core { return p.cores[id] }
+
+// NumCores reports the core count.
+func (p *Platform) NumCores() int { return len(p.cores) }
+
+// GIC returns the interrupt controller.
+func (p *Platform) GIC() *GIC { return p.gic }
+
+// Perf returns the platform's timing model.
+func (p *Platform) Perf() PerfModel { return p.perf }
+
+// ReadCounter reads the shared physical counter CNTPCT_EL0, which both
+// worlds may access. It is the "shared timer among all CPU cores" that the
+// paper's probers read (§III-B1).
+func (p *Platform) ReadCounter() simclock.Time { return p.engine.Now() }
+
+// CoresOfType returns the IDs of cores with the given type, in ID order.
+func (p *Platform) CoresOfType(ct CoreType) []int {
+	var ids []int
+	for _, c := range p.cores {
+		if c.typ == ct {
+			ids = append(ids, c.id)
+		}
+	}
+	return ids
+}
+
+// FirstCoreOfType returns the lowest-numbered core of the given type, or an
+// error if the platform has none.
+func (p *Platform) FirstCoreOfType(ct CoreType) (*Core, error) {
+	for _, c := range p.cores {
+		if c.typ == ct {
+			return c, nil
+		}
+	}
+	return nil, fmt.Errorf("hw: platform has no %v core", ct)
+}

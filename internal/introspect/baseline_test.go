@@ -1,0 +1,158 @@
+package introspect
+
+import (
+	"testing"
+	"time"
+
+	"satin/internal/mem"
+)
+
+func startBaseline(t *testing.T, r *rig, cfg BaselineConfig) *Baseline {
+	t.Helper()
+	b, err := NewBaseline(r.plat, r.monitor, r.checker, r.image, 11, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestBaselineConfigValidation(t *testing.T) {
+	r := newRig(t)
+	bad := []BaselineConfig{
+		{Period: 0, Selection: FixedCore, Technique: DirectHash},
+		{Period: time.Second, Selection: FixedCore, Core: 9, Technique: DirectHash},
+		{Period: time.Second, Selection: CoreSelection(7), Technique: DirectHash},
+		{Period: time.Second, Selection: FixedCore, Technique: Technique(7)},
+		{Period: time.Second, Selection: FixedCore, Technique: DirectHash, MaxRounds: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := NewBaseline(r.plat, r.monitor, r.checker, r.image, 1, cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestBaselinePeriodicCleanRounds(t *testing.T) {
+	r := newRig(t)
+	b := startBaseline(t, r, BaselineConfig{
+		Period:    8 * time.Second,
+		Selection: FixedCore,
+		Core:      4,
+		Technique: DirectHash,
+		MaxRounds: 3,
+	})
+	r.engine.Run()
+	outs := b.Outcomes()
+	if len(outs) != 3 {
+		t.Fatalf("rounds = %d, want 3", len(outs))
+	}
+	for i, o := range outs {
+		if !o.Clean {
+			t.Errorf("round %d flagged a clean kernel", i)
+		}
+		if o.CoreID != 4 {
+			t.Errorf("round %d ran on core %d, want 4", i, o.CoreID)
+		}
+		// Full-kernel A57 check ≈ 80 ms.
+		if o.Elapsed() < 75*time.Millisecond || o.Elapsed() > 95*time.Millisecond {
+			t.Errorf("round %d took %v, want ≈80ms", i, o.Elapsed())
+		}
+	}
+	// Rounds are period-spaced.
+	gap := outs[1].Started.Sub(outs[0].Started)
+	if gap < 8*time.Second || gap > 8*time.Second+200*time.Millisecond {
+		t.Errorf("round gap = %v, want ≈8s", gap)
+	}
+}
+
+func TestBaselineDetectsPersistentRootkit(t *testing.T) {
+	r := newRig(t)
+	entry := r.image.Layout().SyscallEntryAddr(mem.GettidNR)
+	if err := r.image.Mem().PutUint64(entry, r.image.ModuleBase()+0x40); err != nil {
+		t.Fatal(err)
+	}
+	b := startBaseline(t, r, BaselineConfig{
+		Period:    time.Second,
+		Selection: FixedCore,
+		Core:      0,
+		Technique: DirectHash,
+		MaxRounds: 1,
+	})
+	r.engine.Run()
+	outs := b.Outcomes()
+	if len(outs) != 1 || outs[0].Clean {
+		t.Errorf("baseline missed an unhidden rootkit: %+v", outs)
+	}
+}
+
+func TestBaselineRandomCoreAndPeriod(t *testing.T) {
+	r := newRig(t)
+	b := startBaseline(t, r, BaselineConfig{
+		Period:          2 * time.Second,
+		RandomizePeriod: true,
+		Selection:       RandomCore,
+		Technique:       DirectHash,
+		MaxRounds:       12,
+	})
+	var observed []Outcome
+	b.OnRound(func(o Outcome) { observed = append(observed, o) })
+	r.engine.Run()
+	if len(observed) != 12 {
+		t.Fatalf("rounds = %d, want 12", len(observed))
+	}
+	cores := make(map[int]bool)
+	var gaps []time.Duration
+	for i, o := range observed {
+		cores[o.CoreID] = true
+		if i > 0 {
+			gaps = append(gaps, o.Started.Sub(observed[i-1].Finished))
+		}
+	}
+	if len(cores) < 3 {
+		t.Errorf("random selection used only %d cores over 12 rounds", len(cores))
+	}
+	varied := false
+	for _, g := range gaps {
+		if g > 2100*time.Millisecond || g < 1900*time.Millisecond {
+			varied = true
+		}
+		if g < 0 || g > 4*time.Second {
+			t.Errorf("randomized gap %v outside [0, 2*period]", g)
+		}
+	}
+	if !varied {
+		t.Error("randomized periods look fixed")
+	}
+}
+
+func TestBaselineSnapshotTechnique(t *testing.T) {
+	r := newRig(t)
+	b := startBaseline(t, r, BaselineConfig{
+		Period:    time.Second,
+		Selection: FixedCore,
+		Core:      1,
+		Technique: SnapshotHash,
+		MaxRounds: 1,
+	})
+	r.engine.Run()
+	outs := b.Outcomes()
+	if len(outs) != 1 || !outs[0].Clean {
+		t.Fatalf("snapshot baseline outcome: %+v", outs)
+	}
+	// A53 snapshot of 11.9 MB ≈ 129 ms.
+	if outs[0].Elapsed() < 100*time.Millisecond || outs[0].Elapsed() > 200*time.Millisecond {
+		t.Errorf("snapshot round took %v", outs[0].Elapsed())
+	}
+}
+
+func TestCoreSelectionString(t *testing.T) {
+	if FixedCore.String() != "fixed-core" || RandomCore.String() != "random-core" {
+		t.Error("selection names wrong")
+	}
+	if CoreSelection(9).String() == "" {
+		t.Error("unknown selection must render")
+	}
+}

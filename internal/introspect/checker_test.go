@@ -1,0 +1,326 @@
+package introspect
+
+import (
+	"testing"
+	"time"
+
+	"satin/internal/hw"
+	"satin/internal/mem"
+	"satin/internal/simclock"
+	"satin/internal/trustzone"
+)
+
+type rig struct {
+	engine  *simclock.Engine
+	plat    *hw.Platform
+	image   *mem.Image
+	monitor *trustzone.Monitor
+	checker *Checker
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	e := simclock.NewEngine()
+	p, err := hw.NewJunoR1(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := mem.NewJunoImage(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := NewChecker(im, p.Perf(), 5, HashDjb2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rig{engine: e, plat: p, image: im, monitor: trustzone.NewMonitor(p, 3), checker: ch}
+}
+
+// checkOn runs one check synchronously-in-sim and returns the result.
+func (r *rig) checkOn(t *testing.T, coreID int, tech Technique, addr uint64, size int) Result {
+	t.Helper()
+	var out Result
+	got := false
+	err := r.monitor.RequestSecure(coreID, func(ctx *trustzone.Context) {
+		if err := r.checker.Check(ctx, tech, addr, size, func(res Result) {
+			out = res
+			got = true
+			ctx.Exit()
+		}); err != nil {
+			t.Errorf("Check: %v", err)
+			ctx.Exit()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.engine.Run()
+	if !got {
+		t.Fatal("check never completed")
+	}
+	return out
+}
+
+func TestNewCheckerValidation(t *testing.T) {
+	r := newRig(t)
+	if _, err := NewChecker(nil, r.plat.Perf(), 1, HashDjb2, 0); err == nil {
+		t.Error("nil image accepted")
+	}
+	if _, err := NewChecker(r.image, r.plat.Perf(), 1, HashDjb2, -1); err == nil {
+		t.Error("negative chunk accepted")
+	}
+	c, err := NewChecker(r.image, r.plat.Perf(), 1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Hash() != HashDjb2 {
+		t.Error("default hash should be djb2")
+	}
+}
+
+func TestCheckValidation(t *testing.T) {
+	r := newRig(t)
+	err := r.monitor.RequestSecure(0, func(ctx *trustzone.Context) {
+		defer ctx.Exit()
+		if err := r.checker.Check(ctx, DirectHash, r.image.Layout().Base, 0, nil); err == nil {
+			t.Error("zero size accepted")
+		}
+		if err := r.checker.Check(ctx, DirectHash, 0, 16, nil); err == nil {
+			t.Error("unmapped range accepted")
+		}
+		if err := r.checker.Check(ctx, Technique(9), r.image.Layout().Base, 16, nil); err == nil {
+			t.Error("unknown technique accepted")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.engine.Run()
+}
+
+func TestCleanKernelMatchesGolden(t *testing.T) {
+	r := newRig(t)
+	layout := r.image.Layout()
+	areas, err := mem.BuildAreas(layout, mem.JunoAreaGroups())
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := GoldenTable(r.image, HashDjb2, areas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Check three representative areas on an A57 core.
+	for _, idx := range []int{0, 14, 18} {
+		a := areas[idx]
+		res := r.checkOn(t, 4, DirectHash, a.Addr, a.Size)
+		if res.Sum != golden[idx] {
+			t.Errorf("clean area %d hash %#x != golden %#x", idx, res.Sum, golden[idx])
+		}
+	}
+}
+
+func TestDirectHashDetectsModification(t *testing.T) {
+	r := newRig(t)
+	layout := r.image.Layout()
+	entry := layout.SyscallEntryAddr(mem.GettidNR)
+	if err := r.image.Mem().PutUint64(entry, r.image.ModuleBase()+0x40); err != nil {
+		t.Fatal(err)
+	}
+	areas, err := mem.BuildAreas(layout, mem.JunoAreaGroups())
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := GoldenTable(r.image, HashDjb2, areas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.checkOn(t, 4, DirectHash, areas[14].Addr, areas[14].Size)
+	if res.Sum == golden[14] {
+		t.Error("modified area hashed clean")
+	}
+	// Neighboring areas remain clean.
+	res = r.checkOn(t, 4, DirectHash, areas[13].Addr, areas[13].Size)
+	if res.Sum != golden[13] {
+		t.Error("unmodified area hashed dirty")
+	}
+}
+
+func TestCheckTimingMatchesTable1(t *testing.T) {
+	// Table I: hashing the full kernel (11,916,240 B) takes
+	// size × Ts_1byte: ≈0.080 s average on A57 (6.71 ns/B) and
+	// ≈0.127 s on A53 (10.7 ns/B). The paper quotes "the average time for
+	// one core to conduct a kernel integrity check is 8.04e-2 s".
+	r := newRig(t)
+	layout := r.image.Layout()
+	size := layout.TotalSize()
+
+	resA57 := r.checkOn(t, 4, DirectHash, layout.Base, size)
+	if got := resA57.Elapsed().Seconds(); got < 0.075 || got > 0.095 {
+		t.Errorf("A57 full-kernel hash took %.4f s, want ≈0.080 s", got)
+	}
+	resA53 := r.checkOn(t, 0, DirectHash, layout.Base, size)
+	if got := resA53.Elapsed().Seconds(); got < 0.10 || got > 0.145 {
+		t.Errorf("A53 full-kernel hash took %.4f s, want ≈0.127 s", got)
+	}
+	if resA57.Elapsed() >= resA53.Elapsed() {
+		t.Error("A57 not faster than A53")
+	}
+}
+
+func TestSnapshotTimingAndResult(t *testing.T) {
+	r := newRig(t)
+	layout := r.image.Layout()
+	areas, err := mem.BuildAreas(layout, mem.JunoAreaGroups())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := areas[3] // largest
+	golden, err := GoldenArea(r.image, HashDjb2, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.checkOn(t, 4, SnapshotHash, a.Addr, a.Size)
+	if res.Sum != golden {
+		t.Error("snapshot hash of clean area mismatched golden")
+	}
+	// Snapshot per-byte ≈ 6.75 ns on A57 ⇒ 876,616 B ≈ 5.9 ms.
+	if got := res.Elapsed(); got < 5*time.Millisecond || got > 7*time.Millisecond {
+		t.Errorf("snapshot of largest area took %v, want ≈5.9ms", got)
+	}
+}
+
+func TestSnapshotFreezesBytesAtCapture(t *testing.T) {
+	// A write AFTER the capture pass but BEFORE analysis completes must
+	// still be detected... from the snapshot's perspective: the snapshot
+	// holds the malicious bytes captured earlier even though live memory
+	// was restored — the TOCTTOU-resistance of the snapshot technique.
+	r := newRig(t)
+	layout := r.image.Layout()
+	areas, err := mem.BuildAreas(layout, mem.JunoAreaGroups())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := areas[14]
+	golden, err := GoldenArea(r.image, HashDjb2, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry := layout.SyscallEntryAddr(mem.GettidNR)
+	if err := r.image.Mem().PutUint64(entry, r.image.ModuleBase()+0x40); err != nil {
+		t.Fatal(err)
+	}
+	// Restore the entry late in the check: after capture (first ~50% of
+	// ~4.2ms), before analysis ends.
+	r.engine.After(3*time.Millisecond, "late-restore", func() {
+		if err := r.image.RestoreStatic(entry, 8); err != nil {
+			t.Error(err)
+		}
+	})
+	res := r.checkOn(t, 4, SnapshotHash, a.Addr, a.Size)
+	if res.Sum == golden {
+		t.Error("snapshot technique missed bytes restored after capture")
+	}
+}
+
+func TestDirectHashRaceEvaderWinsWhenRestoredBeforeTouch(t *testing.T) {
+	// The core TOCTTOU race of Figure 3: the malicious bytes sit deep in
+	// the checked range; the evader restores them before the checker's
+	// sequential scan reaches them, so the check comes back clean.
+	r := newRig(t)
+	layout := r.image.Layout()
+	entry := layout.SyscallEntryAddr(mem.GettidNR) // ~9.7 MB into the kernel
+	if err := r.image.Mem().PutUint64(entry, r.image.ModuleBase()+0x40); err != nil {
+		t.Fatal(err)
+	}
+	size := layout.TotalSize()
+	golden, err := GoldenRange(r.image, HashDjb2, layout.Base, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full scan takes ≈80 ms on A57; the syscall table (~81% in) is
+	// touched at ≈65 ms. Restoring at 10 ms beats the scan comfortably.
+	r.engine.After(10*time.Millisecond, "evade", func() {
+		if err := r.image.RestoreStatic(entry, 8); err != nil {
+			t.Error(err)
+		}
+	})
+	res := r.checkOn(t, 4, DirectHash, layout.Base, size)
+	if res.Sum != golden {
+		t.Error("checker detected bytes that were restored before it touched them; race model broken")
+	}
+}
+
+func TestDirectHashRaceCheckerWinsWhenRestoredTooLate(t *testing.T) {
+	r := newRig(t)
+	layout := r.image.Layout()
+	entry := layout.SyscallEntryAddr(mem.GettidNR)
+	if err := r.image.Mem().PutUint64(entry, r.image.ModuleBase()+0x40); err != nil {
+		t.Fatal(err)
+	}
+	size := layout.TotalSize()
+	golden, err := GoldenRange(r.image, HashDjb2, layout.Base, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Restore at 75 ms: the scan already passed the syscall table (~65 ms).
+	r.engine.After(75*time.Millisecond, "too-late", func() {
+		if err := r.image.RestoreStatic(entry, 8); err != nil {
+			t.Error(err)
+		}
+	})
+	res := r.checkOn(t, 4, DirectHash, layout.Base, size)
+	if res.Sum == golden {
+		t.Error("checker missed bytes it touched before they were restored")
+	}
+}
+
+func TestGoldenTableMatchesAreas(t *testing.T) {
+	r := newRig(t)
+	areas, err := mem.BuildAreas(r.image.Layout(), mem.JunoAreaGroups())
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := GoldenTable(r.image, HashDjb2, areas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(golden) != 19 {
+		t.Fatalf("golden table has %d entries, want 19", len(golden))
+	}
+	// All distinct (pseudo-random content makes collisions implausible).
+	seen := make(map[uint64]bool)
+	for _, h := range golden {
+		if seen[h] {
+			t.Error("duplicate golden hash")
+		}
+		seen[h] = true
+	}
+}
+
+func TestTechniqueStrings(t *testing.T) {
+	if DirectHash.String() != "hash" || SnapshotHash.String() != "snapshot" {
+		t.Error("technique names wrong")
+	}
+	if Technique(9).String() == "" {
+		t.Error("unknown technique must render")
+	}
+}
+
+func TestBufferBytesReflectsTechnique(t *testing.T) {
+	// Table I's memory claim: direct hashing needs no copy buffer; the
+	// snapshot approach buffers the whole range.
+	r := newRig(t)
+	areas, err := mem.BuildAreas(r.image.Layout(), mem.JunoAreaGroups())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := areas[5]
+	direct := r.checkOn(t, 4, DirectHash, a.Addr, a.Size)
+	if direct.BufferBytes != 0 {
+		t.Errorf("DirectHash BufferBytes = %d, want 0", direct.BufferBytes)
+	}
+	snap := r.checkOn(t, 4, SnapshotHash, a.Addr, a.Size)
+	if snap.BufferBytes != a.Size {
+		t.Errorf("SnapshotHash BufferBytes = %d, want %d", snap.BufferBytes, a.Size)
+	}
+}

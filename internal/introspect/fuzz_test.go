@@ -1,0 +1,53 @@
+package introspect
+
+import (
+	"testing"
+)
+
+// FuzzHashIncremental fuzzes the invariant the chunked checker relies on:
+// hashing any split of the data equals hashing it whole, for both hash
+// kinds.
+func FuzzHashIncremental(f *testing.F) {
+	f.Add([]byte("the quick brown fox"), 5)
+	f.Add([]byte{}, 0)
+	f.Add([]byte{0x00, 0xFF, 0x80}, 1)
+	f.Fuzz(func(t *testing.T, data []byte, cut int) {
+		if cut < 0 {
+			cut = -cut
+		}
+		if len(data) > 0 {
+			cut %= len(data) + 1
+		} else {
+			cut = 0
+		}
+		for _, k := range []HashKind{HashDjb2, HashFNV1a} {
+			whole := k.Sum(data)
+			h := k.seed()
+			h = k.update(h, data[:cut])
+			h = k.update(h, data[cut:])
+			if h != whole {
+				t.Fatalf("%v: split hash %#x != whole %#x (cut %d, len %d)", k, h, whole, cut, len(data))
+			}
+		}
+	})
+}
+
+// FuzzDjb2Sensitivity fuzzes that flipping any single byte changes the
+// digest — the property every integrity alarm in the system rests on.
+func FuzzDjb2Sensitivity(f *testing.F) {
+	f.Add([]byte("kernel text bytes"), 3, byte(1))
+	f.Fuzz(func(t *testing.T, data []byte, idx int, delta byte) {
+		if len(data) == 0 || delta == 0 {
+			return
+		}
+		if idx < 0 {
+			idx = -idx
+		}
+		idx %= len(data)
+		orig := Djb2(data)
+		data[idx] ^= delta
+		if Djb2(data) == orig {
+			t.Fatalf("flip at %d (delta %#x) left djb2 unchanged", idx, delta)
+		}
+	})
+}

@@ -1,0 +1,87 @@
+// Package introspect provides the secure-world introspection substrate
+// shared by the baseline checkers and SATIN: the djb2 hash the paper uses
+// (§IV-B1), a chunked memory checker whose reads interleave with normal-world
+// memory writes in virtual time (reproducing the TOCTTOU race of Figure 3),
+// a snapshot-then-hash engine, and the baseline periodic full-kernel
+// checker that TZ-Evader defeats.
+package introspect
+
+// Djb2Seed is the djb2 initial value ("hash = 5381").
+const Djb2Seed uint64 = 5381
+
+// Djb2Update folds data into h with the classic djb2 step
+// (hash = hash*33 + c), the hash function the paper's prototype uses
+// (§IV-B1, citing Bernstein via the "Hash functions" page). The 64-bit
+// variant keeps collisions irrelevant at kernel scale.
+func Djb2Update(h uint64, data []byte) uint64 {
+	for _, c := range data {
+		h = h*33 + uint64(c)
+	}
+	return h
+}
+
+// Djb2 hashes data from the seed in one call.
+func Djb2(data []byte) uint64 {
+	return Djb2Update(Djb2Seed, data)
+}
+
+// FNV-1a, offered as the ablation alternative to djb2. Same incremental
+// structure, different diffusion.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// FNV1aSeed is the FNV-1a initial value.
+const FNV1aSeed = fnvOffset
+
+// FNV1aUpdate folds data into h with FNV-1a.
+func FNV1aUpdate(h uint64, data []byte) uint64 {
+	for _, c := range data {
+		h ^= uint64(c)
+		h *= fnvPrime
+	}
+	return h
+}
+
+// HashKind selects the hash used by a checker.
+type HashKind int
+
+// Supported hashes.
+const (
+	HashDjb2 HashKind = iota + 1
+	HashFNV1a
+)
+
+// String names the hash.
+func (k HashKind) String() string {
+	switch k {
+	case HashDjb2:
+		return "djb2"
+	case HashFNV1a:
+		return "fnv1a"
+	default:
+		return "unknown-hash"
+	}
+}
+
+// seed returns the initial value for the hash kind.
+func (k HashKind) seed() uint64 {
+	if k == HashFNV1a {
+		return FNV1aSeed
+	}
+	return Djb2Seed
+}
+
+// update folds data into h using the hash kind.
+func (k HashKind) update(h uint64, data []byte) uint64 {
+	if k == HashFNV1a {
+		return FNV1aUpdate(h, data)
+	}
+	return Djb2Update(h, data)
+}
+
+// Sum hashes data in one call using the hash kind.
+func (k HashKind) Sum(data []byte) uint64 {
+	return k.update(k.seed(), data)
+}

@@ -1,0 +1,71 @@
+package introspect
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDjb2KnownValues(t *testing.T) {
+	// djb2 reference: h = 5381; h = h*33 + c.
+	cases := []struct {
+		in   string
+		want uint64
+	}{
+		{"", 5381},
+		{"a", 5381*33 + 'a'},
+		{"ab", (5381*33+'a')*33 + 'b'},
+	}
+	for _, tc := range cases {
+		if got := Djb2([]byte(tc.in)); got != tc.want {
+			t.Errorf("Djb2(%q) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestHashIncrementalEqualsWhole(t *testing.T) {
+	// Property: hashing in arbitrary splits equals hashing whole — the
+	// invariant the chunked checker relies on.
+	f := func(data []byte, split uint8) bool {
+		cut := 0
+		if len(data) > 0 {
+			cut = int(split) % (len(data) + 1)
+		}
+		for _, k := range []HashKind{HashDjb2, HashFNV1a} {
+			whole := k.Sum(data)
+			h := k.seed()
+			h = k.update(h, data[:cut])
+			h = k.update(h, data[cut:])
+			if h != whole {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashDetectsSingleBitFlip(t *testing.T) {
+	data := make([]byte, 4096)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	for _, k := range []HashKind{HashDjb2, HashFNV1a} {
+		orig := k.Sum(data)
+		data[2048] ^= 1
+		if k.Sum(data) == orig {
+			t.Errorf("%v missed a single-bit flip", k)
+		}
+		data[2048] ^= 1
+	}
+}
+
+func TestHashKindStrings(t *testing.T) {
+	if HashDjb2.String() != "djb2" || HashFNV1a.String() != "fnv1a" {
+		t.Error("hash names wrong")
+	}
+	if HashKind(9).String() == "" {
+		t.Error("unknown kind must render")
+	}
+}

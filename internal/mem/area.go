@@ -1,0 +1,124 @@
+package mem
+
+import (
+	"fmt"
+)
+
+// Area is one introspection unit: a contiguous run of whole sections.
+// SATIN's integrity-checking module divides the kernel into areas small
+// enough that one area is always fully checked before the evader can react
+// (Eq. 2 of the paper).
+type Area struct {
+	Index    int
+	Addr     uint64
+	Size     int
+	Sections []Section
+}
+
+// End reports the first address past the area.
+func (a Area) End() uint64 { return a.Addr + uint64(a.Size) }
+
+// Contains reports whether addr falls inside the area.
+func (a Area) Contains(addr uint64) bool { return addr >= a.Addr && addr < a.End() }
+
+// String renders like "area14[0xffff...,624008B]".
+func (a Area) String() string {
+	return fmt.Sprintf("area%d[%#x,%dB]", a.Index, a.Addr, a.Size)
+}
+
+// BuildAreas groups the layout's sections into areas. groups[i] lists the
+// section indices of area i; the concatenation of all groups must be exactly
+// 0..len(Sections)-1 in order, so areas tile the kernel with whole sections
+// and no gaps.
+func BuildAreas(l Layout, groups [][]int) ([]Area, error) {
+	areas := make([]Area, 0, len(groups))
+	next := 0
+	for i, g := range groups {
+		if len(g) == 0 {
+			return nil, fmt.Errorf("mem: area %d has no sections", i)
+		}
+		a := Area{Index: i}
+		for _, si := range g {
+			if si != next {
+				return nil, fmt.Errorf("mem: area %d references section %d, want %d (groups must tile in order)", i, si, next)
+			}
+			s := l.Sections[si]
+			if len(a.Sections) == 0 {
+				a.Addr = s.Addr
+			}
+			a.Sections = append(a.Sections, s)
+			a.Size += s.Size
+			next++
+		}
+		areas = append(areas, a)
+	}
+	if next != len(l.Sections) {
+		return nil, fmt.Errorf("mem: groups cover %d sections, layout has %d", next, len(l.Sections))
+	}
+	return areas, nil
+}
+
+// PartitionSections greedily groups sections into areas of at most maxSize
+// bytes each, never splitting a section. It returns the groups in the format
+// BuildAreas accepts, or an error if any single section exceeds maxSize.
+// This is the generic divide-and-conquer partitioner; the Juno reproduction
+// ships the curated JunoAreaGroups to match the paper's reported 19 areas.
+func PartitionSections(sections []Section, maxSize int) ([][]int, error) {
+	if maxSize <= 0 {
+		return nil, fmt.Errorf("mem: maxSize %d must be positive", maxSize)
+	}
+	var groups [][]int
+	var cur []int
+	curSize := 0
+	for i, s := range sections {
+		if s.Size > maxSize {
+			return nil, fmt.Errorf("mem: section %q (%d bytes) exceeds area limit %d", s.Name, s.Size, maxSize)
+		}
+		if curSize+s.Size > maxSize {
+			groups = append(groups, cur)
+			cur = nil
+			curSize = 0
+		}
+		cur = append(cur, i)
+		curSize += s.Size
+	}
+	if len(cur) > 0 {
+		groups = append(groups, cur)
+	}
+	return groups, nil
+}
+
+// AreaContaining returns the index of the area holding addr.
+func AreaContaining(areas []Area, addr uint64) (int, error) {
+	for _, a := range areas {
+		if a.Contains(addr) {
+			return a.Index, nil
+		}
+	}
+	return 0, fmt.Errorf("mem: address %#x not in any area", addr)
+}
+
+// MaxAreaSize returns the size of the largest area.
+func MaxAreaSize(areas []Area) int {
+	max := 0
+	for _, a := range areas {
+		if a.Size > max {
+			max = a.Size
+		}
+	}
+	return max
+}
+
+// MinAreaSize returns the size of the smallest area, or 0 for no areas.
+func MinAreaSize(areas []Area) int {
+	if len(areas) == 0 {
+		return 0
+	}
+	min := areas[0].Size
+	for _, a := range areas[1:] {
+		if a.Size < min {
+			min = a.Size
+		}
+	}
+	return min
+}

@@ -1,0 +1,171 @@
+package mem
+
+import (
+	"fmt"
+)
+
+// ModuleArenaSize is the size of the loadable-module arena mapped after the
+// static kernel. Attack code (the rootkit body, KProber threads) lives here:
+// like real LKM memory it is *not* part of the static region the integrity
+// checkers hash, which is why the paper's sample attack is only detectable
+// through the 8 bytes it flips inside the syscall table (§IV-A2).
+const ModuleArenaSize = 2 << 20
+
+// Image is a booted kernel image: live memory, its layout, and a pristine
+// copy of the static region captured at boot (the trusted state the
+// secure world hashes during the trusted boot, §V-B).
+type Image struct {
+	mem        *Memory
+	layout     Layout
+	moduleBase uint64
+	pristine   []byte
+}
+
+// NewImage boots an image with the given layout, filling the static kernel
+// with deterministic pseudo-random content derived from seed, installing a
+// plausible syscall table and exception vector table, and capturing the
+// pristine copy.
+func NewImage(layout Layout, seed uint64) (*Image, error) {
+	if err := layout.Validate(); err != nil {
+		return nil, fmt.Errorf("mem: invalid layout: %w", err)
+	}
+	total := layout.TotalSize()
+	m, err := NewMemory(layout.Base, total+ModuleArenaSize)
+	if err != nil {
+		return nil, err
+	}
+	im := &Image{
+		mem:        m,
+		layout:     layout,
+		moduleBase: layout.Base + uint64(total),
+	}
+	im.fill(seed)
+	im.pristine = make([]byte, total)
+	if err := m.Read(layout.Base, im.pristine); err != nil {
+		return nil, err
+	}
+	return im, nil
+}
+
+// NewJunoImage boots the paper's synthetic lsk-4.4-armlt kernel.
+func NewJunoImage(seed uint64) (*Image, error) {
+	return NewImage(JunoKernelLayout(), seed)
+}
+
+// fill populates the static kernel with deterministic content.
+func (im *Image) fill(seed uint64) {
+	// splitmix64: tiny, deterministic, and good enough to make every byte
+	// of "kernel text" unique so hash checks are meaningful.
+	state := seed
+	next := func() uint64 {
+		state += 0x9E3779B97F4A7C15
+		z := state
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		return z ^ (z >> 31)
+	}
+	data := im.mem.data[:im.layout.TotalSize()]
+	for i := 0; i < len(data); i += 8 {
+		v := next()
+		for j := 0; j < 8 && i+j < len(data); j++ {
+			data[i+j] = byte(v >> (8 * j))
+		}
+	}
+	// Install the syscall table: entry nr points at a distinct "handler"
+	// in kernel text.
+	for nr := 0; nr < im.layout.SyscallCount; nr++ {
+		addr := im.layout.SyscallEntryAddr(nr)
+		if err := im.mem.PutUint64(addr, im.BenignHandler(nr)); err != nil {
+			panic(err) // unreachable: layout validated
+		}
+	}
+	// Install the exception vector table: each vector begins with the
+	// address of its handler (standing in for the branch instruction a
+	// real vector holds).
+	for v := 0; v < 16; v++ {
+		vecAddr := im.layout.VBAR + uint64(v)*VectorSize
+		handler := im.layout.Base + 0x2000 + uint64(v)*0x200
+		if err := im.mem.PutUint64(vecAddr, handler); err != nil {
+			panic(err) // unreachable: layout validated
+		}
+	}
+	// Zero the page-permission table: every page boots writable (no
+	// synchronous protections until a guard installs them).
+	if im.layout.PTBase != 0 {
+		zeros := make([]byte, im.layout.PageCount())
+		if err := im.mem.Write(im.layout.PTBase, zeros); err != nil {
+			panic(err) // unreachable: layout validated
+		}
+	}
+}
+
+// RecapturePristine refreshes the trusted (golden) copy from live memory.
+// The trusted-boot sequence calls it after applying boot-time protections
+// (e.g. a synchronous guard setting PTE bits), so the authorized hashes
+// describe the protected state rather than the raw image.
+func (im *Image) RecapturePristine() error {
+	return im.mem.Read(im.layout.Base, im.pristine)
+}
+
+// BenignHandler returns the legitimate handler address for syscall nr, the
+// value the pristine table holds.
+func (im *Image) BenignHandler(nr int) uint64 {
+	return im.layout.Base + 0x10000 + uint64(nr)*0x100
+}
+
+// Mem exposes the live memory.
+func (im *Image) Mem() *Memory { return im.mem }
+
+// Layout exposes the kernel layout.
+func (im *Image) Layout() Layout { return im.layout }
+
+// ModuleBase reports the start of the loadable-module arena.
+func (im *Image) ModuleBase() uint64 { return im.moduleBase }
+
+// Pristine returns a copy of the n pristine (boot-time) bytes at addr, which
+// must lie in the static kernel.
+func (im *Image) Pristine(addr uint64, n int) ([]byte, error) {
+	if addr < im.layout.Base || addr+uint64(n) > im.layout.End() {
+		return nil, fmt.Errorf("mem: pristine range [%#x,+%d) outside static kernel", addr, n)
+	}
+	off := int(addr - im.layout.Base)
+	out := make([]byte, n)
+	copy(out, im.pristine[off:off+n])
+	return out, nil
+}
+
+// PristineView returns a read-only alias of the pristine bytes at addr.
+// Callers must not mutate it. It exists so boot-time golden-hash computation
+// does not copy megabytes.
+func (im *Image) PristineView(addr uint64, n int) ([]byte, error) {
+	if addr < im.layout.Base || addr+uint64(n) > im.layout.End() {
+		return nil, fmt.Errorf("mem: pristine range [%#x,+%d) outside static kernel", addr, n)
+	}
+	off := int(addr - im.layout.Base)
+	return im.pristine[off : off+n : off+n], nil
+}
+
+// Modified returns the addresses (ascending) of static-kernel bytes whose
+// live value differs from the pristine copy. Diagnostics and tests use it;
+// the introspection mechanisms do not (they only see hashes, like the real
+// system).
+func (im *Image) Modified() []uint64 {
+	var out []uint64
+	live := im.mem.data[:im.layout.TotalSize()]
+	for i := range live {
+		if live[i] != im.pristine[i] {
+			out = append(out, im.layout.Base+uint64(i))
+		}
+	}
+	return out
+}
+
+// RestoreStatic rewrites the n bytes at addr with their pristine content —
+// the model of the evader "recovering the malicious byte as benign".
+func (im *Image) RestoreStatic(addr uint64, n int) error {
+	p, err := im.Pristine(addr, n)
+	if err != nil {
+		return err
+	}
+	return im.mem.Write(addr, p)
+}

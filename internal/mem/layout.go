@@ -1,0 +1,281 @@
+package mem
+
+import (
+	"fmt"
+)
+
+// Section is one System.map-derived region of the static kernel: a named,
+// contiguous address range. The paper's integrity-checking module guarantees
+// "each section of the normal world OS's System.map only belongs to one area
+// for introspection" (§VI-A2); partitioning in this package preserves that
+// invariant.
+type Section struct {
+	Name string
+	Addr uint64
+	Size int
+}
+
+// End reports the first address past the section.
+func (s Section) End() uint64 { return s.Addr + uint64(s.Size) }
+
+// Layout describes the static kernel image: its base address, its sections
+// in address order, and the locations of the two structures the paper's
+// attacks manipulate (the syscall table entry the rootkit hijacks and the
+// IRQ exception vector KProber-I rewrites).
+type Layout struct {
+	// Base is the kernel's load address.
+	Base uint64
+	// Sections lists the System.map sections in ascending address order,
+	// contiguous from Base.
+	Sections []Section
+
+	// SyscallTableAddr is the address of sys_call_table.
+	SyscallTableAddr uint64
+	// SyscallCount is the number of 8-byte entries in the table.
+	SyscallCount int
+
+	// VBAR is the value of VBAR_EL1: the base of the AArch64 exception
+	// vector table.
+	VBAR uint64
+
+	// PTBase is the address of the kernel's page-permission table (one
+	// byte per static-kernel page; see mem.MMU). Zero means the layout
+	// models no page table. Like swapper_pg_dir, it lives inside kernel
+	// .data — so tampering with it is visible to area introspection.
+	PTBase uint64
+}
+
+// The AArch64 exception vector table layout: 16 vectors of 128 bytes. The
+// IRQ vector for "current EL with SPx" — the one the rich OS timer interrupt
+// takes and KProber-I hijacks — sits at offset 0x280 (§IV-A1).
+const (
+	VectorSize      = 0x80
+	IRQVectorOffset = 0x280
+)
+
+// GettidNR is the arm64 syscall number of gettid, the call whose table entry
+// the paper's sample rootkit hijacks (§IV-A2).
+const GettidNR = 178
+
+// SyscallEntrySize is the width of one syscall-table entry: a 64-bit
+// function pointer. "this attack modifies one 8-bytes address of the system
+// call table" (§IV-A2).
+const SyscallEntrySize = 8
+
+// TotalSize reports the static kernel size in bytes.
+func (l Layout) TotalSize() int {
+	n := 0
+	for _, s := range l.Sections {
+		n += s.Size
+	}
+	return n
+}
+
+// End reports the first address past the kernel image.
+func (l Layout) End() uint64 { return l.Base + uint64(l.TotalSize()) }
+
+// SyscallEntryAddr returns the address of the table entry for syscall nr.
+func (l Layout) SyscallEntryAddr(nr int) uint64 {
+	return l.SyscallTableAddr + uint64(nr)*SyscallEntrySize
+}
+
+// IRQVectorAddr returns the address of the IRQ exception vector entry.
+func (l Layout) IRQVectorAddr() uint64 { return l.VBAR + IRQVectorOffset }
+
+// Section returns the section named name.
+func (l Layout) Section(name string) (Section, error) {
+	for _, s := range l.Sections {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Section{}, fmt.Errorf("mem: no section %q", name)
+}
+
+// SectionContaining returns the section holding addr.
+func (l Layout) SectionContaining(addr uint64) (Section, error) {
+	for _, s := range l.Sections {
+		if addr >= s.Addr && addr < s.End() {
+			return s, nil
+		}
+	}
+	return Section{}, fmt.Errorf("mem: address %#x not in any section", addr)
+}
+
+// Validate checks that sections are contiguous from Base, positively sized,
+// uniquely named, and that the special structures fall inside the image.
+func (l Layout) Validate() error {
+	if len(l.Sections) == 0 {
+		return fmt.Errorf("mem: layout has no sections")
+	}
+	names := make(map[string]bool, len(l.Sections))
+	next := l.Base
+	for i, s := range l.Sections {
+		if s.Size <= 0 {
+			return fmt.Errorf("mem: section %q has size %d", s.Name, s.Size)
+		}
+		if s.Addr != next {
+			return fmt.Errorf("mem: section %d (%q) at %#x, want contiguous %#x", i, s.Name, s.Addr, next)
+		}
+		if names[s.Name] {
+			return fmt.Errorf("mem: duplicate section name %q", s.Name)
+		}
+		names[s.Name] = true
+		next = s.End()
+	}
+	tblEnd := l.SyscallEntryAddr(l.SyscallCount)
+	if l.SyscallTableAddr < l.Base || tblEnd > l.End() {
+		return fmt.Errorf("mem: syscall table [%#x, %#x) outside kernel", l.SyscallTableAddr, tblEnd)
+	}
+	if l.SyscallCount <= GettidNR {
+		return fmt.Errorf("mem: syscall table too small (%d entries) to hold gettid (%d)", l.SyscallCount, GettidNR)
+	}
+	if l.VBAR < l.Base || l.IRQVectorAddr()+VectorSize > l.End() {
+		return fmt.Errorf("mem: vector table at %#x outside kernel", l.VBAR)
+	}
+	if l.PTBase != 0 {
+		ptEnd := l.PTBase + uint64(l.PageCount())
+		if l.PTBase < l.Base || ptEnd > l.End() {
+			return fmt.Errorf("mem: page table [%#x, %#x) outside kernel", l.PTBase, ptEnd)
+		}
+	}
+	return nil
+}
+
+// PageCount reports the number of PageSize pages covering the static
+// kernel.
+func (l Layout) PageCount() int {
+	return (l.TotalSize() + PageSize - 1) / PageSize
+}
+
+// junoKernelBase is a typical 4.4-era arm64 kernel virtual base; the exact
+// value is immaterial, only the layout geometry matters.
+const junoKernelBase = 0xFFFF000008080000
+
+// JunoKernelLayout builds the synthetic lsk-4.4-armlt kernel layout used
+// throughout the reproduction. Its geometry matches §IV-C and §VI-A2 of the
+// paper exactly:
+//
+//   - total static kernel size 11,916,240 bytes;
+//   - a curated 19-area partition (see JunoAreaGroups) whose largest area is
+//     876,616 bytes and smallest is 431,360 bytes;
+//   - sys_call_table inside area 14 (the area the paper's detection
+//     experiment attacks);
+//   - the exception vector table inside area 0 (kernel entry text), so the
+//     trace KProber-I leaves is inside the checked region.
+func JunoKernelLayout() Layout {
+	// Section sizes sum to 11,916,240. Grouping into areas is defined by
+	// JunoAreaGroups; the group sums reproduce the paper's area extremes.
+	specs := []struct {
+		name string
+		size int
+	}{
+		// Area 0: 644,016 — kernel entry, vectors, irq text.
+		{".head.text", 65536},
+		{".text.entry", 380000}, // holds the exception vector table
+		{".text.irq", 198480},
+		// Area 1: 624,016.
+		{".text.sched", 524016},
+		{".text.locking", 100000},
+		// Area 2: 604,016.
+		{".text.mm", 604016},
+		// Area 3: 876,616 — the largest area (§VI-A2).
+		{".text.fs", 876616},
+		// Area 4: 804,016.
+		{".text.net", 804016},
+		// Area 5: 624,016.
+		{".text.drivers_a", 624016},
+		// Area 6: 624,016.
+		{".text.drivers_b", 624016},
+		// Area 7: 544,016.
+		{".text.crypto", 444016},
+		{".text.lib", 100000},
+		// Area 8: 604,016.
+		{".text.arch", 604016},
+		// Area 9: 624,016.
+		{".rodata_a", 624016},
+		// Area 10: 544,016.
+		{".rodata_b", 544016},
+		// Area 11: 504,016.
+		{"__ksymtab", 250000},
+		{"__ksymtab_gpl", 150000},
+		{"__kcrctab", 104016},
+		// Area 12: 531,360.
+		{"__param", 80000},
+		{"__ex_table", 120000},
+		{".notes", 1360},
+		{"__bug_table", 330000},
+		// Area 13: 704,016.
+		{".init.text", 704016},
+		// Area 14: 624,008 — holds sys_call_table (§VI-B1 attacks this area).
+		{".rodata.syscalls", 624008},
+		// Area 15: 624,016.
+		{".init.data", 624016},
+		// Area 16: 676,672.
+		{".data_a", 676672},
+		// Area 17: 704,016.
+		{".data_b", 704016},
+		// Area 18: 431,360 — the smallest area (§VI-A2).
+		{".data..percpu", 232000},
+		{".bss.static", 199360},
+	}
+	sections := make([]Section, len(specs))
+	addr := uint64(junoKernelBase)
+	for i, sp := range specs {
+		sections[i] = Section{Name: sp.name, Addr: addr, Size: sp.size}
+		addr += uint64(sp.size)
+	}
+	l := Layout{
+		Base:     junoKernelBase,
+		Sections: sections,
+		// 4.4-era arm64 has ~284 syscalls; the table occupies the head of
+		// .rodata.syscalls.
+		SyscallCount: 284,
+	}
+	syscalls, err := l.Section(".rodata.syscalls")
+	if err != nil {
+		panic(err) // unreachable: the section is defined above
+	}
+	l.SyscallTableAddr = syscalls.Addr
+	entry, err := l.Section(".text.entry")
+	if err != nil {
+		panic(err) // unreachable
+	}
+	// VBAR must be 2 KiB aligned; the section start is page-aligned here.
+	l.VBAR = entry.Addr
+	// The page-permission table occupies the head of .data_b (area 17),
+	// as swapper_pg_dir occupies kernel .data on arm64.
+	dataB, err := l.Section(".data_b")
+	if err != nil {
+		panic(err) // unreachable
+	}
+	l.PTBase = dataB.Addr
+	return l
+}
+
+// JunoAreaGroups returns the curated grouping of JunoKernelLayout sections
+// into the paper's 19 introspection areas: element i lists the indices of
+// the sections forming area i, in address order.
+func JunoAreaGroups() [][]int {
+	return [][]int{
+		{0, 1, 2},        // area 0
+		{3, 4},           // area 1
+		{5},              // area 2
+		{6},              // area 3 (largest)
+		{7},              // area 4
+		{8},              // area 5
+		{9},              // area 6
+		{10, 11},         // area 7
+		{12},             // area 8
+		{13},             // area 9
+		{14},             // area 10
+		{15, 16, 17},     // area 11
+		{18, 19, 20, 21}, // area 12
+		{22},             // area 13
+		{23},             // area 14 (sys_call_table)
+		{24},             // area 15
+		{25},             // area 16
+		{26},             // area 17
+		{27, 28},         // area 18 (smallest)
+	}
+}

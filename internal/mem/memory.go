@@ -1,0 +1,131 @@
+// Package mem models the normal-world physical memory the introspection
+// mechanisms inspect: a byte-addressable RAM holding a synthetic rich-OS
+// kernel image whose layout mirrors the paper's target (an 11,916,240-byte
+// lsk-4.4-armlt kernel divided into 19 System.map-derived areas, §VI-A2),
+// plus a loadable-module arena where attack code lives outside the
+// statically-checked region.
+//
+// Memory contents are real bytes: the rootkit genuinely overwrites the
+// GETTID syscall-table entry, KProber-I genuinely rewrites the IRQ exception
+// vector, and the introspection genuinely hashes what is there at the
+// virtual instant each chunk is read. Detection therefore emerges from event
+// interleaving — the same TOCTTOU structure as the hardware race in the
+// paper's Figure 3 — rather than from a formula.
+package mem
+
+import (
+	"fmt"
+)
+
+// Memory is a contiguous byte-addressable physical memory region.
+type Memory struct {
+	base uint64
+	data []byte
+}
+
+// NewMemory allocates a zeroed region of n bytes starting at physical
+// address base.
+func NewMemory(base uint64, n int) (*Memory, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("mem: size %d must be positive", n)
+	}
+	return &Memory{base: base, data: make([]byte, n)}, nil
+}
+
+// Base reports the first mapped address.
+func (m *Memory) Base() uint64 { return m.base }
+
+// Size reports the mapped length in bytes.
+func (m *Memory) Size() int { return len(m.data) }
+
+// Contains reports whether the n-byte range at addr is fully mapped.
+func (m *Memory) Contains(addr uint64, n int) bool {
+	if n < 0 || addr < m.base {
+		return false
+	}
+	off := addr - m.base
+	return off <= uint64(len(m.data)) && uint64(n) <= uint64(len(m.data))-off
+}
+
+// check converts addr to an offset, validating the n-byte access.
+func (m *Memory) check(addr uint64, n int) (int, error) {
+	if !m.Contains(addr, n) {
+		return 0, fmt.Errorf("mem: access [%#x, %#x+%d) outside [%#x, %#x)",
+			addr, addr, n, m.base, m.base+uint64(len(m.data)))
+	}
+	return int(addr - m.base), nil
+}
+
+// Read copies len(buf) bytes starting at addr into buf.
+func (m *Memory) Read(addr uint64, buf []byte) error {
+	off, err := m.check(addr, len(buf))
+	if err != nil {
+		return err
+	}
+	copy(buf, m.data[off:off+len(buf)])
+	return nil
+}
+
+// ByteAt returns the byte at addr.
+func (m *Memory) ByteAt(addr uint64) (byte, error) {
+	off, err := m.check(addr, 1)
+	if err != nil {
+		return 0, err
+	}
+	return m.data[off], nil
+}
+
+// Write copies data into memory starting at addr.
+func (m *Memory) Write(addr uint64, data []byte) error {
+	off, err := m.check(addr, len(data))
+	if err != nil {
+		return err
+	}
+	copy(m.data[off:], data)
+	return nil
+}
+
+// View returns a read-only view of the n bytes at addr, aliasing the live
+// memory. It is how the secure world "directly reads the normal world OS'
+// kernel" (§IV-B1) without a copy; callers must not mutate it.
+func (m *Memory) View(addr uint64, n int) ([]byte, error) {
+	off, err := m.check(addr, n)
+	if err != nil {
+		return nil, err
+	}
+	return m.data[off : off+n : off+n], nil
+}
+
+// Snapshot returns an independent copy of the n bytes at addr — the
+// "capture the snapshot" introspection technique of Table I.
+func (m *Memory) Snapshot(addr uint64, n int) ([]byte, error) {
+	v, err := m.View(addr, n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	copy(out, v)
+	return out, nil
+}
+
+// PutUint64 writes a 64-bit little-endian value (ARM is little-endian).
+func (m *Memory) PutUint64(addr uint64, v uint64) error {
+	var buf [8]byte
+	for i := range buf {
+		buf[i] = byte(v >> (8 * i))
+	}
+	return m.Write(addr, buf[:])
+}
+
+// Uint64 reads a 64-bit little-endian value.
+func (m *Memory) Uint64(addr uint64) (uint64, error) {
+	var buf [8]byte
+	if err := m.Read(addr, buf[:]); err != nil {
+		return 0, err
+	}
+	var v uint64
+	for i, b := range buf {
+		v |= uint64(b) << (8 * i)
+	}
+	return v, nil
+}

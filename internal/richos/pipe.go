@@ -1,0 +1,101 @@
+package richos
+
+import (
+	"fmt"
+)
+
+// Pipe is a bounded byte channel between threads with blocking semantics —
+// the kernel object beneath UnixBench's pipe throughput and pipe-based
+// context switching benchmarks. Writers block when the buffer is full,
+// readers when it is empty; each side wakes the other, so a one-byte
+// ping-pong across two threads exercises the scheduler exactly as the real
+// benchmark does.
+//
+// The Program execution model is non-blocking (Next returns a Step), so
+// Read and Write are *attempts*: they return ok=false when the caller must
+// Block and retry after being woken. pingPong in the tests shows the idiom.
+type Pipe struct {
+	os  *OS
+	buf []byte
+	// r, w are read/write cursors into a ring of len(buf)+1 virtual
+	// positions (one slot kept empty to distinguish full from empty).
+	r, w int
+	// waiting threads, woken on state change.
+	readers []*Thread
+	writers []*Thread
+}
+
+// NewPipe creates a pipe with the given buffer capacity (Linux default is
+// 64 KiB; the ping-pong benchmarks use tiny payloads).
+func NewPipe(os *OS, capacity int) (*Pipe, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("richos: pipe capacity %d must be positive", capacity)
+	}
+	return &Pipe{os: os, buf: make([]byte, capacity+1)}, nil
+}
+
+// size reports the bytes currently buffered.
+func (p *Pipe) size() int {
+	return (p.w - p.r + len(p.buf)) % len(p.buf)
+}
+
+// Cap reports the pipe's capacity.
+func (p *Pipe) Cap() int { return len(p.buf) - 1 }
+
+// Len reports the bytes currently buffered.
+func (p *Pipe) Len() int { return p.size() }
+
+// Write attempts to enqueue data. It writes as much as fits and returns the
+// byte count; n == 0 with ok == false means the pipe was full and the
+// caller registered as a waiting writer: it must Block and retry on wake.
+func (p *Pipe) Write(tc *ThreadContext, data []byte) (n int, ok bool) {
+	free := p.Cap() - p.size()
+	if free == 0 {
+		p.writers = append(p.writers, tc.Thread())
+		return 0, false
+	}
+	if len(data) < free {
+		free = len(data)
+	}
+	for i := 0; i < free; i++ {
+		p.buf[p.w] = data[i]
+		p.w = (p.w + 1) % len(p.buf)
+	}
+	p.wakeReaders()
+	return free, true
+}
+
+// Read attempts to dequeue up to len(out) bytes. n == 0 with ok == false
+// means the pipe was empty and the caller registered as a waiting reader.
+func (p *Pipe) Read(tc *ThreadContext, out []byte) (n int, ok bool) {
+	avail := p.size()
+	if avail == 0 {
+		p.readers = append(p.readers, tc.Thread())
+		return 0, false
+	}
+	if len(out) < avail {
+		avail = len(out)
+	}
+	for i := 0; i < avail; i++ {
+		out[i] = p.buf[p.r]
+		p.r = (p.r + 1) % len(p.buf)
+	}
+	p.wakeWriters()
+	return avail, true
+}
+
+func (p *Pipe) wakeReaders() {
+	waiters := p.readers
+	p.readers = nil
+	for _, t := range waiters {
+		p.os.Wake(t)
+	}
+}
+
+func (p *Pipe) wakeWriters() {
+	waiters := p.writers
+	p.writers = nil
+	for _, t := range waiters {
+		p.os.Wake(t)
+	}
+}

@@ -1,0 +1,203 @@
+package richos
+
+import (
+	"testing"
+	"time"
+
+	"satin/internal/hw"
+)
+
+// pingPonger bounces one byte across two pipes — one side of UnixBench's
+// pipe-based context switching benchmark.
+type pingPonger struct {
+	in, out *Pipe
+	// serve is true for the side that starts by reading.
+	serve      bool
+	sent       int64
+	cost       time.Duration
+	buf        [1]byte
+	needsWrite bool
+}
+
+func (p *pingPonger) Next(tc *ThreadContext) Step {
+	for {
+		if p.needsWrite {
+			if _, ok := p.out.Write(tc, p.buf[:]); !ok {
+				return Block()
+			}
+			p.needsWrite = false
+			p.sent++
+			if p.cost > 0 {
+				return Compute(p.cost)
+			}
+			continue
+		}
+		if _, ok := p.in.Read(tc, p.buf[:]); !ok {
+			return Block()
+		}
+		p.needsWrite = true
+	}
+}
+
+func startPingPong(t *testing.T, os *OS, cores []int, cost time.Duration) (*pingPonger, *pingPonger) {
+	t.Helper()
+	a2b, err := NewPipe(os, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2a, err := NewPipe(os, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Side A starts by writing (kick the ball); side B by reading.
+	a := &pingPonger{in: b2a, out: a2b, needsWrite: true, cost: cost}
+	b := &pingPonger{in: a2b, out: b2a, cost: cost}
+	if _, err := os.Spawn("ping", PolicyCFS, 0, cores, a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Spawn("pong", PolicyCFS, 0, cores, b); err != nil {
+		t.Fatal(err)
+	}
+	return a, b
+}
+
+func TestPipeValidation(t *testing.T) {
+	_, _, _, os := newRig(t)
+	if _, err := NewPipe(os, 0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	p, err := NewPipe(os, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Cap() != 8 || p.Len() != 0 {
+		t.Errorf("Cap/Len = %d/%d", p.Cap(), p.Len())
+	}
+}
+
+func TestPipeRingWrap(t *testing.T) {
+	_, _, _, os := newRig(t)
+	p, err := NewPipe(os, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := &ThreadContext{os: os, thread: &Thread{}}
+	// Fill, drain, refill across the wrap point.
+	if n, ok := p.Write(tc, []byte{1, 2, 3}); !ok || n != 3 {
+		t.Fatalf("write = %d, %v", n, ok)
+	}
+	out := make([]byte, 2)
+	if n, ok := p.Read(tc, out); !ok || n != 2 || out[0] != 1 || out[1] != 2 {
+		t.Fatalf("read = %d, %v, %v", n, ok, out)
+	}
+	if n, ok := p.Write(tc, []byte{4, 5, 6}); !ok || n != 3 {
+		t.Fatalf("wrap write = %d, %v", n, ok)
+	}
+	if p.Len() != 4 {
+		t.Fatalf("Len = %d, want 4 (full)", p.Len())
+	}
+	// Full pipe rejects and registers the writer.
+	if _, ok := p.Write(tc, []byte{9}); ok {
+		t.Fatal("write to full pipe succeeded")
+	}
+	got := make([]byte, 8)
+	n, ok := p.Read(tc, got)
+	if !ok || n != 4 {
+		t.Fatalf("drain = %d, %v", n, ok)
+	}
+	want := []byte{3, 4, 5, 6}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("drained %v, want %v", got[:n], want)
+		}
+	}
+	// Empty pipe rejects and registers the reader.
+	if _, ok := p.Read(tc, got); ok {
+		t.Fatal("read from empty pipe succeeded")
+	}
+}
+
+func TestPipePingPongSameCore(t *testing.T) {
+	// Two threads ping-ponging on one core: every exchange is a pair of
+	// block/wake context switches, like the UnixBench benchmark.
+	e, _, _, os := newRig(t)
+	a, b := startPingPong(t, os, []int{0}, 50*time.Microsecond)
+	e.RunFor(time.Second)
+	// Each round trip costs ≈2×(50µs compute + switch overhead): expect
+	// thousands of exchanges, split evenly.
+	if a.sent < 4000 || b.sent < 4000 {
+		t.Errorf("exchanges: a=%d b=%d, want ≈8000 each... at least 4000", a.sent, b.sent)
+	}
+	diff := a.sent - b.sent
+	if diff < -1 || diff > 1 {
+		t.Errorf("ping/pong unbalanced: a=%d b=%d", a.sent, b.sent)
+	}
+}
+
+func TestPipePingPongCrossCore(t *testing.T) {
+	e, _, _, os := newRig(t)
+	a, _ := startPingPong(t, os, []int{0, 1}, 50*time.Microsecond)
+	e.RunFor(time.Second)
+	if a.sent < 4000 {
+		t.Errorf("cross-core exchanges = %d", a.sent)
+	}
+}
+
+func TestPipePingPongPausedBySecureWorld(t *testing.T) {
+	// The ping-pong pair stalls while its cores are in the secure world
+	// and resumes afterwards — the disruption behind the context_switching
+	// bar in Figure 7.
+	e, p, _, os := newRig(t)
+	a, _ := startPingPong(t, os, []int{2}, 50*time.Microsecond)
+	e.RunFor(500 * time.Millisecond)
+	before := a.sent
+	p.Core(2).SetWorld(hw.SecureWorld)
+	e.RunFor(100 * time.Millisecond)
+	during := a.sent
+	if during != before {
+		t.Errorf("exchanges advanced (%d -> %d) while the core was secure", before, during)
+	}
+	p.Core(2).SetWorld(hw.NormalWorld)
+	e.RunFor(100 * time.Millisecond)
+	if a.sent <= during {
+		t.Error("ping-pong did not resume after release")
+	}
+}
+
+func TestWakeSemantics(t *testing.T) {
+	e, _, _, os := newRig(t)
+	runs := 0
+	th, err := os.Spawn("blocker", PolicyCFS, 0, []int{0}, ProgramFunc(func(*ThreadContext) Step {
+		runs++
+		return Block()
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.RunFor(10 * time.Millisecond)
+	if runs != 1 || th.State() != StateSleeping {
+		t.Fatalf("runs=%d state=%v after block", runs, th.State())
+	}
+	// Waking a running/ready thread is a no-op; waking the blocked one
+	// reschedules it.
+	os.Wake(th)
+	e.RunFor(10 * time.Millisecond)
+	if runs != 2 {
+		t.Errorf("runs = %d after wake, want 2", runs)
+	}
+	// Wake also cancels a timer sleep early.
+	slept := 0
+	th2, err := os.Spawn("sleeper", PolicyCFS, 0, []int{1}, ProgramFunc(func(*ThreadContext) Step {
+		slept++
+		return Sleep(time.Hour)
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.RunFor(time.Millisecond)
+	os.Wake(th2)
+	e.RunFor(10 * time.Millisecond)
+	if slept != 2 {
+		t.Errorf("sleeper ran %d times, want 2 (woken early)", slept)
+	}
+}

@@ -1,0 +1,346 @@
+package simclock
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTimeArithmetic(t *testing.T) {
+	t0 := Time(0)
+	t1 := t0.Add(1500 * time.Millisecond)
+	if got := t1.Seconds(); got != 1.5 {
+		t.Errorf("Seconds() = %v, want 1.5", got)
+	}
+	if got := t1.Sub(t0); got != 1500*time.Millisecond {
+		t.Errorf("Sub = %v, want 1.5s", got)
+	}
+	if !t0.Before(t1) || !t1.After(t0) {
+		t.Error("Before/After ordering wrong")
+	}
+	if got := t1.String(); got != "1.5s" {
+		t.Errorf("String() = %q, want \"1.5s\"", got)
+	}
+	if got := t1.Duration(); got != 1500*time.Millisecond {
+		t.Errorf("Duration() = %v, want 1.5s", got)
+	}
+}
+
+func TestEngineFiresInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.After(30*time.Millisecond, "c", func() { order = append(order, "c") })
+	e.After(10*time.Millisecond, "a", func() { order = append(order, "a") })
+	e.After(20*time.Millisecond, "b", func() { order = append(order, "b") })
+	e.Run()
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if e.Now() != Time(30*time.Millisecond) {
+		t.Errorf("Now() = %v, want 30ms", e.Now())
+	}
+}
+
+func TestEngineSameInstantFiresInScheduleOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.After(time.Millisecond, "ev", func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events fired out of schedule order: %v", order)
+		}
+	}
+}
+
+func TestEngineEventsScheduleMoreEvents(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 100 {
+			e.After(time.Millisecond, "tick", tick)
+		}
+	}
+	e.After(time.Millisecond, "tick", tick)
+	e.Run()
+	if count != 100 {
+		t.Errorf("count = %d, want 100", count)
+	}
+	if e.Now() != Time(100*time.Millisecond) {
+		t.Errorf("Now() = %v, want 100ms", e.Now())
+	}
+}
+
+func TestEngineSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.After(10*time.Millisecond, "later", func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(Time(5*time.Millisecond), "past", func() {})
+	})
+	e.Run()
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	h := e.After(time.Millisecond, "doomed", func() { fired = true })
+	kept := 0
+	e.After(2*time.Millisecond, "kept", func() { kept++ })
+	h.Cancel()
+	if !h.Canceled() {
+		t.Error("Canceled() = false after Cancel")
+	}
+	e.Run()
+	if fired {
+		t.Error("canceled event fired")
+	}
+	if kept != 1 {
+		t.Error("non-canceled event did not fire")
+	}
+	// Cancel after run and double-cancel are no-ops.
+	h.Cancel()
+	var nilHandle *Handle
+	nilHandle.Cancel() // must not panic
+	if nilHandle.Canceled() {
+		t.Error("nil handle reports canceled")
+	}
+}
+
+func TestHandleWhen(t *testing.T) {
+	e := NewEngine()
+	h := e.After(7*time.Millisecond, "x", func() {})
+	if h.When() != Time(7*time.Millisecond) {
+		t.Errorf("When() = %v, want 7ms", h.When())
+	}
+	var nilHandle *Handle
+	if nilHandle.When() != 0 {
+		t.Error("nil handle When() != 0")
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []time.Duration
+	for _, d := range []time.Duration{time.Millisecond, 5 * time.Millisecond, 9 * time.Millisecond} {
+		d := d
+		e.After(d, "ev", func() { fired = append(fired, d) })
+	}
+	e.RunUntil(Time(5 * time.Millisecond))
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events, want 2 (boundary inclusive)", len(fired))
+	}
+	if e.Now() != Time(5*time.Millisecond) {
+		t.Errorf("Now() = %v, want 5ms", e.Now())
+	}
+	// Clock advances to the target even with no events there.
+	e.RunUntil(Time(7 * time.Millisecond))
+	if e.Now() != Time(7*time.Millisecond) {
+		t.Errorf("Now() = %v, want 7ms", e.Now())
+	}
+	e.RunFor(2 * time.Millisecond)
+	if len(fired) != 3 {
+		t.Errorf("fired %d events after RunFor, want 3", len(fired))
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.After(time.Duration(i)*time.Millisecond, "ev", func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Errorf("count = %d, want 3 (engine stopped)", count)
+	}
+	if !e.Stopped() {
+		t.Error("Stopped() = false")
+	}
+	if e.Step() {
+		t.Error("Step() returned true after Stop")
+	}
+	if e.Pending() == 0 {
+		t.Error("pending events discarded by Stop; want them retained")
+	}
+}
+
+func TestEventQueueHeapProperty(t *testing.T) {
+	// Property: popping a queue filled with arbitrary times yields a
+	// non-decreasing sequence, with ties broken by insertion order.
+	f := func(delays []uint16) bool {
+		var q eventQueue
+		for i, d := range delays {
+			q.push(&event{when: Time(d), seq: uint64(i)})
+		}
+		prevWhen := Time(-1)
+		prevSeq := uint64(0)
+		for {
+			ev := q.pop()
+			if ev == nil {
+				break
+			}
+			if ev.when < prevWhen {
+				return false
+			}
+			if ev.when == prevWhen && ev.seq < prevSeq {
+				return false
+			}
+			prevWhen, prevSeq = ev.when, ev.seq
+		}
+		return q.len() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRNGDeterminismAndStreamIndependence(t *testing.T) {
+	a1 := NewRNG(42, "alpha")
+	a2 := NewRNG(42, "alpha")
+	b := NewRNG(42, "beta")
+	sawDifferent := false
+	for i := 0; i < 100; i++ {
+		va1, va2, vb := a1.Uint64(), a2.Uint64(), b.Uint64()
+		if va1 != va2 {
+			t.Fatal("same seed+stream produced different sequences")
+		}
+		if va1 != vb {
+			sawDifferent = true
+		}
+	}
+	if !sawDifferent {
+		t.Error("different streams produced identical sequences")
+	}
+}
+
+func TestRNGDurationBetween(t *testing.T) {
+	g := NewRNG(1, "t")
+	lo, hi := 100*time.Microsecond, 300*time.Microsecond
+	for i := 0; i < 1000; i++ {
+		d := g.DurationBetween(lo, hi)
+		if d < lo || d > hi {
+			t.Fatalf("DurationBetween out of range: %v", d)
+		}
+	}
+	if g.DurationBetween(lo, lo) != lo {
+		t.Error("degenerate range should return lo")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("lo > hi did not panic")
+		}
+	}()
+	g.DurationBetween(hi, lo)
+}
+
+func TestRNGBoolProbability(t *testing.T) {
+	g := NewRNG(7, "bool")
+	n, hits := 20000, 0
+	for i := 0; i < n; i++ {
+		if g.Bool(0.25) {
+			hits++
+		}
+	}
+	got := float64(hits) / float64(n)
+	if math.Abs(got-0.25) > 0.02 {
+		t.Errorf("Bool(0.25) frequency = %v, want ~0.25", got)
+	}
+}
+
+func TestDistValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		d    Dist
+		ok   bool
+	}{
+		{"valid", Seconds(1e-6, 2e-6, 3e-6), true},
+		{"degenerate", Exact(time.Microsecond), true},
+		{"negative min", Dist{Min: -1, Avg: 0, Max: 1}, false},
+		{"avg below min", Dist{Min: 10, Avg: 5, Max: 20}, false},
+		{"avg above max", Dist{Min: 10, Avg: 30, Max: 20}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.d.Validate()
+			if (err == nil) != tc.ok {
+				t.Errorf("Validate() error = %v, want ok=%v", err, tc.ok)
+			}
+		})
+	}
+}
+
+func TestDistDrawBoundsAndMean(t *testing.T) {
+	g := NewRNG(3, "dist")
+	// Deliberately asymmetric, like the paper's A53 snapshot figures.
+	d := Seconds(9.24e-9, 1.08e-8, 1.57e-8)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := d.Draw(g)
+		if v < d.Min || v > d.Max {
+			t.Fatalf("draw %v outside [%v, %v]", v, d.Min, d.Max)
+		}
+		sum += float64(v)
+	}
+	mean := sum / n
+	if math.Abs(mean-float64(d.Avg))/float64(d.Avg) > 0.02 {
+		t.Errorf("sample mean %.4g, want ~%.4g (within 2%%)", mean, float64(d.Avg))
+	}
+}
+
+func TestDistDrawDegenerate(t *testing.T) {
+	g := NewRNG(4, "deg")
+	d := Exact(5 * time.Microsecond)
+	for i := 0; i < 10; i++ {
+		if got := d.Draw(g); got != 5*time.Microsecond {
+			t.Fatalf("degenerate draw = %v, want 5µs", got)
+		}
+	}
+}
+
+func TestDistDrawProperty(t *testing.T) {
+	// Property: for any ordered triple, draws stay within bounds.
+	g := NewRNG(5, "prop")
+	f := func(a, b, c uint32) bool {
+		vals := []time.Duration{time.Duration(a), time.Duration(b), time.Duration(c)}
+		// Order them.
+		if vals[0] > vals[1] {
+			vals[0], vals[1] = vals[1], vals[0]
+		}
+		if vals[1] > vals[2] {
+			vals[1], vals[2] = vals[2], vals[1]
+		}
+		if vals[0] > vals[1] {
+			vals[0], vals[1] = vals[1], vals[0]
+		}
+		d := Dist{Min: vals[0], Avg: vals[1], Max: vals[2]}
+		for i := 0; i < 20; i++ {
+			v := d.Draw(g)
+			if v < d.Min || v > d.Max {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,99 @@
+package simclock
+
+// event is a single scheduled callback.
+type event struct {
+	when     Time
+	seq      uint64
+	name     string
+	fn       func()
+	canceled bool
+	index    int // position in the heap, maintained by eventQueue
+}
+
+// eventQueue is a binary min-heap of events ordered by (when, seq). The seq
+// tiebreak makes same-instant events fire in scheduling order, which is what
+// keeps whole-simulation runs reproducible. The zero value is ready to use.
+type eventQueue struct {
+	items []*event
+}
+
+func (q *eventQueue) len() int { return len(q.items) }
+
+func (q *eventQueue) less(i, j int) bool {
+	a, b := q.items[i], q.items[j]
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	return a.seq < b.seq
+}
+
+func (q *eventQueue) swap(i, j int) {
+	q.items[i], q.items[j] = q.items[j], q.items[i]
+	q.items[i].index = i
+	q.items[j].index = j
+}
+
+func (q *eventQueue) push(ev *event) {
+	ev.index = len(q.items)
+	q.items = append(q.items, ev)
+	q.up(ev.index)
+}
+
+// pop removes and returns the earliest event, or nil if the queue is empty.
+func (q *eventQueue) pop() *event {
+	if len(q.items) == 0 {
+		return nil
+	}
+	top := q.items[0]
+	last := len(q.items) - 1
+	q.swap(0, last)
+	q.items[last] = nil
+	q.items = q.items[:last]
+	if last > 0 {
+		q.down(0)
+	}
+	top.index = -1
+	return top
+}
+
+// peek returns the earliest non-canceled event without removing it, lazily
+// discarding canceled events it encounters at the top.
+func (q *eventQueue) peek() *event {
+	for len(q.items) > 0 && q.items[0].canceled {
+		q.pop()
+	}
+	if len(q.items) == 0 {
+		return nil
+	}
+	return q.items[0]
+}
+
+func (q *eventQueue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+	}
+}
+
+func (q *eventQueue) down(i int) {
+	n := len(q.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		smallest := left
+		if right := left + 1; right < n && q.less(right, left) {
+			smallest = right
+		}
+		if !q.less(smallest, i) {
+			break
+		}
+		q.swap(i, smallest)
+		i = smallest
+	}
+}

@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// BarChart renders a horizontal ASCII bar chart: one row per label, bars
+// scaled to the maximum value, the numeric value printed after each bar.
+// Used to render Figure 7's per-benchmark degradation bars in a terminal.
+func BarChart(labels []string, values []float64, width int, format func(float64) string) string {
+	if len(labels) != len(values) {
+		panic(fmt.Sprintf("stats: BarChart with %d labels, %d values", len(labels), len(values)))
+	}
+	if width <= 0 {
+		width = 40
+	}
+	if format == nil {
+		format = func(v float64) string { return fmt.Sprintf("%.3g", v) }
+	}
+	labelWidth := 0
+	maxVal := 0.0
+	for i, l := range labels {
+		if len(l) > labelWidth {
+			labelWidth = len(l)
+		}
+		if values[i] > maxVal {
+			maxVal = values[i]
+		}
+	}
+	var sb strings.Builder
+	for i, l := range labels {
+		n := 0
+		if maxVal > 0 && values[i] > 0 {
+			n = int(math.Round(values[i] / maxVal * float64(width)))
+			if n == 0 {
+				n = 1 // a nonzero value always shows at least a sliver
+			}
+		}
+		fmt.Fprintf(&sb, "%-*s |%-*s %s\n", labelWidth, l, width, strings.Repeat("#", n), format(values[i]))
+	}
+	return sb.String()
+}
+
+// BoxPlotChart renders ASCII box-and-whisker rows on a shared horizontal
+// axis — the terminal rendering of Figure 4. Layout per row:
+//
+//	label |   |----[==|==]------|    o  o
+//
+// with '|'-capped whiskers, '[' Q1, '=' the interquartile box, '|' the
+// median, ']' Q3, and 'o' outliers.
+func BoxPlotChart(labels []string, boxes []BoxPlot, width int, format func(float64) string) string {
+	if len(labels) != len(boxes) {
+		panic(fmt.Sprintf("stats: BoxPlotChart with %d labels, %d boxes", len(labels), len(boxes)))
+	}
+	if width <= 0 {
+		width = 60
+	}
+	if format == nil {
+		format = func(v float64) string { return fmt.Sprintf("%.3g", v) }
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, b := range boxes {
+		if b.N == 0 {
+			continue
+		}
+		lo = math.Min(lo, b.Min)
+		hi = math.Max(hi, b.Max)
+	}
+	if math.IsInf(lo, 1) || hi <= lo {
+		return "(no data)\n"
+	}
+	pos := func(v float64) int {
+		p := int(math.Round((v - lo) / (hi - lo) * float64(width-1)))
+		if p < 0 {
+			p = 0
+		}
+		if p >= width {
+			p = width - 1
+		}
+		return p
+	}
+	labelWidth := 0
+	for _, l := range labels {
+		if len(l) > labelWidth {
+			labelWidth = len(l)
+		}
+	}
+	var sb strings.Builder
+	for i, b := range boxes {
+		row := []byte(strings.Repeat(" ", width))
+		if b.N > 0 {
+			for p := pos(b.LowerWhisk); p <= pos(b.UpperWhisk); p++ {
+				row[p] = '-'
+			}
+			for p := pos(b.Q1); p <= pos(b.Q3); p++ {
+				row[p] = '='
+			}
+			row[pos(b.LowerWhisk)] = '|'
+			row[pos(b.UpperWhisk)] = '|'
+			row[pos(b.Q1)] = '['
+			row[pos(b.Q3)] = ']'
+			row[pos(b.Median)] = '|'
+			for _, o := range b.Outliers {
+				row[pos(o)] = 'o'
+			}
+		}
+		fmt.Fprintf(&sb, "%-*s |%s| median %s\n", labelWidth, labels[i], string(row), format(b.Median))
+	}
+	fmt.Fprintf(&sb, "%-*s  %s%s\n", labelWidth, "", format(lo), strings.Repeat(" ", max(1, width-len(format(lo))-len(format(hi))))+format(hi))
+	return sb.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarChart(t *testing.T) {
+	out := BarChart(
+		[]string{"dhrystone", "file_copy_256B"},
+		[]float64{0.001, 0.035},
+		20,
+		func(v float64) string { return Pct(v) },
+	)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// The big bar fills the width; the small one still shows a sliver.
+	if !strings.Contains(lines[1], strings.Repeat("#", 20)) {
+		t.Errorf("max bar not full width: %q", lines[1])
+	}
+	if !strings.Contains(lines[0], "#") {
+		t.Errorf("nonzero value shows no bar: %q", lines[0])
+	}
+	if !strings.Contains(lines[0], "0.100%") || !strings.Contains(lines[1], "3.500%") {
+		t.Errorf("values missing:\n%s", out)
+	}
+	// Labels align.
+	if strings.Index(lines[0], "|") != strings.Index(lines[1], "|") {
+		t.Error("bars misaligned")
+	}
+}
+
+func TestBarChartZeroAndDefaults(t *testing.T) {
+	out := BarChart([]string{"a"}, []float64{0}, 0, nil)
+	if strings.Contains(out, "#") {
+		t.Errorf("zero value drew a bar: %q", out)
+	}
+}
+
+func TestBarChartMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched lengths did not panic")
+		}
+	}()
+	BarChart([]string{"a"}, []float64{1, 2}, 10, nil)
+}
+
+func TestBoxPlotChart(t *testing.T) {
+	b1 := NewBoxPlot([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	b2 := NewBoxPlot([]float64{2, 3, 4, 5, 6, 7, 8, 9, 30}) // 30 is an outlier
+	out := BoxPlotChart([]string{"8s", "300s"}, []BoxPlot{b1, b2}, 40, nil)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 { // two rows plus the axis line
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	for _, marker := range []string{"[", "]", "=", "-"} {
+		if !strings.Contains(lines[0], marker) {
+			t.Errorf("row missing %q: %q", marker, lines[0])
+		}
+	}
+	if !strings.Contains(lines[1], "o") {
+		t.Errorf("outlier marker missing: %q", lines[1])
+	}
+	if !strings.Contains(lines[0], "median") {
+		t.Error("median annotation missing")
+	}
+	// Axis shows the global range.
+	if !strings.Contains(lines[2], "1") || !strings.Contains(lines[2], "30") {
+		t.Errorf("axis line = %q", lines[2])
+	}
+}
+
+func TestBoxPlotChartEmpty(t *testing.T) {
+	out := BoxPlotChart([]string{"x"}, []BoxPlot{{}}, 40, nil)
+	if !strings.Contains(out, "no data") {
+		t.Errorf("empty chart = %q", out)
+	}
+}
+
+func TestBoxPlotChartMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched lengths did not panic")
+		}
+	}()
+	BoxPlotChart([]string{"a", "b"}, []BoxPlot{{}}, 10, nil)
+}

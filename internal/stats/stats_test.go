@@ -1,0 +1,247 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func almostEq(a, b float64) bool {
+	return math.Abs(a-b) < 1e-9
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 {
+		t.Errorf("N = %d, want 8", s.N)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("Min/Max = %v/%v, want 2/9", s.Min, s.Max)
+	}
+	if !almostEq(s.Mean, 5) {
+		t.Errorf("Mean = %v, want 5", s.Mean)
+	}
+	if !almostEq(s.Std, 2) {
+		t.Errorf("Std = %v, want 2", s.Std)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s != (Summary{}) {
+		t.Errorf("Summarize(nil) = %+v, want zero", s)
+	}
+}
+
+func TestSummarizeDurations(t *testing.T) {
+	s := SummarizeDurations([]time.Duration{time.Second, 3 * time.Second})
+	if !almostEq(s.Mean, 2) || !almostEq(s.Min, 1) || !almostEq(s.Max, 3) {
+		t.Errorf("SummarizeDurations = %+v", s)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {0.1, 1.4},
+	}
+	for _, tc := range cases {
+		if got := Percentile(xs, tc.p); !almostEq(got, tc.want) {
+			t.Errorf("Percentile(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if Percentile(nil, 0.5) != 0 {
+		t.Error("Percentile of empty sample should be 0")
+	}
+	if Percentile([]float64{7}, 0.9) != 7 {
+		t.Error("Percentile of singleton should be that value")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range p did not panic")
+		}
+	}()
+	Percentile(xs, 1.5)
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestBoxPlotNoOutliers(t *testing.T) {
+	b := NewBoxPlot([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	if !almostEq(b.Median, 5) {
+		t.Errorf("Median = %v, want 5", b.Median)
+	}
+	if !almostEq(b.Q1, 3) || !almostEq(b.Q3, 7) {
+		t.Errorf("Q1/Q3 = %v/%v, want 3/7", b.Q1, b.Q3)
+	}
+	if len(b.Outliers) != 0 {
+		t.Errorf("Outliers = %v, want none", b.Outliers)
+	}
+	if !almostEq(b.LowerWhisk, 1) || !almostEq(b.UpperWhisk, 9) {
+		t.Errorf("whiskers = %v/%v, want 1/9", b.LowerWhisk, b.UpperWhisk)
+	}
+}
+
+func TestBoxPlotWithOutlier(t *testing.T) {
+	// 100 is far beyond Q3 + 1.5*IQR.
+	b := NewBoxPlot([]float64{1, 2, 3, 4, 5, 6, 7, 8, 100})
+	if len(b.Outliers) != 1 || b.Outliers[0] != 100 {
+		t.Errorf("Outliers = %v, want [100]", b.Outliers)
+	}
+	if b.Max != 100 {
+		t.Errorf("Max = %v, want 100", b.Max)
+	}
+	if b.UpperWhisk >= 100 {
+		t.Errorf("UpperWhisk = %v, want < 100", b.UpperWhisk)
+	}
+}
+
+func TestBoxPlotEmpty(t *testing.T) {
+	b := NewBoxPlot(nil)
+	if b.N != 0 {
+		t.Error("empty box plot should have N = 0")
+	}
+}
+
+func TestBoxPlotProperties(t *testing.T) {
+	// Properties: ordering of the five numbers, and whiskers+outliers
+	// partition the sample.
+	f := func(raw []float64) bool {
+		xs := raw[:0]
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		b := NewBoxPlot(xs)
+		ordered := b.Min <= b.LowerWhisk && b.LowerWhisk <= b.Q1 &&
+			b.Q1 <= b.Median && b.Median <= b.Q3 &&
+			b.Q3 <= b.UpperWhisk && b.UpperWhisk <= b.Max
+		if !ordered {
+			return false
+		}
+		// Every outlier lies strictly outside the whiskers.
+		for _, o := range b.Outliers {
+			if o >= b.LowerWhisk && o <= b.UpperWhisk {
+				return false
+			}
+		}
+		return b.N == len(xs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if !almostEq(Mean([]float64{1, 2, 3}), 2) {
+		t.Error("Mean([1 2 3]) != 2")
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if !almostEq(RelErr(110, 100), 0.1) {
+		t.Error("RelErr(110, 100) != 0.1")
+	}
+	if RelErr(0, 0) != 0 {
+		t.Error("RelErr(0, 0) != 0")
+	}
+	if !math.IsInf(RelErr(1, 0), 1) {
+		t.Error("RelErr(1, 0) != +Inf")
+	}
+}
+
+func TestSciFormats(t *testing.T) {
+	if got := Sci(2.61e-4); got != "2.61e-04" {
+		t.Errorf("Sci = %q", got)
+	}
+	if got := SciSeconds(1.8e-3); got != "1.80e-03 s" {
+		t.Errorf("SciSeconds = %q", got)
+	}
+	if got := Pct(0.00711); got != "0.711%" {
+		t.Errorf("Pct = %q", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("Core-Time", "Hash 1-Byte", "Snapshot 1-byte")
+	tbl.AddRow("A53-Average", "1.07e-08 s", "1.08e-08 s")
+	tbl.AddRow("A57-Average", "6.71e-09 s")
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Core-Time") {
+		t.Errorf("header line = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("separator line = %q", lines[1])
+	}
+	// Columns align: "Hash 1-Byte" starts at the same offset in every row.
+	col := strings.Index(lines[0], "Hash 1-Byte")
+	if strings.Index(lines[2], "1.07e-08 s") != col {
+		t.Errorf("data column misaligned:\n%s", out)
+	}
+}
+
+func TestTableOverlongRowPanics(t *testing.T) {
+	tbl := NewTable("a")
+	defer func() {
+		if recover() == nil {
+			t.Error("overlong row did not panic")
+		}
+	}()
+	tbl.AddRow("1", "2")
+}
+
+func TestPercentileMonotone(t *testing.T) {
+	f := func(raw []float64, p1, p2 float64) bool {
+		xs := raw[:0]
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		frac := func(p float64) float64 { return p - math.Floor(p) }
+		a, b := frac(p1), frac(p2)
+		if a > b {
+			a, b = b, a
+		}
+		return Percentile(xs, a) <= Percentile(xs, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoxPlotMatchesSortedSample(t *testing.T) {
+	xs := []float64{5, 3, 8, 1, 9, 2, 7, 4, 6}
+	b := NewBoxPlot(xs)
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if b.Min != sorted[0] || b.Max != sorted[len(sorted)-1] {
+		t.Errorf("Min/Max = %v/%v, want %v/%v", b.Min, b.Max, sorted[0], sorted[len(sorted)-1])
+	}
+}

@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Sci formats v in the scientific notation the paper uses, e.g.
+// "2.61e-04 s" for 2.61 × 10⁻⁴ s.
+func Sci(v float64) string {
+	return fmt.Sprintf("%.2e", v)
+}
+
+// SciSeconds formats a duration in seconds with the paper's notation and a
+// unit suffix.
+func SciSeconds(v float64) string {
+	return Sci(v) + " s"
+}
+
+// Pct formats a ratio as a percentage with three decimals, matching the
+// paper's overhead figures (e.g. "0.711%").
+func Pct(ratio float64) string {
+	return fmt.Sprintf("%.3f%%", ratio*100)
+}
+
+// Table renders fixed-width text tables for experiment output. Build one
+// with NewTable, add rows, and render with String.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends one row. Rows shorter than the header are padded with empty
+// cells; longer rows are a programming error and panic.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) > len(t.header) {
+		panic(fmt.Sprintf("stats: row has %d cells, table has %d columns", len(cells), len(t.header)))
+	}
+	row := make([]string, len(t.header))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table with aligned columns and a separator under the
+// header.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			sb.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		sb.WriteString("\n")
+	}
+	writeRow(t.header)
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	total += 2 * (len(widths) - 1)
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteString("\n")
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return sb.String()
+}

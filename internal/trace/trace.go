@@ -1,0 +1,122 @@
+// Package trace assembles human- and machine-readable timelines of a
+// simulation run: world switches, introspection rounds, alarms, and evader
+// reactions merged into one time-ordered event stream. The components
+// already keep their own logs (trustzone.Monitor.Switches,
+// core.SATIN.Rounds/Alarms, attack evader Events); this package merges and
+// renders them.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Kind classifies a timeline event.
+type Kind string
+
+// Event kinds.
+const (
+	KindWorldEnter  Kind = "world-enter"
+	KindRound       Kind = "round"
+	KindAlarm       Kind = "alarm"
+	KindSuspect     Kind = "suspect"
+	KindHidden      Kind = "hidden"
+	KindCoreBack    Kind = "core-back"
+	KindReinstalled Kind = "reinstalled"
+	KindGuardDeny   Kind = "guard-deny"
+)
+
+// Event is one timeline entry.
+type Event struct {
+	// At is the virtual instant, as a duration since boot.
+	At time.Duration `json:"at_ns"`
+	// Kind classifies the event.
+	Kind Kind `json:"kind"`
+	// Core is the core involved, or -1.
+	Core int `json:"core"`
+	// Area is the introspection area involved, or -1.
+	Area int `json:"area"`
+	// Detail is a free-form annotation.
+	Detail string `json:"detail,omitempty"`
+}
+
+// String renders one line.
+func (e Event) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "[%12v] %-12s", e.At.Truncate(time.Microsecond), e.Kind)
+	if e.Core >= 0 {
+		fmt.Fprintf(&sb, " core=%d", e.Core)
+	}
+	if e.Area >= 0 {
+		fmt.Fprintf(&sb, " area=%d", e.Area)
+	}
+	if e.Detail != "" {
+		fmt.Fprintf(&sb, " %s", e.Detail)
+	}
+	return sb.String()
+}
+
+// Timeline is a collection of events, sorted on demand.
+type Timeline struct {
+	events []Event
+	sorted bool
+}
+
+// Add appends events.
+func (t *Timeline) Add(events ...Event) {
+	t.events = append(t.events, events...)
+	t.sorted = false
+}
+
+// Events returns the events in time order (stable for equal instants).
+func (t *Timeline) Events() []Event {
+	if !t.sorted {
+		sort.SliceStable(t.events, func(i, j int) bool {
+			return t.events[i].At < t.events[j].At
+		})
+		t.sorted = true
+	}
+	return t.events
+}
+
+// Filter returns the ordered events matching any of the kinds.
+func (t *Timeline) Filter(kinds ...Kind) []Event {
+	want := make(map[Kind]bool, len(kinds))
+	for _, k := range kinds {
+		want[k] = true
+	}
+	var out []Event
+	for _, e := range t.Events() {
+		if want[e.Kind] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Len reports the event count.
+func (t *Timeline) Len() int { return len(t.events) }
+
+// WriteText renders one line per event.
+func (t *Timeline) WriteText(w io.Writer) error {
+	for _, e := range t.Events() {
+		if _, err := fmt.Fprintln(w, e.String()); err != nil {
+			return fmt.Errorf("trace: writing text: %w", err)
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the ordered events as a JSON array.
+func (t *Timeline) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(t.Events()); err != nil {
+		return fmt.Errorf("trace: writing JSON: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTimelineOrdersEvents(t *testing.T) {
+	var tl Timeline
+	tl.Add(
+		Event{At: 30 * time.Millisecond, Kind: KindAlarm, Core: 1, Area: 14},
+		Event{At: 10 * time.Millisecond, Kind: KindWorldEnter, Core: 1, Area: -1},
+		Event{At: 20 * time.Millisecond, Kind: KindSuspect, Core: 1, Area: -1},
+	)
+	ev := tl.Events()
+	if len(ev) != 3 || tl.Len() != 3 {
+		t.Fatalf("events = %d", len(ev))
+	}
+	for i := 1; i < len(ev); i++ {
+		if ev[i].At < ev[i-1].At {
+			t.Fatalf("events out of order: %v", ev)
+		}
+	}
+	if ev[0].Kind != KindWorldEnter || ev[2].Kind != KindAlarm {
+		t.Errorf("order wrong: %v", ev)
+	}
+}
+
+func TestTimelineStableForEqualInstants(t *testing.T) {
+	var tl Timeline
+	tl.Add(
+		Event{At: time.Millisecond, Kind: KindWorldEnter, Detail: "first"},
+		Event{At: time.Millisecond, Kind: KindRound, Detail: "second"},
+	)
+	ev := tl.Events()
+	if ev[0].Detail != "first" || ev[1].Detail != "second" {
+		t.Errorf("equal-instant order not stable: %v", ev)
+	}
+}
+
+func TestTimelineAddAfterSort(t *testing.T) {
+	var tl Timeline
+	tl.Add(Event{At: 2 * time.Millisecond, Kind: KindRound})
+	_ = tl.Events()
+	tl.Add(Event{At: time.Millisecond, Kind: KindWorldEnter})
+	ev := tl.Events()
+	if ev[0].Kind != KindWorldEnter {
+		t.Error("late-added earlier event not re-sorted")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	var tl Timeline
+	tl.Add(
+		Event{At: 1, Kind: KindWorldEnter},
+		Event{At: 2, Kind: KindAlarm},
+		Event{At: 3, Kind: KindSuspect},
+		Event{At: 4, Kind: KindAlarm},
+	)
+	alarms := tl.Filter(KindAlarm)
+	if len(alarms) != 2 {
+		t.Errorf("filtered %d alarms, want 2", len(alarms))
+	}
+	both := tl.Filter(KindAlarm, KindSuspect)
+	if len(both) != 3 {
+		t.Errorf("filtered %d, want 3", len(both))
+	}
+	if len(tl.Filter()) != 0 {
+		t.Error("empty filter should match nothing")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{At: 1500 * time.Microsecond, Kind: KindAlarm, Core: 4, Area: 14, Detail: "dirty"}
+	s := e.String()
+	for _, needle := range []string{"alarm", "core=4", "area=14", "dirty", "1.5ms"} {
+		if !strings.Contains(s, needle) {
+			t.Errorf("String() = %q missing %q", s, needle)
+		}
+	}
+	// Negative core/area are suppressed.
+	s = Event{At: time.Millisecond, Kind: KindRound, Core: -1, Area: -1}.String()
+	if strings.Contains(s, "core=") || strings.Contains(s, "area=") {
+		t.Errorf("String() = %q should omit core/area", s)
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	var tl Timeline
+	tl.Add(
+		Event{At: time.Millisecond, Kind: KindWorldEnter, Core: 0, Area: -1},
+		Event{At: 2 * time.Millisecond, Kind: KindRound, Core: 0, Area: 3},
+	)
+	var buf bytes.Buffer
+	if err := tl.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("wrote %d lines, want 2", len(lines))
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	var tl Timeline
+	tl.Add(
+		Event{At: time.Millisecond, Kind: KindSuspect, Core: 2, Area: -1, Detail: "staleness"},
+		Event{At: 2 * time.Millisecond, Kind: KindHidden, Core: -1, Area: -1},
+	)
+	var buf bytes.Buffer
+	if err := tl.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []Event
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != 2 || decoded[0].Kind != KindSuspect || decoded[0].Detail != "staleness" {
+		t.Errorf("round trip = %+v", decoded)
+	}
+}
+
+func TestTimelineSortProperty(t *testing.T) {
+	f := func(offsets []uint32) bool {
+		var tl Timeline
+		for _, o := range offsets {
+			tl.Add(Event{At: time.Duration(o), Kind: KindRound})
+		}
+		ev := tl.Events()
+		if len(ev) != len(offsets) {
+			return false
+		}
+		return sort.SliceIsSorted(ev, func(i, j int) bool { return ev[i].At < ev[j].At })
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,272 @@
+package trustzone
+
+import (
+	"testing"
+	"time"
+
+	"satin/internal/hw"
+	"satin/internal/simclock"
+)
+
+func newRig(t *testing.T) (*simclock.Engine, *hw.Platform, *Monitor) {
+	t.Helper()
+	e := simclock.NewEngine()
+	p, err := hw.NewJunoR1(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, p, NewMonitor(p, 1)
+}
+
+// timerService runs a fixed-duration payload on every secure timer entry.
+type timerService struct {
+	work    time.Duration
+	entries []int
+}
+
+func (s *timerService) OnSecureTimer(ctx *Context) {
+	s.entries = append(s.entries, ctx.Core().ID())
+	ctx.Elapse(s.work, ctx.Exit)
+}
+
+func armTimer(t *testing.T, p *hw.Platform, coreID int, at simclock.Time) {
+	t.Helper()
+	st := p.Core(coreID).SecureTimer()
+	if err := st.WriteCVAL(hw.SecureWorld, at); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WriteCTL(hw.SecureWorld, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSecureTimerEntryRunsServiceAndExits(t *testing.T) {
+	e, p, m := newRig(t)
+	svc := &timerService{work: 5 * time.Millisecond}
+	m.SetService(svc)
+	armTimer(t, p, 2, simclock.Time(100*time.Millisecond))
+
+	var secureAt, normalAt simclock.Time
+	p.Core(2).OnWorldChange(func(_ *hw.Core, _, newWorld hw.World) {
+		if newWorld == hw.SecureWorld {
+			secureAt = e.Now()
+		} else {
+			normalAt = e.Now()
+		}
+	})
+	e.Run()
+
+	if len(svc.entries) != 1 || svc.entries[0] != 2 {
+		t.Fatalf("service entries = %v, want [2]", svc.entries)
+	}
+	// Entry happens Ts_switch after the interrupt.
+	enterDelay := secureAt.Sub(simclock.Time(100 * time.Millisecond))
+	if enterDelay < 2380*time.Nanosecond || enterDelay > 3600*time.Nanosecond {
+		t.Errorf("entry Ts_switch = %v, want within [2.38µs, 3.6µs]", enterDelay)
+	}
+	// Exit happens after the payload work plus another Ts_switch.
+	total := normalAt.Sub(secureAt)
+	if total < 5*time.Millisecond || total > 5*time.Millisecond+4*time.Microsecond {
+		t.Errorf("secure residency = %v, want 5ms + Ts_switch", total)
+	}
+	if m.InSecure(2) {
+		t.Error("InSecure after exit")
+	}
+	// The switch record captured the request-to-entry latency.
+	recs := m.Switches()
+	if len(recs) != 1 {
+		t.Fatalf("switch records = %d, want 1", len(recs))
+	}
+	if recs[0].Reason != ReasonSecureTimer || recs[0].CoreID != 2 {
+		t.Errorf("record = %+v", recs[0])
+	}
+	if recs[0].SwitchTime() != enterDelay {
+		t.Errorf("recorded switch %v, observed %v", recs[0].SwitchTime(), enterDelay)
+	}
+}
+
+func TestOtherCoresStayInNormalWorld(t *testing.T) {
+	e, p, m := newRig(t)
+	svc := &timerService{work: 10 * time.Millisecond}
+	m.SetService(svc)
+	armTimer(t, p, 0, simclock.Time(time.Millisecond))
+	e.After(5*time.Millisecond, "mid-check", func() {
+		if !m.InSecure(0) {
+			t.Error("core 0 should be in secure world")
+		}
+		for i := 1; i < p.NumCores(); i++ {
+			if p.Core(i).World() != hw.NormalWorld {
+				t.Errorf("core %d left normal world; the rich OS must keep running", i)
+			}
+		}
+	})
+	e.Run()
+}
+
+func TestRequestSecureSMC(t *testing.T) {
+	e, _, m := newRig(t)
+	ran := false
+	err := m.RequestSecure(1, func(ctx *Context) {
+		ran = true
+		if ctx.Core().ID() != 1 {
+			t.Errorf("ctx core = %d, want 1", ctx.Core().ID())
+		}
+		ctx.Exit()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if !ran {
+		t.Error("SMC payload never ran")
+	}
+	recs := m.Switches()
+	if len(recs) != 1 || recs[0].Reason != ReasonSMC {
+		t.Errorf("records = %+v", recs)
+	}
+}
+
+func TestRequestSecureRejectsBusyAndBadCore(t *testing.T) {
+	e, _, m := newRig(t)
+	if err := m.RequestSecure(99, func(*Context) {}); err == nil {
+		t.Error("bad core accepted")
+	}
+	if err := m.RequestSecure(-1, func(*Context) {}); err == nil {
+		t.Error("negative core accepted")
+	}
+	err := m.RequestSecure(0, func(ctx *Context) {
+		// While in the secure world, a second request must fail.
+		if err := m.RequestSecure(0, func(*Context) {}); err == nil {
+			t.Error("re-entry accepted")
+		}
+		ctx.Exit()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+}
+
+func TestNSInterruptPendsUntilSecureExit(t *testing.T) {
+	e, p, m := newRig(t)
+	var delivered []simclock.Time
+	p.GIC().Register(hw.IntNSTimer, func(coreID int) {
+		delivered = append(delivered, e.Now())
+	})
+	svc := &timerService{work: 8 * time.Millisecond}
+	m.SetService(svc)
+	armTimer(t, p, 0, simclock.Time(time.Millisecond))
+	// NS tick arrives in the middle of the secure payload.
+	e.After(4*time.Millisecond, "ns-tick", func() {
+		p.GIC().Raise(hw.IntNSTimer, 0)
+		if len(delivered) != 0 {
+			t.Error("NS interrupt delivered during non-preemptive secure execution")
+		}
+	})
+	e.Run()
+	if len(delivered) != 1 {
+		t.Fatalf("NS interrupt delivered %d times, want 1 (after exit)", len(delivered))
+	}
+	// Delivered only when the core came back: after ~1ms + switch + 8ms + switch.
+	if delivered[0].Duration() < 9*time.Millisecond {
+		t.Errorf("NS interrupt delivered at %v, want after secure exit", delivered[0])
+	}
+}
+
+func TestOnEnterObserver(t *testing.T) {
+	e, _, m := newRig(t)
+	var seen []SwitchRecord
+	m.OnEnter(func(r SwitchRecord) { seen = append(seen, r) })
+	if err := m.RequestSecure(3, func(ctx *Context) { ctx.Exit() }); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if len(seen) != 1 || seen[0].CoreID != 3 {
+		t.Errorf("observer saw %+v", seen)
+	}
+}
+
+func TestDoubleExitPanics(t *testing.T) {
+	e, _, m := newRig(t)
+	err := m.RequestSecure(0, func(ctx *Context) {
+		ctx.Exit()
+		defer func() {
+			if recover() == nil {
+				t.Error("double Exit did not panic")
+			}
+		}()
+		ctx.Exit()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+}
+
+func TestElapseAfterExitPanics(t *testing.T) {
+	e, _, m := newRig(t)
+	err := m.RequestSecure(0, func(ctx *Context) {
+		ctx.Exit()
+		defer func() {
+			if recover() == nil {
+				t.Error("Elapse after Exit did not panic")
+			}
+		}()
+		ctx.Elapse(time.Millisecond, func() {})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+}
+
+func TestTimerWithoutServicePanics(t *testing.T) {
+	e, p, _ := newRig(t)
+	armTimer(t, p, 0, simclock.Time(time.Millisecond))
+	defer func() {
+		if recover() == nil {
+			t.Error("secure timer with no service did not panic")
+		}
+	}()
+	e.Run()
+}
+
+func TestSwitchTimesMatchCalibration(t *testing.T) {
+	// 50 world switches, as in the paper's Ts_switch measurement (§IV-B1):
+	// every sample in [2.38µs, 3.60µs].
+	e, _, m := newRig(t)
+	var run func(i int)
+	run = func(i int) {
+		if i == 50 {
+			return
+		}
+		if err := m.RequestSecure(i%6, func(ctx *Context) {
+			ctx.Exit()
+			// Schedule the next entry strictly after this one exits.
+			ctx.Platform().Engine().After(10*time.Microsecond, "next", func() { run(i + 1) })
+		}); err != nil {
+			t.Errorf("entry %d: %v", i, err)
+		}
+	}
+	run(0)
+	e.Run()
+	recs := m.Switches()
+	if len(recs) != 50 {
+		t.Fatalf("recorded %d switches, want 50", len(recs))
+	}
+	for _, r := range recs {
+		d := r.SwitchTime()
+		if d < 2380*time.Nanosecond || d > 3600*time.Nanosecond {
+			t.Errorf("Ts_switch = %v outside calibrated range", d)
+		}
+	}
+}
+
+func TestEntryReasonString(t *testing.T) {
+	if ReasonSecureTimer.String() != "secure-timer" || ReasonSMC.String() != "smc" {
+		t.Error("reason names wrong")
+	}
+	if EntryReason(9).String() == "" {
+		t.Error("unknown reason should render")
+	}
+}

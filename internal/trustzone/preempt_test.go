@@ -1,0 +1,131 @@
+package trustzone
+
+import (
+	"testing"
+	"time"
+
+	"satin/internal/hw"
+	"satin/internal/simclock"
+)
+
+func TestRoutingModeString(t *testing.T) {
+	if NonPreemptive.String() != "non-preemptive" || Preemptive.String() != "preemptive" {
+		t.Error("routing names wrong")
+	}
+	if RoutingMode(9).String() == "" {
+		t.Error("unknown mode must render")
+	}
+}
+
+func TestDefaultRoutingIsNonPreemptive(t *testing.T) {
+	_, _, m := newRig(t)
+	if m.Routing() != NonPreemptive {
+		t.Errorf("default routing = %v, want non-preemptive", m.Routing())
+	}
+}
+
+// floodDuringPayload raises n NS interrupts while the payload runs and
+// returns the payload's residency.
+func floodDuringPayload(t *testing.T, mode RoutingMode, n int) time.Duration {
+	t.Helper()
+	e, p, m := newRig(t)
+	m.SetRouting(mode)
+	p.GIC().Configure(hw.IntSGIFlood, hw.GroupNonSecure)
+	p.GIC().Register(hw.IntSGIFlood, func(int) {})
+
+	var entered, exited simclock.Time
+	p.Core(0).OnWorldChange(func(_ *hw.Core, _, w hw.World) {
+		if w == hw.SecureWorld {
+			entered = e.Now()
+		} else {
+			exited = e.Now()
+		}
+	})
+	err := m.RequestSecure(0, func(ctx *Context) {
+		ctx.Elapse(10*time.Millisecond, ctx.Exit)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interrupts land spread through the payload window.
+	for i := 0; i < n; i++ {
+		e.After(time.Duration(i+1)*100*time.Microsecond, "flood", func() {
+			p.GIC().Raise(hw.IntSGIFlood, 0)
+		})
+	}
+	e.Run()
+	if entered == 0 || exited == 0 {
+		t.Fatal("payload never completed")
+	}
+	return exited.Sub(entered)
+}
+
+func TestNonPreemptiveIgnoresFlood(t *testing.T) {
+	quiet := floodDuringPayload(t, NonPreemptive, 0)
+	flooded := floodDuringPayload(t, NonPreemptive, 50)
+	// SCR_EL3.IRQ=0: the flood pends; residency unchanged.
+	if diff := flooded - quiet; diff < -time.Microsecond || diff > 5*time.Microsecond {
+		t.Errorf("non-preemptive residency moved by %v under flood", diff)
+	}
+}
+
+func TestPreemptiveStretchesPayload(t *testing.T) {
+	quiet := floodDuringPayload(t, Preemptive, 0)
+	flooded := floodDuringPayload(t, Preemptive, 50)
+	// 50 preemptions × 20–45 µs each: 1.0–2.25 ms of stretch.
+	stretch := flooded - quiet
+	if stretch < 900*time.Microsecond || stretch > 2500*time.Microsecond {
+		t.Errorf("preemptive stretch = %v, want ≈1–2.25ms for 50 preemptions", stretch)
+	}
+}
+
+func TestPreemptionsCounted(t *testing.T) {
+	e, p, m := newRig(t)
+	m.SetRouting(Preemptive)
+	p.GIC().Configure(hw.IntSGIFlood, hw.GroupNonSecure)
+	delivered := 0
+	p.GIC().Register(hw.IntSGIFlood, func(int) { delivered++ })
+	err := m.RequestSecure(2, func(ctx *Context) {
+		ctx.Elapse(time.Millisecond, ctx.Exit)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.After(500*time.Microsecond, "int", func() { p.GIC().Raise(hw.IntSGIFlood, 2) })
+	e.Run()
+	if m.Preemptions(2) != 1 {
+		t.Errorf("Preemptions = %d, want 1", m.Preemptions(2))
+	}
+	// In preemptive mode the handler genuinely runs (the normal world
+	// briefly takes the core).
+	if delivered != 1 {
+		t.Errorf("handler ran %d times, want 1", delivered)
+	}
+}
+
+func TestPreemptiveOnlyAffectsSecureCores(t *testing.T) {
+	e, p, m := newRig(t)
+	m.SetRouting(Preemptive)
+	p.GIC().Configure(hw.IntSGIFlood, hw.GroupNonSecure)
+	delivered := 0
+	p.GIC().Register(hw.IntSGIFlood, func(int) { delivered++ })
+	// Core 1 is in the normal world: plain delivery, no preemption charge.
+	p.GIC().Raise(hw.IntSGIFlood, 1)
+	e.Run()
+	if delivered != 1 || m.Preemptions(1) != 0 {
+		t.Errorf("delivered=%d preemptions=%d, want 1/0", delivered, m.Preemptions(1))
+	}
+}
+
+func TestSetRoutingBackToNonPreemptive(t *testing.T) {
+	_, p, m := newRig(t)
+	m.SetRouting(Preemptive)
+	m.SetRouting(NonPreemptive)
+	p.GIC().Configure(hw.IntSGIFlood, hw.GroupNonSecure)
+	p.GIC().Register(hw.IntSGIFlood, func(int) {})
+	p.Core(0).SetWorld(hw.SecureWorld)
+	p.GIC().Raise(hw.IntSGIFlood, 0)
+	if !p.GIC().PendingOn(hw.IntSGIFlood, 0) {
+		t.Error("interrupt not pended after reverting to non-preemptive")
+	}
+}

@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"satin/internal/richos"
+)
+
+// PingPong is a structural pipe-based context-switching benchmark: two
+// threads bounce a byte through a pair of richos.Pipes, each exchange
+// costing two block/wake context switches — the actual shape of
+// UnixBench's "Pipe-based Context Switching". Unlike the calibrated Spec
+// workloads, it carries no fitted warm-state penalty: any degradation under
+// SATIN is purely the structural stall of losing a core mid-exchange. The
+// overhead-decomposition experiment uses it to show how much of the paper's
+// 3.9% context-switching bar is structural (very little) versus
+// warm-state disruption (almost all of it).
+type PingPong struct {
+	sides []*pingPongSide
+}
+
+type pingPongSide struct {
+	in, out    *richos.Pipe
+	needsWrite bool
+	cost       time.Duration
+	exchanges  int64
+	buf        [1]byte
+}
+
+// Next implements richos.Program.
+func (s *pingPongSide) Next(tc *richos.ThreadContext) richos.Step {
+	for {
+		if s.needsWrite {
+			if _, ok := s.out.Write(tc, s.buf[:]); !ok {
+				return richos.Block()
+			}
+			s.needsWrite = false
+			s.exchanges++
+			if s.cost > 0 {
+				return richos.Compute(s.cost)
+			}
+			continue
+		}
+		if _, ok := s.in.Read(tc, s.buf[:]); !ok {
+			return richos.Block()
+		}
+		s.needsWrite = true
+	}
+}
+
+// StartPingPong launches `pairs` ping-pong pairs floating across all cores,
+// each side computing `cost` per exchange (modeling the benchmark's
+// per-iteration work).
+func StartPingPong(os *richos.OS, pairs int, cost time.Duration) (*PingPong, error) {
+	if pairs <= 0 {
+		return nil, fmt.Errorf("workload: pairs %d must be positive", pairs)
+	}
+	if cost <= 0 {
+		return nil, fmt.Errorf("workload: per-exchange cost %v must be positive", cost)
+	}
+	pp := &PingPong{}
+	for i := 0; i < pairs; i++ {
+		a2b, err := richos.NewPipe(os, 16)
+		if err != nil {
+			return nil, err
+		}
+		b2a, err := richos.NewPipe(os, 16)
+		if err != nil {
+			return nil, err
+		}
+		a := &pingPongSide{in: b2a, out: a2b, needsWrite: true, cost: cost}
+		b := &pingPongSide{in: a2b, out: b2a, cost: cost}
+		if _, err := os.Spawn(fmt.Sprintf("ping-%d", i), richos.PolicyCFS, 0, os.AllCores(), a); err != nil {
+			return nil, err
+		}
+		if _, err := os.Spawn(fmt.Sprintf("pong-%d", i), richos.PolicyCFS, 0, os.AllCores(), b); err != nil {
+			return nil, err
+		}
+		pp.sides = append(pp.sides, a, b)
+	}
+	return pp, nil
+}
+
+// Exchanges reports the total one-way messages across all pairs.
+func (p *PingPong) Exchanges() int64 {
+	var sum int64
+	for _, s := range p.sides {
+		sum += s.exchanges
+	}
+	return sum
+}

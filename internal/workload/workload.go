@@ -1,0 +1,183 @@
+// Package workload provides the UnixBench-shaped benchmark suite used to
+// reproduce the paper's Figure 7 (SATIN's normal-world overhead).
+//
+// Each workload is modeled as a CPU-bound iteration loop with a calibrated
+// *warm-state penalty*: when the secure world steals the workload's core
+// mid-run, the thread migrates (or waits) and then spends extra CPU time
+// rebuilding its working state — caches, TLB entries, page-cache locality,
+// pipe scheduling affinity — before useful iterations resume. Workloads
+// whose inner loop is dominated by tiny syscalls (file copy with a 256-byte
+// buffer, pipe-based context switching) have the largest penalties, which
+// is exactly where the paper measures its overhead spikes (3.556% and
+// 3.912%); compute-bound kernels (Dhrystone, Whetstone) barely notice.
+//
+// The penalties are calibrated to the paper's measured degradations — the
+// substitution DESIGN.md documents: we reproduce the *mechanism* (stolen
+// core time plus per-interruption disruption) and fit its one free
+// parameter per workload to the published bars.
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"satin/internal/richos"
+)
+
+// Spec describes one benchmark program.
+type Spec struct {
+	// Name matches the UnixBench program it stands in for.
+	Name string
+	// Quantum is the CPU time of one scored iteration.
+	Quantum time.Duration
+	// PausePenalty is the extra (unscored) CPU time an interruption
+	// costs before useful work resumes.
+	PausePenalty time.Duration
+}
+
+// Validate checks the spec.
+func (s Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("workload: empty name")
+	}
+	if s.Quantum <= 0 {
+		return fmt.Errorf("workload: %s quantum %v must be positive", s.Name, s.Quantum)
+	}
+	if s.PausePenalty < 0 {
+		return fmt.Errorf("workload: %s penalty %v must be >= 0", s.Name, s.PausePenalty)
+	}
+	return nil
+}
+
+// UnixBench returns the twelve standard UnixBench programs with penalties
+// calibrated to Figure 7.
+func UnixBench() []Spec {
+	// Calibration: with each core waking every 8 s, a floating task is
+	// interrupted about once per 6 s — more often than the naive 1/8 s
+	// because after each migration it tends to land on a core whose wake
+	// is still pending in the current queue generation (the effect the
+	// paper notes: "the test program happens to stay right at the
+	// random-selected core more times than other cases"). Degradation is
+	// therefore ≈ penalty / 6 s: Figure 7's two spikes (file copy 256 B:
+	// 3.556%; pipe-based context switching: 3.912%) pin their penalties
+	// near 213 ms and 235 ms, and the remaining ten programs (≈0.1%
+	// each) land in single-digit milliseconds.
+	q := 2 * time.Millisecond
+	return []Spec{
+		{Name: "dhrystone2", Quantum: q, PausePenalty: 4500 * time.Microsecond},
+		{Name: "whetstone", Quantum: q, PausePenalty: 4500 * time.Microsecond},
+		{Name: "execl", Quantum: q, PausePenalty: 7500 * time.Microsecond},
+		{Name: "file_copy_1024B", Quantum: q, PausePenalty: 9 * time.Millisecond},
+		{Name: "file_copy_256B", Quantum: q, PausePenalty: 213 * time.Millisecond},
+		{Name: "file_copy_4096B", Quantum: q, PausePenalty: 7 * time.Millisecond},
+		{Name: "pipe_throughput", Quantum: q, PausePenalty: 7500 * time.Microsecond},
+		{Name: "context_switching", Quantum: q, PausePenalty: 235 * time.Millisecond},
+		{Name: "process_creation", Quantum: q, PausePenalty: 7 * time.Millisecond},
+		{Name: "shell_scripts_1", Quantum: q, PausePenalty: 5 * time.Millisecond},
+		{Name: "shell_scripts_8", Quantum: q, PausePenalty: 6 * time.Millisecond},
+		{Name: "syscall_overhead", Quantum: q, PausePenalty: 4500 * time.Microsecond},
+	}
+}
+
+// program is the benchmark loop: score an iteration, pay any pending
+// interruption penalty first.
+type program struct {
+	spec Spec
+	// penalty is unscored CPU time owed after interruptions.
+	penalty time.Duration
+	// payingPenalty marks that the current compute is penalty, not work.
+	payingPenalty bool
+	iterations    int64
+}
+
+// Next implements richos.Program.
+func (p *program) Next(*richos.ThreadContext) richos.Step {
+	if p.payingPenalty {
+		p.payingPenalty = false
+	} else {
+		p.iterations++
+	}
+	if p.penalty > 0 {
+		d := p.penalty
+		p.penalty = 0
+		p.payingPenalty = true
+		return richos.Compute(d)
+	}
+	return richos.Compute(p.spec.Quantum)
+}
+
+// CoLocationFactor is the share of the pause penalty charged to a
+// co-located task when the interrupted one migrates onto its core: on a
+// fully loaded system the displaced task's arrival perturbs its neighbor's
+// warm state too, which is why the paper's 6-task average (0.848%) exceeds
+// its 1-task average (0.711%).
+const CoLocationFactor = 0.45
+
+// Bench is a running benchmark instance: `tasks` copies of one program, as
+// in the paper's 1-task and 6-task configurations.
+type Bench struct {
+	spec     Spec
+	programs []*program
+	threads  []*richos.Thread
+}
+
+// Start launches `tasks` copies of spec on the OS, floating across all
+// cores like real UnixBench processes, and hooks the secure-pause
+// notification to charge the warm-state penalty.
+func Start(os *richos.OS, spec Spec, tasks int) (*Bench, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if tasks <= 0 {
+		return nil, fmt.Errorf("workload: tasks %d must be positive", tasks)
+	}
+	b := &Bench{spec: spec}
+	owner := make(map[*richos.Thread]*program, tasks)
+	for i := 0; i < tasks; i++ {
+		prog := &program{spec: spec}
+		th, err := os.Spawn(fmt.Sprintf("%s-%d", spec.Name, i), richos.PolicyCFS, 0, os.AllCores(), prog)
+		if err != nil {
+			return nil, fmt.Errorf("workload: spawning %s: %w", spec.Name, err)
+		}
+		owner[th] = prog
+		b.programs = append(b.programs, prog)
+		b.threads = append(b.threads, th)
+	}
+	os.OnSecurePause(func(t *richos.Thread, _ int) {
+		prog, ok := owner[t]
+		if !ok {
+			return
+		}
+		prog.penalty += spec.PausePenalty
+		// Charge the co-location disturbance to a sibling, if any: the
+		// migrated victim lands on (and perturbs) a busy peer's core.
+		for _, sib := range b.programs {
+			if sib != prog {
+				sib.penalty += time.Duration(CoLocationFactor * float64(spec.PausePenalty))
+				break
+			}
+		}
+	})
+	return b, nil
+}
+
+// Iterations reports the total scored iterations across all tasks.
+func (b *Bench) Iterations() int64 {
+	var sum int64
+	for _, p := range b.programs {
+		sum += p.iterations
+	}
+	return sum
+}
+
+// Pauses reports how many secure-world interruptions the tasks absorbed.
+func (b *Bench) Pauses() int {
+	n := 0
+	for _, t := range b.threads {
+		n += t.SecurePauses()
+	}
+	return n
+}
+
+// Spec returns the benchmark's spec.
+func (b *Bench) Spec() Spec { return b.spec }

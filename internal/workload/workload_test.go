@@ -1,0 +1,145 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"satin/internal/hw"
+	"satin/internal/mem"
+	"satin/internal/richos"
+	"satin/internal/simclock"
+)
+
+func newRig(t *testing.T) (*simclock.Engine, *hw.Platform, *richos.OS) {
+	t.Helper()
+	e := simclock.NewEngine()
+	p, err := hw.NewJunoR1(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := mem.NewJunoImage(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os, err := richos.NewOS(p, im, richos.Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, p, os
+}
+
+func TestUnixBenchSuite(t *testing.T) {
+	specs := UnixBench()
+	if len(specs) != 12 {
+		t.Fatalf("suite has %d programs, want 12 (UnixBench)", len(specs))
+	}
+	names := make(map[string]bool)
+	var worst Spec
+	for _, s := range specs {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+		if names[s.Name] {
+			t.Errorf("duplicate program %s", s.Name)
+		}
+		names[s.Name] = true
+		if s.PausePenalty > worst.PausePenalty {
+			worst = s
+		}
+	}
+	// Figure 7's worst case is pipe-based context switching.
+	if worst.Name != "context_switching" {
+		t.Errorf("worst penalty is %s, want context_switching", worst.Name)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	bad := []Spec{
+		{Name: "", Quantum: time.Millisecond},
+		{Name: "x", Quantum: 0},
+		{Name: "x", Quantum: time.Millisecond, PausePenalty: -1},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("spec %d accepted", i)
+		}
+	}
+}
+
+func TestStartValidation(t *testing.T) {
+	_, _, os := newRig(t)
+	if _, err := Start(os, Spec{Name: "x", Quantum: 0}, 1); err == nil {
+		t.Error("invalid spec accepted")
+	}
+	if _, err := Start(os, UnixBench()[0], 0); err == nil {
+		t.Error("zero tasks accepted")
+	}
+}
+
+func TestBenchAccumulatesIterations(t *testing.T) {
+	e, _, os := newRig(t)
+	b, err := Start(os, UnixBench()[0], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.RunFor(10 * time.Second)
+	// 2ms quantum on a dedicated core: ≈5000 iterations in 10s, minus
+	// small scheduling costs.
+	if it := b.Iterations(); it < 4700 || it > 5000 {
+		t.Errorf("Iterations = %d, want ≈4950", it)
+	}
+	if b.Pauses() != 0 {
+		t.Errorf("Pauses = %d with no secure activity", b.Pauses())
+	}
+	if b.Spec().Name != "dhrystone2" {
+		t.Errorf("Spec().Name = %q", b.Spec().Name)
+	}
+}
+
+func TestSixTasksUseAllCores(t *testing.T) {
+	e, _, os := newRig(t)
+	b, err := Start(os, UnixBench()[0], 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.RunFor(10 * time.Second)
+	// Six floating tasks on six cores: ≈6x the single-task score.
+	if it := b.Iterations(); it < 28000 || it > 30000 {
+		t.Errorf("Iterations = %d, want ≈29700", it)
+	}
+}
+
+func TestPausePenaltyReducesScore(t *testing.T) {
+	// Two identical runs; in one, a core is stolen periodically. The
+	// penalized run must score measurably lower, by roughly
+	// pauses × penalty / quantum iterations.
+	run := func(steal bool) (int64, int) {
+		e, p, os := newRig(t)
+		spec := Spec{Name: "victim", Quantum: 2 * time.Millisecond, PausePenalty: 100 * time.Millisecond}
+		b, err := Start(os, spec, 6) // all cores busy: no free core to migrate to
+		if err != nil {
+			t.Fatal(err)
+		}
+		if steal {
+			for i := 0; i < 5; i++ {
+				at := time.Duration(i+1) * 4 * time.Second
+				core := i % 6
+				e.After(at, "steal", func() { p.Core(core).SetWorld(hw.SecureWorld) })
+				e.After(at+6*time.Millisecond, "release", func() { p.Core(core).SetWorld(hw.NormalWorld) })
+			}
+		}
+		e.RunFor(25 * time.Second)
+		return b.Iterations(), b.Pauses()
+	}
+	clean, _ := run(false)
+	dirty, pauses := run(true)
+	if pauses != 5 {
+		t.Fatalf("pauses = %d, want 5", pauses)
+	}
+	lost := clean - dirty
+	// Expected loss ≈ 5 × (100ms×1.45 co-located penalty + ~6ms stall) / 2ms ≈ 380
+	// iterations; allow wide tolerance for scheduling detail.
+	if lost < 150 || lost > 450 {
+		t.Errorf("lost %d iterations (clean %d, dirty %d), want ≈380", lost, clean, dirty)
+	}
+}

@@ -1,0 +1,463 @@
+// Package satin is a simulation-based reproduction of "SATIN: A Secure and
+// Trustworthy Asynchronous Introspection on Multi-Core ARM Processors"
+// (DSN 2019).
+//
+// It provides a deterministic discrete-event model of the paper's testbed —
+// an ARM Juno r1 board with TrustZone, a Linux-like rich OS, and the timing
+// behavior the paper measured — plus full implementations of both sides of
+// the paper's arms race:
+//
+//   - the TZ-Evader evasion attack (user-level prober, KProber-I/II, the
+//     GETTID rootkit, and hide/reinstall logic racing the introspection);
+//   - the baseline asynchronous introspection TZ-Evader defeats;
+//   - SATIN itself (divide-and-conquer integrity checking, secure-timer
+//     self-activation, wake-up time queue, multi-core collaboration).
+//
+// The Scenario type assembles a complete testbed; everything it returns is
+// driven by a virtual clock, so simulated hours run in real-time seconds
+// and every run is reproducible from its seed.
+//
+//	sc, err := satin.NewScenario(satin.WithSeed(42), satin.WithSATIN(satin.DefaultConfig()))
+//	...
+//	sc.Run(10 * time.Minute) // virtual minutes
+//	fmt.Println(sc.SATIN().Alarms())
+package satin
+
+import (
+	"fmt"
+	"time"
+
+	"satin/internal/attack"
+	"satin/internal/core"
+	"satin/internal/hw"
+	"satin/internal/introspect"
+	"satin/internal/mem"
+	"satin/internal/richos"
+	"satin/internal/simclock"
+	"satin/internal/syncguard"
+	"satin/internal/trace"
+	"satin/internal/trustzone"
+)
+
+// Re-exported defense types (the paper's contribution).
+type (
+	// Config tunes SATIN; see DefaultConfig.
+	Config = core.Config
+	// Round is one completed SATIN introspection round.
+	Round = core.Round
+	// Alarm is a detected integrity violation.
+	Alarm = core.Alarm
+	// SATIN is the secure-world introspection service.
+	SATIN = core.SATIN
+	// Reporter signs alarms with the secure-world key (§V-B's "raise an
+	// alarm to the server side").
+	Reporter = core.Reporter
+	// SignedAlarm is one authenticated alarm record.
+	SignedAlarm = core.SignedAlarm
+)
+
+// NewReporter creates an alarm reporter with the given device key.
+func NewReporter(key []byte) (*Reporter, error) { return core.NewReporter(key) }
+
+// VerifyAlarm checks a signed alarm record against the device key.
+func VerifyAlarm(key []byte, rec SignedAlarm) bool { return core.VerifyAlarm(key, rec) }
+
+// VerifySequence checks a batch of reports for gaps (suppressed alarms).
+func VerifySequence(from uint64, recs []SignedAlarm) error { return core.VerifySequence(from, recs) }
+
+// Re-exported attack types.
+type (
+	// Rootkit is the paper's sample GETTID syscall-table hijack.
+	Rootkit = attack.Rootkit
+	// Evader is the full-fidelity (thread-level) TZ-Evader.
+	Evader = attack.Evader
+	// FastEvader is the calibrated O(1)-per-event TZ-Evader for long runs.
+	FastEvader = attack.FastEvader
+	// ProberConfig tunes the evader's probing threads.
+	ProberConfig = attack.ProberConfig
+)
+
+// Re-exported substrate types.
+type (
+	// Platform is the simulated Juno r1 board.
+	Platform = hw.Platform
+	// Image is the booted kernel image.
+	Image = mem.Image
+	// OS is the simulated rich OS.
+	OS = richos.OS
+	// Monitor is the EL3 secure monitor.
+	Monitor = trustzone.Monitor
+	// Baseline is the pre-SATIN periodic full-kernel checker.
+	Baseline = introspect.Baseline
+	// BaselineConfig tunes it.
+	BaselineConfig = introspect.BaselineConfig
+	// BaselineOutcome is one completed baseline round.
+	BaselineOutcome = introspect.Outcome
+	// Engine is the discrete-event engine driving everything.
+	Engine = simclock.Engine
+	// Timeline is a merged, time-ordered event stream of a run.
+	Timeline = trace.Timeline
+	// TimelineEvent is one Timeline entry.
+	TimelineEvent = trace.Event
+	// SyncGuard is the synchronous introspection of §VII-A.
+	SyncGuard = syncguard.Guard
+	// InterruptFlood is the §V-B interference attack.
+	InterruptFlood = attack.InterruptFlood
+	// RoutingMode is the §II-B NS-interrupt routing configuration.
+	RoutingMode = trustzone.RoutingMode
+)
+
+// Re-exported enums for baseline configuration.
+const (
+	// FixedCore always checks on one core.
+	FixedCore = introspect.FixedCore
+	// RandomCore checks on a random core each round.
+	RandomCore = introspect.RandomCore
+	// DirectHash reads and hashes live kernel memory.
+	DirectHash = introspect.DirectHash
+	// SnapshotHash copies first, then hashes the frozen copy.
+	SnapshotHash = introspect.SnapshotHash
+	// NonPreemptive is SATIN's SCR_EL3.IRQ=0 interrupt routing.
+	NonPreemptive = trustzone.NonPreemptive
+	// Preemptive is the OP-TEE-style routing an interrupt flood exploits.
+	Preemptive = trustzone.Preemptive
+)
+
+// DefaultConfig returns the paper's experimental SATIN configuration.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// DefaultProberSleep is the paper's Tsleep (2e-4 s).
+const DefaultProberSleep = attack.DefaultProberSleep
+
+// DefaultThreshold is the paper's operational probing threshold (1.8e-3 s).
+const DefaultThreshold = 1800 * time.Microsecond
+
+// Scenario is a fully assembled testbed: platform, monitor, kernel image,
+// rich OS, and optionally SATIN, a baseline checker, and an evader.
+type Scenario struct {
+	engine  *simclock.Engine
+	plat    *hw.Platform
+	image   *mem.Image
+	monitor *trustzone.Monitor
+	os      *richos.OS
+	checker *introspect.Checker
+
+	satin      *core.SATIN
+	baseline   *introspect.Baseline
+	rootkit    *attack.Rootkit
+	fastEvader *attack.FastEvader
+	evader     *attack.Evader
+	guard      *syncguard.Guard
+	flood      *attack.InterruptFlood
+}
+
+// Option configures a Scenario.
+type Option func(*options)
+
+type options struct {
+	seed          uint64
+	satinCfg      *core.Config
+	baselineCfg   *introspect.BaselineConfig
+	evaderKind    int // 0 none, 1 fast, 2 thread
+	evaderSleep   time.Duration
+	evaderThresh  time.Duration
+	rootkitTarget *uint64
+	guard         bool
+	guardBypass   bool
+	routing       trustzone.RoutingMode
+	floodRate     float64
+}
+
+// WithSeed sets the root seed for every deterministic stream.
+func WithSeed(seed uint64) Option { return func(o *options) { o.seed = seed } }
+
+// WithSATIN installs SATIN with the given configuration and starts it at
+// boot.
+func WithSATIN(cfg Config) Option { return func(o *options) { o.satinCfg = &cfg } }
+
+// WithBaseline installs the pre-SATIN periodic checker instead of SATIN.
+func WithBaseline(cfg BaselineConfig) Option { return func(o *options) { o.baselineCfg = &cfg } }
+
+// WithFastEvader installs the GETTID rootkit driven by the calibrated
+// fast evader. Zero durations select the paper's defaults.
+func WithFastEvader(sleep, threshold time.Duration) Option {
+	return func(o *options) {
+		o.evaderKind = 1
+		o.evaderSleep = sleep
+		o.evaderThresh = threshold
+	}
+}
+
+// WithThreadEvader installs the GETTID rootkit driven by the full
+// thread-level evader (KProber-II probing threads on every core).
+func WithThreadEvader(threshold time.Duration) Option {
+	return func(o *options) {
+		o.evaderKind = 2
+		o.evaderThresh = threshold
+	}
+}
+
+// WithRootkitAt plants the evader's 8-byte trace at an arbitrary
+// static-kernel address instead of the GETTID table entry.
+func WithRootkitAt(addr uint64) Option {
+	return func(o *options) { o.rootkitTarget = &addr }
+}
+
+// WithSyncGuard installs the §VII-A synchronous guard at boot. With bypass
+// false, any evader in the scenario fails to install its rootkit and
+// NewScenario returns that error — the guard working as intended. With
+// bypass true, the attacker first runs the write-what-where AP-flip exploit
+// against its target pages, so the hijack lands silently (§VII-A's story).
+func WithSyncGuard(bypass bool) Option {
+	return func(o *options) {
+		o.guard = true
+		o.guardBypass = bypass
+	}
+}
+
+// WithRouting selects the §II-B NS-interrupt routing mode. SATIN's design
+// requires NonPreemptive (the default).
+func WithRouting(mode RoutingMode) Option {
+	return func(o *options) { o.routing = mode }
+}
+
+// WithFlood starts the §V-B SGI interrupt flood at boot, at the given
+// per-core rate (interrupts/second).
+func WithFlood(rate float64) Option {
+	return func(o *options) { o.floodRate = rate }
+}
+
+// NewScenario assembles and boots a testbed.
+func NewScenario(opts ...Option) (*Scenario, error) {
+	o := options{seed: 1, evaderSleep: DefaultProberSleep, evaderThresh: DefaultThreshold}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.evaderSleep == 0 {
+		o.evaderSleep = DefaultProberSleep
+	}
+	if o.evaderThresh == 0 {
+		o.evaderThresh = DefaultThreshold
+	}
+	if o.satinCfg != nil && o.baselineCfg != nil {
+		return nil, fmt.Errorf("satin: a scenario runs either SATIN or the baseline, not both")
+	}
+
+	engine := simclock.NewEngine()
+	plat, err := hw.NewJunoR1(engine)
+	if err != nil {
+		return nil, err
+	}
+	image, err := mem.NewJunoImage(o.seed)
+	if err != nil {
+		return nil, err
+	}
+	osim, err := richos.NewOS(plat, image, richos.Config{Seed: o.seed + 1})
+	if err != nil {
+		return nil, err
+	}
+	checker, err := introspect.NewChecker(image, plat.Perf(), o.seed+2, introspect.HashDjb2, 0)
+	if err != nil {
+		return nil, err
+	}
+	sc := &Scenario{
+		engine:  engine,
+		plat:    plat,
+		image:   image,
+		monitor: trustzone.NewMonitor(plat, o.seed+3),
+		os:      osim,
+		checker: checker,
+	}
+	if o.routing != 0 {
+		sc.monitor.SetRouting(o.routing)
+	}
+	if o.guard {
+		sc.guard = syncguard.New(osim)
+		if err := sc.guard.Install(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Attack side first (the persistent threat predates the defense).
+	if o.evaderKind != 0 {
+		if o.rootkitTarget != nil {
+			sc.rootkit = attack.NewRootkitAt(osim, image, *o.rootkitTarget)
+		} else {
+			sc.rootkit = attack.NewRootkit(osim, image)
+		}
+		if o.guard && o.guardBypass {
+			if _, err := syncguard.APFlipExploit(image, sc.rootkit.TargetAddr(), attack.TraceBytes); err != nil {
+				return nil, err
+			}
+			// The flipped PTE is now part of the attack surface; golden
+			// hashes were captured before, so area 17 will flag it.
+		}
+		switch o.evaderKind {
+		case 1:
+			fe, err := attack.NewFastEvader(plat, image, sc.rootkit, o.evaderSleep, o.evaderThresh, o.seed+4)
+			if err != nil {
+				return nil, err
+			}
+			if err := fe.Start(); err != nil {
+				return nil, err
+			}
+			sc.fastEvader = fe
+		case 2:
+			buf, err := attack.NewReportBuffer(plat.NumCores(), attack.JunoCrossCoreNoise(), o.seed+5)
+			if err != nil {
+				return nil, err
+			}
+			ev, err := attack.NewEvader(osim, sc.rootkit, buf, attack.EvaderConfig{
+				Prober: attack.ProberConfig{Kind: attack.KProberII, Sleep: o.evaderSleep, Threshold: o.evaderThresh},
+				Seed:   o.seed + 6,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if err := ev.Start(); err != nil {
+				return nil, err
+			}
+			sc.evader = ev
+		}
+	}
+
+	// Defense side.
+	if o.satinCfg != nil {
+		s, err := core.NewJuno(plat, sc.monitor, image, checker, *o.satinCfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.Start(); err != nil {
+			return nil, err
+		}
+		sc.satin = s
+	}
+	if o.baselineCfg != nil {
+		b, err := introspect.NewBaseline(plat, sc.monitor, checker, image, o.seed+7, *o.baselineCfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := b.Start(); err != nil {
+			return nil, err
+		}
+		sc.baseline = b
+	}
+	if o.floodRate > 0 {
+		fl, err := attack.NewInterruptFlood(plat, o.floodRate, nil)
+		if err != nil {
+			return nil, err
+		}
+		if err := fl.Start(); err != nil {
+			return nil, err
+		}
+		sc.flood = fl
+	}
+	return sc, nil
+}
+
+// Run advances virtual time by d.
+func (s *Scenario) Run(d time.Duration) { s.engine.RunFor(d) }
+
+// RunToCompletion drains every pending event. Use it only with bounded
+// configurations (MaxRounds on SATIN/baseline) and WITHOUT the thread-level
+// evader or workloads: perpetual threads schedule events forever, so a
+// scenario containing them never drains — drive those with Run instead.
+func (s *Scenario) RunToCompletion() { s.engine.Run() }
+
+// Now reports the current virtual time since boot.
+func (s *Scenario) Now() time.Duration { return s.engine.Now().Duration() }
+
+// Engine returns the discrete-event engine.
+func (s *Scenario) Engine() *Engine { return s.engine }
+
+// Platform returns the simulated board.
+func (s *Scenario) Platform() *Platform { return s.plat }
+
+// Image returns the kernel image.
+func (s *Scenario) Image() *Image { return s.image }
+
+// OS returns the rich OS.
+func (s *Scenario) OS() *OS { return s.os }
+
+// Monitor returns the secure monitor.
+func (s *Scenario) Monitor() *Monitor { return s.monitor }
+
+// SATIN returns the SATIN service, or nil if not installed.
+func (s *Scenario) SATIN() *SATIN { return s.satin }
+
+// Baseline returns the baseline checker, or nil if not installed.
+func (s *Scenario) Baseline() *Baseline { return s.baseline }
+
+// Rootkit returns the rootkit, or nil if no evader was installed.
+func (s *Scenario) Rootkit() *Rootkit { return s.rootkit }
+
+// FastEvader returns the fast evader, or nil.
+func (s *Scenario) FastEvader() *FastEvader { return s.fastEvader }
+
+// ThreadEvader returns the thread-level evader, or nil.
+func (s *Scenario) ThreadEvader() *Evader { return s.evader }
+
+// Guard returns the synchronous guard, or nil.
+func (s *Scenario) Guard() *SyncGuard { return s.guard }
+
+// Flood returns the interrupt flood, or nil.
+func (s *Scenario) Flood() *InterruptFlood { return s.flood }
+
+// Timeline merges the run's component logs — world entries, SATIN rounds
+// and alarms, baseline outcomes, and evader reactions — into one
+// time-ordered event stream for inspection or export.
+func (s *Scenario) Timeline() *trace.Timeline {
+	var tl trace.Timeline
+	for _, sw := range s.monitor.Switches() {
+		tl.Add(trace.Event{
+			At: sw.Entered.Duration(), Kind: trace.KindWorldEnter,
+			Core: sw.CoreID, Area: -1, Detail: sw.Reason.String(),
+		})
+	}
+	if s.satin != nil {
+		for _, r := range s.satin.Rounds() {
+			detail := "clean"
+			if !r.Clean {
+				detail = "dirty"
+			}
+			tl.Add(trace.Event{At: r.Finished.Duration(), Kind: trace.KindRound, Core: r.CoreID, Area: r.Area, Detail: detail})
+		}
+		for _, a := range s.satin.Alarms() {
+			tl.Add(trace.Event{At: a.At.Duration(), Kind: trace.KindAlarm, Core: -1, Area: a.Area})
+		}
+	}
+	if s.baseline != nil {
+		for _, o := range s.baseline.Outcomes() {
+			detail := "clean"
+			kind := trace.KindRound
+			if !o.Clean {
+				detail = "dirty"
+				kind = trace.KindAlarm
+			}
+			tl.Add(trace.Event{At: o.Finished.Duration(), Kind: kind, Core: o.CoreID, Area: -1, Detail: detail})
+		}
+	}
+	var evaderEvents []attack.Event
+	if s.fastEvader != nil {
+		evaderEvents = s.fastEvader.Events()
+	} else if s.evader != nil {
+		evaderEvents = s.evader.Events()
+	}
+	for _, e := range evaderEvents {
+		kind := trace.Kind("")
+		switch e.Kind {
+		case attack.EventSuspect:
+			kind = trace.KindSuspect
+		case attack.EventHidden:
+			kind = trace.KindHidden
+		case attack.EventCoreBack:
+			kind = trace.KindCoreBack
+		case attack.EventReinstalled:
+			kind = trace.KindReinstalled
+		default:
+			continue
+		}
+		tl.Add(trace.Event{At: e.At.Duration(), Kind: kind, Core: e.Core, Area: -1})
+	}
+	return &tl
+}
