@@ -1,0 +1,37 @@
+GO ?= go
+
+.PHONY: all build vet test race determinism sweep-check ci
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The whole suite under the race detector: the runner's worker pool is the
+# only concurrent code in the repository, but everything it fans out must
+# stay race-free too.
+race:
+	$(GO) test -race ./...
+
+# The determinism regression from ISSUE 1: multi-seed sweeps must produce
+# byte-identical output with workers=1 and workers=8, and sweep seed 1 must
+# match the serial drivers. Run under -race so the worker pool itself is
+# exercised, not just its output.
+determinism:
+	$(GO) test -race -run 'TestDeterminism' ./internal/runner ./internal/experiment . ./cmd/benchtables
+
+# End-to-end sweep check: a multi-seed detection run completes and is
+# worker-count invariant at the CLI level.
+sweep-check:
+	$(GO) run ./cmd/benchtables -detection -seeds 8 -workers 8 > /tmp/sweep8.txt
+	$(GO) run ./cmd/benchtables -detection -seeds 8 -workers 1 > /tmp/sweep1.txt
+	cmp /tmp/sweep1.txt /tmp/sweep8.txt
+	@echo "sweep output is worker-count invariant"
+
+ci: vet build test race determinism

@@ -7,13 +7,24 @@
 //	benchtables            # everything
 //	benchtables -only table1,table2,fig3,fig4,switch,recover,singlecore,race,
 //	            evasion,detection,fig7,ablation,flood,syncbypass,userprober,kprober1
+//	benchtables -detection # shorthand for -only detection (any experiment name)
 //	benchtables -seed 7    # different deterministic universe
 //	benchtables -quick     # reduced Fig 7 window (for smoke runs)
+//
+// Multi-seed sweeps: with -seeds N (N > 1) the sweep-capable experiments
+// (detection, evasion, race) rerun across seeds seed..seed+N-1 on a worker
+// pool (-workers, default GOMAXPROCS) and report per-metric distributions
+// instead of one universe's numbers. Aggregation is in seed order, so the
+// output is byte-identical for any -workers value.
+//
+//	benchtables -detection -seeds 32 -workers 8
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -22,118 +33,217 @@ import (
 )
 
 func main() {
-	seed := flag.Uint64("seed", 1, "root seed for all deterministic streams")
-	only := flag.String("only", "", "comma-separated experiment list (default: all)")
-	quick := flag.Bool("quick", false, "shrink the Fig 7 measurement window")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "benchtables: %v\n", err)
+		os.Exit(1)
+	}
+}
 
+// step is one regenerable experiment. fn prints the single-seed form;
+// sweepFn, when non-nil, prints the multi-seed distribution form instead
+// whenever -seeds N > 1.
+type step struct {
+	name    string
+	fn      func(out io.Writer, seed uint64) error
+	sweepFn func(ctx context.Context, out io.Writer, seed uint64, seeds, workers int) error
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("benchtables", flag.ContinueOnError)
+	fs.SetOutput(out)
+	seed := fs.Uint64("seed", 1, "root seed for all deterministic streams")
+	only := fs.String("only", "", "comma-separated experiment list (default: all)")
+	quick := fs.Bool("quick", false, "shrink the Fig 7 measurement window")
+	seeds := fs.Int("seeds", 1, "number of independent seeds; > 1 switches detection/evasion/race to sweep mode")
+	workers := fs.Int("workers", 0, "worker goroutines for multi-seed sweeps (0 = GOMAXPROCS)")
+
+	steps := allSteps(quick)
+	// Every experiment name is also a boolean shorthand flag:
+	// `-detection` == `-only detection`.
+	shorthand := map[string]*bool{}
+	for _, st := range steps {
+		shorthand[st.name] = fs.Bool(st.name, false, fmt.Sprintf("run the %s experiment (shorthand for -only %s)", st.name, st.name))
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *seeds < 1 {
+		return fmt.Errorf("-seeds %d: need at least 1", *seeds)
+	}
+
+	known := map[string]bool{}
+	for _, st := range steps {
+		known[st.name] = true
+	}
 	want := map[string]bool{}
 	if *only != "" {
 		for _, name := range strings.Split(*only, ",") {
-			want[strings.TrimSpace(name)] = true
+			name = strings.TrimSpace(name)
+			if !known[name] {
+				return fmt.Errorf("unknown experiment %q (known: %s)", name, strings.Join(stepNames(steps), ", "))
+			}
+			want[name] = true
+		}
+	}
+	for name, set := range shorthand {
+		if *set {
+			want[name] = true
 		}
 	}
 	selected := func(name string) bool { return len(want) == 0 || want[name] }
 
-	type step struct {
-		name string
-		fn   func() error
+	ran := 0
+	for _, st := range steps {
+		if !selected(st.name) {
+			continue
+		}
+		var err error
+		if *seeds > 1 && st.sweepFn != nil {
+			err = st.sweepFn(context.Background(), out, *seed, *seeds, *workers)
+		} else {
+			err = st.fn(out, *seed)
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", st.name, err)
+		}
+		ran++
 	}
-	steps := []step{
-		{"table1", func() error {
-			res, err := experiment.RunTable1(*seed)
+	if ran == 0 {
+		return fmt.Errorf("no experiment matched %q", *only)
+	}
+	return nil
+}
+
+func stepNames(steps []step) []string {
+	names := make([]string, len(steps))
+	for i, st := range steps {
+		names[i] = st.name
+	}
+	return names
+}
+
+func allSteps(quick *bool) []step {
+	return []step{
+		{name: "table1", fn: func(out io.Writer, seed uint64) error {
+			res, err := experiment.RunTable1(seed)
 			if err != nil {
 				return err
 			}
-			section("Table I — Secure World Introspection Time (paper: A53 hash avg 1.07e-8 s, A57 hash avg 6.71e-9 s)")
-			fmt.Print(res.Render())
+			section(out, "Table I — Secure World Introspection Time (paper: A53 hash avg 1.07e-8 s, A57 hash avg 6.71e-9 s)")
+			fmt.Fprint(out, res.Render())
 			return nil
 		}},
-		{"switch", func() error {
-			res, err := experiment.RunSwitch(*seed)
+		{name: "switch", fn: func(out io.Writer, seed uint64) error {
+			res, err := experiment.RunSwitch(seed)
 			if err != nil {
 				return err
 			}
-			section("Ts_switch (§IV-B1; paper: 2.38e-6 s – 3.60e-6 s, similar across core types)")
-			fmt.Print(res.Render())
+			section(out, "Ts_switch (§IV-B1; paper: 2.38e-6 s – 3.60e-6 s, similar across core types)")
+			fmt.Fprint(out, res.Render())
 			return nil
 		}},
-		{"recover", func() error {
-			res := experiment.RunRecover(*seed)
-			section("Tns_recover (§IV-B2; paper: A53 avg 5.80e-3 s, A57 avg 4.96e-3 s)")
-			fmt.Print(res.Render())
+		{name: "recover", fn: func(out io.Writer, seed uint64) error {
+			res := experiment.RunRecover(seed)
+			section(out, "Tns_recover (§IV-B2; paper: A53 avg 5.80e-3 s, A57 avg 4.96e-3 s)")
+			fmt.Fprint(out, res.Render())
 			return nil
 		}},
-		{"table2", func() error {
-			res := experiment.RunTable2(*seed)
-			section("Table II — Probing Threshold on Multi-Core (paper: avg 2.61e-4 s @8s ... 6.61e-4 s @300s)")
-			fmt.Print(res.Render())
+		{name: "table2", fn: func(out io.Writer, seed uint64) error {
+			res := experiment.RunTable2(seed)
+			section(out, "Table II — Probing Threshold on Multi-Core (paper: avg 2.61e-4 s @8s ... 6.61e-4 s @300s)")
+			fmt.Fprint(out, res.Render())
 			return nil
 		}},
-		{"table2thread", func() error {
-			res, err := experiment.RunTable2ThreadLevel(*seed, 8*time.Second, 3)
+		{name: "table2thread", fn: func(out io.Writer, seed uint64) error {
+			res, err := experiment.RunTable2ThreadLevel(seed, 8*time.Second, 3)
 			if err != nil {
 				return err
 			}
-			section("Table II cross-validation — thread-level prober vs the calibrated model (8 s rounds)")
-			fmt.Print(res.Render())
+			section(out, "Table II cross-validation — thread-level prober vs the calibrated model (8 s rounds)")
+			fmt.Fprint(out, res.Render())
 			return nil
 		}},
-		{"fig3", func() error {
-			res, err := experiment.RunFig3(*seed)
+		{name: "fig3", fn: func(out io.Writer, seed uint64) error {
+			res, err := experiment.RunFig3(seed)
 			if err != nil {
 				return err
 			}
-			section("Figure 3 — Race Condition Between Two Worlds (measured timelines)")
-			fmt.Print(experiment.RenderFig3(res))
+			section(out, "Figure 3 — Race Condition Between Two Worlds (measured timelines)")
+			fmt.Fprint(out, experiment.RenderFig3(res))
 			return nil
 		}},
-		{"fig4", func() error {
-			res := experiment.RunTable2(*seed + 100)
-			section("Figure 4 — KProber Probing Threshold Stability (box plots)")
-			fmt.Print(res.RenderFig4())
-			fmt.Println()
-			fmt.Print(res.ChartFig4(64))
+		{name: "fig4", fn: func(out io.Writer, seed uint64) error {
+			res := experiment.RunTable2(seed + 100)
+			section(out, "Figure 4 — KProber Probing Threshold Stability (box plots)")
+			fmt.Fprint(out, res.RenderFig4())
+			fmt.Fprintln(out)
+			fmt.Fprint(out, res.ChartFig4(64))
 			return nil
 		}},
-		{"singlecore", func() error {
-			res := experiment.RunSingleCore(*seed, 8*time.Second)
-			section("Single-core probing (§IV-B2; paper: ≈1/4 of the all-core threshold)")
-			fmt.Print(res.Render())
+		{name: "singlecore", fn: func(out io.Writer, seed uint64) error {
+			res := experiment.RunSingleCore(seed, 8*time.Second)
+			section(out, "Single-core probing (§IV-B2; paper: ≈1/4 of the all-core threshold)")
+			fmt.Fprint(out, res.Render())
 			return nil
 		}},
-		{"race", func() error {
-			res, err := experiment.RunRace(*seed)
+		{name: "race", fn: func(out io.Writer, seed uint64) error {
+			res, err := experiment.RunRace(seed)
 			if err != nil {
 				return err
 			}
-			section("Race-condition analysis (§IV-C; paper: S ≤ 1,218,351 B, ≈90% unprotected)")
-			fmt.Print(res.Render())
+			section(out, "Race-condition analysis (§IV-C; paper: S ≤ 1,218,351 B, ≈90% unprotected)")
+			fmt.Fprint(out, res.Render())
 			return nil
-		}},
-		{"evasion", func() error {
-			res, err := experiment.RunEvasion(*seed, 10, 8*time.Second)
+		}, sweepFn: func(ctx context.Context, out io.Writer, seed uint64, seeds, workers int) error {
+			sw, err := experiment.RunRaceSweep(ctx, seed, seeds, workers)
 			if err != nil {
 				return err
 			}
-			section("TZ-Evader vs baseline introspection (§IV premise; expected: 100% evasion)")
-			fmt.Print(res.Render())
+			section(out, "Race-condition analysis, multi-seed (§IV-C; paper: ≈90% unprotected)")
+			fmt.Fprint(out, sw.Render())
 			return nil
 		}},
-		{"detection", func() error {
+		{name: "evasion", fn: func(out io.Writer, seed uint64) error {
+			res, err := experiment.RunEvasion(seed, 10, 8*time.Second)
+			if err != nil {
+				return err
+			}
+			section(out, "TZ-Evader vs baseline introspection (§IV premise; expected: 100% evasion)")
+			fmt.Fprint(out, res.Render())
+			return nil
+		}, sweepFn: func(ctx context.Context, out io.Writer, seed uint64, seeds, workers int) error {
+			sw, err := experiment.RunEvasionSweep(ctx, seed, seeds, workers, 10, 8*time.Second)
+			if err != nil {
+				return err
+			}
+			section(out, "TZ-Evader vs baseline, multi-seed (§IV premise; expected: 100% evasion)")
+			fmt.Fprint(out, sw.Render())
+			return nil
+		}},
+		{name: "detection", fn: func(out io.Writer, seed uint64) error {
 			cfg := experiment.DefaultDetectionConfig()
-			cfg.Seed = *seed
+			cfg.Seed = seed
 			res, err := experiment.RunDetection(cfg)
 			if err != nil {
 				return err
 			}
-			section("SATIN detection experiment (§VI-B1)")
-			fmt.Print(res.Render())
+			section(out, "SATIN detection experiment (§VI-B1)")
+			fmt.Fprint(out, res.Render())
+			return nil
+		}, sweepFn: func(ctx context.Context, out io.Writer, seed uint64, seeds, workers int) error {
+			cfg := experiment.DefaultDetectionConfig()
+			cfg.Seed = seed
+			sw, err := experiment.RunDetectionSweep(ctx, cfg, seeds, workers)
+			if err != nil {
+				return err
+			}
+			section(out, "SATIN detection experiment, multi-seed (§VI-B1; paper: 10/10, 0 FP/FN at seed 1)")
+			fmt.Fprint(out, sw.Render())
 			return nil
 		}},
-		{"fig7", func() error {
+		{name: "fig7", fn: func(out io.Writer, seed uint64) error {
 			cfg := experiment.DefaultFig7Config()
-			cfg.Seed = *seed
+			cfg.Seed = seed
 			if *quick {
 				cfg.Window = 60 * time.Second
 			}
@@ -141,100 +251,84 @@ func main() {
 			if err != nil {
 				return err
 			}
-			section("Figure 7 — SATIN Overhead (paper: avg 0.711% 1-task / 0.848% 6-task; spikes: file copy 256B 3.556%, context switching 3.912%)")
-			fmt.Print(res.Render())
-			fmt.Println("\n1-task degradation:")
-			fmt.Print(res.Chart(1, 50))
-			fmt.Println("6-task degradation:")
-			fmt.Print(res.Chart(6, 50))
+			section(out, "Figure 7 — SATIN Overhead (paper: avg 0.711% 1-task / 0.848% 6-task; spikes: file copy 256B 3.556%, context switching 3.912%)")
+			fmt.Fprint(out, res.Render())
+			fmt.Fprintln(out, "\n1-task degradation:")
+			fmt.Fprint(out, res.Chart(1, 50))
+			fmt.Fprintln(out, "6-task degradation:")
+			fmt.Fprint(out, res.Chart(6, 50))
 			return nil
 		}},
-		{"ablation", func() error {
+		{name: "ablation", fn: func(out io.Writer, seed uint64) error {
 			cfg := experiment.DefaultAblationConfig()
-			cfg.Seed = *seed
+			cfg.Seed = seed
 			res, err := experiment.RunAblation(cfg)
 			if err != nil {
 				return err
 			}
-			section("Ablation — SATIN design choices vs best-response evaders (DESIGN.md E11)")
-			fmt.Print(res.Render())
+			section(out, "Ablation — SATIN design choices vs best-response evaders (DESIGN.md E11)")
+			fmt.Fprint(out, res.Render())
 			return nil
 		}},
-		{"decompose", func() error {
-			res, err := experiment.RunDecomposition(*seed, 240*time.Second)
+		{name: "decompose", fn: func(out io.Writer, seed uint64) error {
+			res, err := experiment.RunDecomposition(seed, 240*time.Second)
 			if err != nil {
 				return err
 			}
-			section("Overhead decomposition — structural stall vs fitted warm-state penalty (context switching)")
-			fmt.Print(res.Render())
+			section(out, "Overhead decomposition — structural stall vs fitted warm-state penalty (context switching)")
+			fmt.Fprint(out, res.Render())
 			return nil
 		}},
-		{"msweep", func() error {
-			res, err := experiment.RunMSweep(*seed, 0.5)
+		{name: "msweep", fn: func(out io.Writer, seed uint64) error {
+			res, err := experiment.RunMSweep(seed, 0.5)
 			if err != nil {
 				return err
 			}
-			section("Trace-size sweep — Tns_recover is the evader's bottleneck (§IV-C observation 4)")
-			fmt.Print(res.Render())
+			section(out, "Trace-size sweep — Tns_recover is the evader's bottleneck (§IV-C observation 4)")
+			fmt.Fprint(out, res.Render())
 			return nil
 		}},
-		{"flood", func() error {
+		{name: "flood", fn: func(out io.Writer, seed uint64) error {
 			cfg := experiment.DefaultFloodConfig()
-			cfg.Seed = *seed
+			cfg.Seed = seed
 			res, err := experiment.RunFlood(cfg)
 			if err != nil {
 				return err
 			}
-			section(fmt.Sprintf("Interrupt-flood ablation — why SATIN requires SCR_EL3.IRQ=0 (§II-B/§V-B); %.0f SGIs/s per core", res.Rate))
-			fmt.Print(res.Render())
+			section(out, fmt.Sprintf("Interrupt-flood ablation — why SATIN requires SCR_EL3.IRQ=0 (§II-B/§V-B); %.0f SGIs/s per core", res.Rate))
+			fmt.Fprint(out, res.Render())
 			return nil
 		}},
-		{"syncbypass", func() error {
-			res, err := experiment.RunSyncBypass(*seed)
+		{name: "syncbypass", fn: func(out io.Writer, seed uint64) error {
+			res, err := experiment.RunSyncBypass(seed)
 			if err != nil {
 				return err
 			}
-			section("Layered defense — synchronous guard, AP-flip bypass, asynchronous catch (§VII-A/§VII-C)")
-			fmt.Print(res.Render())
+			section(out, "Layered defense — synchronous guard, AP-flip bypass, asynchronous catch (§VII-A/§VII-C)")
+			fmt.Fprint(out, res.Render())
 			return nil
 		}},
-		{"userprober", func() error {
-			res, err := experiment.RunUserProber(*seed)
+		{name: "userprober", fn: func(out io.Writer, seed uint64) error {
+			res, err := experiment.RunUserProber(seed)
 			if err != nil {
 				return err
 			}
-			section("User-level prober (§III-B1; paper: Tns_delay < 5.97e-3 s vs 8.04e-2 s check)")
-			fmt.Print(res.Render())
+			section(out, "User-level prober (§III-B1; paper: Tns_delay < 5.97e-3 s vs 8.04e-2 s check)")
+			fmt.Fprint(out, res.Render())
 			return nil
 		}},
-		{"kprober1", func() error {
-			res, err := experiment.RunKProber1Exposure(*seed, 3)
+		{name: "kprober1", fn: func(out io.Writer, seed uint64) error {
+			res, err := experiment.RunKProber1Exposure(seed, 3)
 			if err != nil {
 				return err
 			}
-			section("KProber-I self-exposure — the vector hijack is introspection-visible (§III-C1)")
-			fmt.Print(res.Render())
+			section(out, "KProber-I self-exposure — the vector hijack is introspection-visible (§III-C1)")
+			fmt.Fprint(out, res.Render())
 			return nil
 		}},
-	}
-
-	ran := 0
-	for _, st := range steps {
-		if !selected(st.name) {
-			continue
-		}
-		if err := st.fn(); err != nil {
-			fmt.Fprintf(os.Stderr, "benchtables: %s: %v\n", st.name, err)
-			os.Exit(1)
-		}
-		ran++
-	}
-	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "benchtables: no experiment matched %q\n", *only)
-		os.Exit(1)
 	}
 }
 
-func section(title string) {
-	fmt.Printf("\n=== %s ===\n", title)
+func section(out io.Writer, title string) {
+	fmt.Fprintf(out, "\n=== %s ===\n", title)
 }

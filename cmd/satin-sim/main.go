@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -22,26 +23,30 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "satin-sim: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	seed := flag.Uint64("seed", 1, "root seed")
-	defense := flag.String("defense", "satin", "defense: satin | baseline | none")
-	evader := flag.String("evader", "fast", "attacker: fast | thread | none")
-	tp := flag.Duration("tp", 8*time.Second, "average period between introspection rounds")
-	scans := flag.Int("scans", 10, "full kernel scans to run (SATIN)")
-	rounds := flag.Int("rounds", 10, "rounds to run (baseline)")
-	threshold := flag.Duration("threshold", satin.DefaultThreshold, "evader probing threshold")
-	verbose := flag.Bool("v", false, "print each round")
-	timeline := flag.String("timeline", "", "write the merged event timeline to this file (.json for JSON, else text)")
-	routing := flag.String("routing", "nonpreemptive", "NS interrupt routing: nonpreemptive | preemptive")
-	flood := flag.Float64("flood", 0, "SGI flood rate per core (interrupts/s); 0 disables")
-	guard := flag.String("guard", "off", "synchronous guard: off | on | bypassed")
-	flag.Parse()
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("satin-sim", flag.ContinueOnError)
+	fs.SetOutput(out)
+	seed := fs.Uint64("seed", 1, "root seed")
+	defense := fs.String("defense", "satin", "defense: satin | baseline | none")
+	evader := fs.String("evader", "fast", "attacker: fast | thread | none")
+	tp := fs.Duration("tp", 8*time.Second, "average period between introspection rounds")
+	scans := fs.Int("scans", 10, "full kernel scans to run (SATIN)")
+	rounds := fs.Int("rounds", 10, "rounds to run (baseline)")
+	threshold := fs.Duration("threshold", satin.DefaultThreshold, "evader probing threshold")
+	verbose := fs.Bool("v", false, "print each round")
+	timeline := fs.String("timeline", "", "write the merged event timeline to this file (.json for JSON, else text)")
+	routing := fs.String("routing", "nonpreemptive", "NS interrupt routing: nonpreemptive | preemptive")
+	flood := fs.Float64("flood", 0, "SGI flood rate per core (interrupts/s); 0 disables")
+	guard := fs.String("guard", "off", "synchronous guard: off | on | bypassed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	opts := []satin.Option{satin.WithSeed(*seed)}
 	switch *routing {
@@ -102,7 +107,7 @@ func run() error {
 			if !r.Clean {
 				verdict = "ALARM"
 			}
-			fmt.Printf("[%12v] round %3d: core %d area %2d %8v %s\n",
+			fmt.Fprintf(out, "[%12v] round %3d: core %d area %2d %8v %s\n",
 				r.Started.Duration().Truncate(time.Millisecond), r.Index, r.CoreID, r.Area,
 				r.Elapsed().Truncate(time.Microsecond), verdict)
 		})
@@ -127,12 +132,12 @@ func run() error {
 		sc.RunToCompletion()
 	}
 
-	fmt.Printf("simulated %v of board time\n", sc.Now().Truncate(time.Millisecond))
+	fmt.Fprintf(out, "simulated %v of board time\n", sc.Now().Truncate(time.Millisecond))
 	if s := sc.SATIN(); s != nil {
-		fmt.Printf("SATIN: %d rounds, %d full scans, %d alarms\n",
+		fmt.Fprintf(out, "SATIN: %d rounds, %d full scans, %d alarms\n",
 			len(s.Rounds()), s.FullScans(), len(s.Alarms()))
 		for _, a := range s.Alarms() {
-			fmt.Printf("  alarm: round %d flagged area %d at %v\n", a.Round, a.Area, a.At.Duration().Truncate(time.Millisecond))
+			fmt.Fprintf(out, "  alarm: round %d flagged area %d at %v\n", a.Round, a.Area, a.At.Duration().Truncate(time.Millisecond))
 		}
 	}
 	if b := sc.Baseline(); b != nil {
@@ -142,16 +147,16 @@ func run() error {
 				clean++
 			}
 		}
-		fmt.Printf("baseline: %d rounds, %d reported clean\n", len(b.Outcomes()), clean)
+		fmt.Fprintf(out, "baseline: %d rounds, %d reported clean\n", len(b.Outcomes()), clean)
 	}
 	if rk := sc.Rootkit(); rk != nil {
-		fmt.Printf("rootkit: state %v, %d state transitions\n", rk.State(), len(rk.Transitions()))
+		fmt.Fprintf(out, "rootkit: state %v, %d state transitions\n", rk.State(), len(rk.Transitions()))
 	}
 	if fe := sc.FastEvader(); fe != nil {
-		fmt.Printf("evader: %d suspect events\n", len(fe.SuspectEvents()))
+		fmt.Fprintf(out, "evader: %d suspect events\n", len(fe.SuspectEvents()))
 	}
 	if te := sc.ThreadEvader(); te != nil {
-		fmt.Printf("evader: %d suspect events, max staleness %v\n", len(te.SuspectEvents()), te.MaxStaleness())
+		fmt.Fprintf(out, "evader: %d suspect events, max staleness %v\n", len(te.SuspectEvents()), te.MaxStaleness())
 	}
 	if *timeline != "" {
 		f, err := os.Create(*timeline)
@@ -168,7 +173,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("timeline: %d events written to %s\n", tl.Len(), *timeline)
+		fmt.Fprintf(out, "timeline: %d events written to %s\n", tl.Len(), *timeline)
 	}
 	return nil
 }

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSmokeSATINvsFastEvader(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-scans", "1", "-tp", "1s"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "SATIN: 19 rounds, 1 full scans, 1 alarms") {
+		t.Errorf("unexpected SATIN summary:\n%s", got)
+	}
+	if !strings.Contains(got, "rootkit: state") || !strings.Contains(got, "evader:") {
+		t.Errorf("missing attack-side summary:\n%s", got)
+	}
+}
+
+func TestRunBaselineDefense(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-defense", "baseline", "-rounds", "3", "-tp", "1s"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if got := out.String(); !strings.Contains(got, "baseline: 3 rounds, 3 reported clean") {
+		t.Errorf("baseline should be fully evaded:\n%s", got)
+	}
+}
+
+func TestRunVerbosePrintsRounds(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-scans", "1", "-tp", "1s", "-v"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if got := out.String(); !strings.Contains(got, "round   1:") {
+		t.Errorf("-v did not print per-round lines:\n%s", got)
+	}
+}
+
+func TestRunTimelineFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tl.txt")
+	var out strings.Builder
+	if err := run([]string{"-scans", "1", "-tp", "1s", "-timeline", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Error("timeline file is empty")
+	}
+	if !strings.Contains(out.String(), "events written to") {
+		t.Errorf("missing timeline confirmation:\n%s", out.String())
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"-defense", "bogus"},
+		{"-evader", "bogus"},
+		{"-routing", "bogus"},
+		{"-guard", "bogus"},
+		{"-defense", "none", "-evader", "none"},
+		{"-no-such-flag"},
+	}
+	for _, args := range cases {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -23,7 +24,7 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "tzevader: %v\n", err)
 		os.Exit(1)
 	}
@@ -58,12 +59,16 @@ func newRig(seed uint64) (*rig, error) {
 	return &rig{engine: e, plat: p, image: im, os: osim, buffer: buf}, nil
 }
 
-func run() error {
-	seed := flag.Uint64("seed", 1, "root seed")
-	mode := flag.String("mode", "calibrate", "calibrate | detect | kprober1 | flood")
-	observe := flag.Duration("observe", 30*time.Second, "calibration observation window")
-	kind := flag.String("prober", "kprober2", "prober kind: user | kprober2")
-	flag.Parse()
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tzevader", flag.ContinueOnError)
+	fs.SetOutput(out)
+	seed := fs.Uint64("seed", 1, "root seed")
+	mode := fs.String("mode", "calibrate", "calibrate | detect | kprober1 | flood")
+	observe := fs.Duration("observe", 30*time.Second, "calibration observation window")
+	kind := fs.String("prober", "kprober2", "prober kind: user | kprober2")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	proberKind := attack.KProberII
 	if *kind == "user" {
@@ -87,8 +92,8 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("observed for %v on a quiet device (%s)\n", observe, proberKind)
-		fmt.Printf("suggested Tns_threshold: %v (paper operates at 1.8ms)\n", threshold)
+		fmt.Fprintf(out, "observed for %v on a quiet device (%s)\n", observe, proberKind)
+		fmt.Fprintf(out, "suggested Tns_threshold: %v (paper operates at 1.8ms)\n", threshold)
 		return nil
 
 	case "detect":
@@ -99,7 +104,7 @@ func run() error {
 			OnSuspect: func(core int, at simclock.Time) {
 				if suspectAt == 0 {
 					suspectAt = at
-					fmt.Printf("prober flagged core %d at %v\n", core, at.Duration())
+					fmt.Fprintf(out, "prober flagged core %d at %v\n", core, at.Duration())
 				}
 			},
 		})
@@ -116,7 +121,7 @@ func run() error {
 		if suspectAt == 0 {
 			return fmt.Errorf("prober missed the secure entry")
 		}
-		fmt.Printf("secure entry at %v; Tns_delay = %v\n", entry, suspectAt.Duration()-entry)
+		fmt.Fprintf(out, "secure entry at %v; Tns_delay = %v\n", entry, suspectAt.Duration()-entry)
 		return nil
 
 	case "kprober1":
@@ -125,12 +130,12 @@ func run() error {
 			return err
 		}
 		r.engine.RunFor(2 * time.Second)
-		fmt.Printf("KProber-I installed at %#x (IRQ vector hijack)\n", kp1.HijackAddr())
+		fmt.Fprintf(out, "KProber-I installed at %#x (IRQ vector hijack)\n", kp1.HijackAddr())
 		for c := 0; c < r.plat.NumCores(); c++ {
-			fmt.Printf("  core %d reported %d times in 2s (HZ=%d)\n", c, kp1.ReportCount(c), r.os.Config().HZ)
+			fmt.Fprintf(out, "  core %d reported %d times in 2s (HZ=%d)\n", c, kp1.ReportCount(c), r.os.Config().HZ)
 		}
 		mod := r.image.Modified()
-		fmt.Printf("memory trace: %d modified bytes in kernel text (introspection of area 0 finds them)\n", len(mod))
+		fmt.Fprintf(out, "memory trace: %d modified bytes in kernel text (introspection of area 0 finds them)\n", len(mod))
 		return nil
 
 	case "flood":
@@ -142,9 +147,9 @@ func run() error {
 			return err
 		}
 		r.engine.RunFor(2 * time.Second)
-		fmt.Printf("SGI flood: %d interrupts raised in 2s across %d cores (30 kHz per core)\n",
+		fmt.Fprintf(out, "SGI flood: %d interrupts raised in 2s across %d cores (30 kHz per core)\n",
 			flood.Raised(), r.plat.NumCores())
-		fmt.Println("against SATIN's SCR_EL3.IRQ=0 routing this is inert; see `benchtables -only flood`")
+		fmt.Fprintln(out, "against SATIN's SCR_EL3.IRQ=0 routing this is inert; see `benchtables -only flood`")
 		return nil
 
 	default:

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunCalibrateSmoke(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-mode", "calibrate", "-observe", "5s"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if got := out.String(); !strings.Contains(got, "suggested Tns_threshold:") {
+		t.Errorf("calibrate output missing threshold:\n%s", got)
+	}
+}
+
+func TestRunDetectReportsDelay(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-mode", "detect"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "prober flagged core 4") || !strings.Contains(got, "Tns_delay =") {
+		t.Errorf("detect output unexpected:\n%s", got)
+	}
+}
+
+func TestRunKProber1ShowsTrace(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-mode", "kprober1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "KProber-I installed") || !strings.Contains(got, "modified bytes in kernel text") {
+		t.Errorf("kprober1 output unexpected:\n%s", got)
+	}
+}
+
+func TestRunUserProberKind(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-mode", "calibrate", "-observe", "5s", "-prober", "user"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if got := out.String(); !strings.Contains(got, "suggested Tns_threshold:") {
+		t.Errorf("user-prober calibrate output unexpected:\n%s", got)
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"-mode", "bogus"},
+		{"-prober", "bogus"},
+		{"-no-such-flag"},
+	}
+	for _, args := range cases {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"testing"
+
+	"satin/internal/mem"
+	"satin/internal/simclock"
+)
+
+// FuzzAreaSetPasses fuzzes §V-B's selection-without-replacement invariant:
+// for any area count, seed, and number of passes, every `total` consecutive
+// picks cover areas 0..total-1 exactly once, and Remaining/Refills track
+// the pass structure. The detection guarantee (each full scan checks the
+// attacked area exactly once) rests on this.
+func FuzzAreaSetPasses(f *testing.F) {
+	f.Add(uint8(19), uint64(1), uint8(3)) // the Juno partition, a few passes
+	f.Add(uint8(1), uint64(7), uint8(5))  // degenerate single area
+	f.Add(uint8(2), uint64(42), uint8(1)) // smallest nontrivial set
+	f.Add(uint8(64), uint64(0), uint8(2)) // larger than the paper's m
+	f.Fuzz(func(t *testing.T, total8 uint8, seed uint64, passes8 uint8) {
+		total := int(total8)
+		passes := int(passes8)%4 + 1
+		if total == 0 {
+			return
+		}
+		s := NewAreaSet(total, simclock.NewRNG(seed, "fuzz-areaset"))
+		if s.Refills() != 0 {
+			t.Fatalf("fresh set reports %d refills, want 0", s.Refills())
+		}
+		for p := 0; p < passes; p++ {
+			seen := make([]bool, total)
+			for i := 0; i < total; i++ {
+				if got, want := s.Remaining(), total-i; got != want && !(i == 0 && got == 0) {
+					// Remaining is total-i mid-pass; at a pass boundary the
+					// set may be empty until the next Pick refills it.
+					t.Fatalf("pass %d pick %d: Remaining = %d, want %d", p, i, got, want)
+				}
+				a := s.Pick()
+				if a < 0 || a >= total {
+					t.Fatalf("pass %d: Pick returned %d, outside [0,%d)", p, a, total)
+				}
+				if seen[a] {
+					t.Fatalf("pass %d: area %d picked twice before the pass completed", p, a)
+				}
+				seen[a] = true
+			}
+			for a, ok := range seen {
+				if !ok {
+					t.Fatalf("pass %d: area %d never picked", p, a)
+				}
+			}
+		}
+	})
+}
+
+// FuzzAreaPartition fuzzes the divide-and-conquer partitioning invariants
+// behind Equation 2: for any section-size vector and any positive bound,
+// PartitionSections + BuildAreas must yield areas that are disjoint, tile
+// the kernel with no gaps (cover it completely), and each respect the size
+// bound — or fail loudly when a single section exceeds the bound.
+func FuzzAreaPartition(f *testing.F) {
+	f.Add([]byte{10, 20, 30, 40}, uint32(64))
+	f.Add([]byte{1, 1, 1}, uint32(1))
+	f.Add([]byte{255, 255}, uint32(255))
+	f.Add([]byte{7}, uint32(3)) // single oversize section: must error
+	f.Fuzz(func(t *testing.T, rawSizes []byte, bound32 uint32) {
+		if len(rawSizes) == 0 || len(rawSizes) > 64 {
+			return
+		}
+		maxSize := int(bound32%4096) + 1
+		layout := mem.Layout{Base: 0xffff000008080000}
+		addr := layout.Base
+		oversize := false
+		for i, b := range rawSizes {
+			size := int(b) + 1
+			if size > maxSize {
+				oversize = true
+			}
+			layout.Sections = append(layout.Sections, mem.Section{
+				Name: string(rune('a'+i%26)) + ".sec",
+				Addr: addr,
+				Size: size,
+			})
+			addr += uint64(size)
+		}
+		groups, err := mem.PartitionSections(layout.Sections, maxSize)
+		if oversize {
+			if err == nil {
+				t.Fatalf("section larger than bound %d did not error", maxSize)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("PartitionSections: %v", err)
+		}
+		areas, err := mem.BuildAreas(layout, groups)
+		if err != nil {
+			t.Fatalf("BuildAreas rejected PartitionSections output: %v", err)
+		}
+		// Eq. 2 size bound: no area exceeds maxSize.
+		for _, a := range areas {
+			if a.Size > maxSize {
+				t.Fatalf("%v exceeds bound %d", a, maxSize)
+			}
+			if a.Size <= 0 {
+				t.Fatalf("%v has non-positive size", a)
+			}
+		}
+		// Disjoint and covering: areas tile [Base, End) contiguously.
+		next := layout.Base
+		for _, a := range areas {
+			if a.Addr != next {
+				t.Fatalf("%v starts at %#x, want %#x (gap or overlap)", a, a.Addr, next)
+			}
+			next = a.End()
+		}
+		if next != layout.End() {
+			t.Fatalf("areas end at %#x, kernel ends at %#x", next, layout.End())
+		}
+		// Every byte belongs to exactly one area (AreaContaining agrees).
+		for _, a := range areas {
+			if idx, err := mem.AreaContaining(areas, a.Addr); err != nil || idx != a.Index {
+				t.Fatalf("AreaContaining(%#x) = %d, %v; want %d", a.Addr, idx, err, a.Index)
+			}
+		}
+	})
+}

@@ -1,0 +1,94 @@
+package experiment
+
+import (
+	"context"
+	"time"
+
+	"satin/internal/runner"
+)
+
+// Multi-seed sweeps. The paper reports its headline results from one run of
+// one universe (10/10 detections, 0 FP/FN in §VI-B1; ~90% evasion in
+// §IV-C) — statistical claims about a timing race, asserted from a single
+// Monte Carlo sample. These variants rerun each experiment across N
+// independent seeds on a worker pool and aggregate per-seed metrics into
+// distributions, so the reproduction can state detection and evasion
+// *rates* with spread. Aggregation is in seed order and byte-identical for
+// any worker count.
+
+// DetectionMetrics flattens one seed's DetectionResult into sweep samples.
+func DetectionMetrics(r DetectionResult) runner.Metrics {
+	m := runner.Metrics{}.Add("detection rate", ratio(r.Detections, r.AttackedAreaChecks))
+	m = m.Add("rounds", float64(r.Rounds))
+	m = m.Add("area-14 checks", float64(r.AttackedAreaChecks))
+	m = m.Add("prober false negatives", float64(r.FalseNegatives))
+	m = m.Add("prober false positives", float64(r.FalsePositives))
+	m = m.Add("area-14 gap (s)", r.MeanAttackedAreaGap.Seconds())
+	return m.Add("full-scan time (s)", r.MeanFullScanTime.Seconds())
+}
+
+// RunDetectionSweep runs the §VI-B1 detection experiment for seeds
+// cfg.Seed..cfg.Seed+seeds-1 across the worker pool.
+func RunDetectionSweep(ctx context.Context, cfg DetectionConfig, seeds, workers int) (*runner.Sweep, error) {
+	base := cfg.Seed
+	return runner.RunSweep(ctx, "SATIN detection (§VI-B1)", base, seeds, workers,
+		func(_ context.Context, seed uint64) (runner.Metrics, error) {
+			c := cfg
+			c.Seed = seed
+			res, err := RunDetection(c)
+			if err != nil {
+				return nil, err
+			}
+			return DetectionMetrics(res), nil
+		})
+}
+
+// EvasionMetrics flattens one seed's EvasionResult into sweep samples.
+func EvasionMetrics(r EvasionResult) runner.Metrics {
+	m := runner.Metrics{}.Add("evasion rate", r.EvasionRate)
+	m = m.Add("baseline rounds", float64(r.Rounds))
+	m = m.Add("clean verdicts", float64(r.CleanVerdicts))
+	m = m.Add("prober suspect events", float64(r.SuspectEvents))
+	return m.Add("rootkit active fraction", r.ActiveFraction)
+}
+
+// RunEvasionSweep runs the §IV TZ-Evader-vs-baseline experiment for seeds
+// base..base+seeds-1 across the worker pool.
+func RunEvasionSweep(ctx context.Context, base uint64, seeds, workers, rounds int, period time.Duration) (*runner.Sweep, error) {
+	return runner.RunSweep(ctx, "TZ-Evader vs baseline (§IV)", base, seeds, workers,
+		func(_ context.Context, seed uint64) (runner.Metrics, error) {
+			res, err := RunEvasion(seed, rounds, period)
+			if err != nil {
+				return nil, err
+			}
+			return EvasionMetrics(res), nil
+		})
+}
+
+// RaceMetrics flattens one seed's RaceResult into sweep samples.
+func RaceMetrics(r RaceResult) runner.Metrics {
+	m := runner.Metrics{}.Add("unprotected (empirical)", r.UnprotectedEmpirical)
+	m = m.Add("unprotected (analytic)", r.UnprotectedAnalytic)
+	return m.Add("S bound (bytes)", float64(r.SBound))
+}
+
+// RunRaceSweep runs the §IV-C race analysis for seeds base..base+seeds-1
+// across the worker pool.
+func RunRaceSweep(ctx context.Context, base uint64, seeds, workers int) (*runner.Sweep, error) {
+	return runner.RunSweep(ctx, "race-condition analysis (§IV-C)", base, seeds, workers,
+		func(_ context.Context, seed uint64) (runner.Metrics, error) {
+			res, err := RunRace(seed)
+			if err != nil {
+				return nil, err
+			}
+			return RaceMetrics(res), nil
+		})
+}
+
+// ratio divides, reporting 0 for an empty denominator.
+func ratio(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}

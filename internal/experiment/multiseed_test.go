@@ -1,0 +1,121 @@
+package experiment
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// sweepCfg is a reduced detection config so multi-seed tests stay fast; the
+// full 10-scan configuration is exercised by the serial detection tests.
+func sweepCfg() DetectionConfig {
+	cfg := DefaultDetectionConfig()
+	cfg.FullScans = 2
+	return cfg
+}
+
+// TestDeterminismSweepWorkerInvariance is the ISSUE's determinism
+// regression: a multi-seed sweep must render byte-identical aggregated
+// output with workers=1 and workers=8. This is what lets EXPERIMENTS.md
+// quote sweep numbers without pinning a worker count.
+func TestDeterminismSweepWorkerInvariance(t *testing.T) {
+	cfg := sweepCfg()
+	serial, err := RunDetectionSweep(context.Background(), cfg, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunDetectionSweep(context.Background(), cfg, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, p := serial.Render(), parallel.Render(); s != p {
+		t.Errorf("workers=1 and workers=8 disagree:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", s, p)
+	}
+}
+
+// TestDeterminismSweepMatchesSerialDriver pins the sweep's per-seed numbers
+// to the existing single-seed drivers: seed 1 inside a sweep must reproduce
+// exactly what RunDetection/RunEvasion report when called directly, so
+// adding the runner cannot silently shift EXPERIMENTS.md's numbers.
+func TestDeterminismSweepMatchesSerialDriver(t *testing.T) {
+	cfg := sweepCfg()
+	direct, err := RunDetection(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := RunDetectionSweep(context.Background(), cfg, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Failures) != 0 {
+		t.Fatalf("sweep failures: %+v", sw.Failures)
+	}
+	want := DetectionMetrics(direct)
+	for _, s := range want {
+		samples := sw.Samples(s.Name)
+		if len(samples) != 3 {
+			t.Fatalf("metric %q has %d samples, want 3", s.Name, len(samples))
+		}
+		if samples[0] != s.Value {
+			t.Errorf("metric %q: sweep seed 1 = %v, serial driver = %v", s.Name, samples[0], s.Value)
+		}
+	}
+
+	evDirect, err := RunEvasion(1, 5, 8*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evSweep, err := RunEvasionSweep(context.Background(), 1, 2, 2, 5, 8*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range EvasionMetrics(evDirect) {
+		if got := evSweep.Samples(s.Name); len(got) != 2 || got[0] != s.Value {
+			t.Errorf("evasion metric %q: sweep = %v, serial seed 1 = %v", s.Name, got, s.Value)
+		}
+	}
+}
+
+// TestDetectionSweepRates sanity-checks the aggregate the paper's claim
+// rests on: across seeds, the detection rate stays 1.0 (every pass over the
+// attacked area raises the alarm) with zero prober false reports.
+func TestDetectionSweepRates(t *testing.T) {
+	sw, err := RunDetectionSweep(context.Background(), sweepCfg(), 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Failures) != 0 {
+		t.Fatalf("failures: %+v", sw.Failures)
+	}
+	if d := sw.Dist("detection rate"); d.Min != 1 || d.Max != 1 {
+		t.Errorf("detection rate over seeds = %+v, want constant 1.0", d)
+	}
+	if d := sw.Dist("prober false negatives"); d.Max != 0 {
+		t.Errorf("false negatives over seeds = %+v, want constant 0", d)
+	}
+	if d := sw.Dist("prober false positives"); d.Max != 0 {
+		t.Errorf("false positives over seeds = %+v, want constant 0", d)
+	}
+}
+
+// TestRaceSweepTracksAnalyticBound: the empirical unprotected fraction
+// should straddle the analytic ≈90% bound across seeds, not just at seed 1.
+func TestRaceSweepTracksAnalyticBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("race sweep is ~1s per seed")
+	}
+	sw, err := RunRaceSweep(context.Background(), 1, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Failures) != 0 {
+		t.Fatalf("failures: %+v", sw.Failures)
+	}
+	d := sw.Dist("unprotected (empirical)")
+	if d.Min < 0.75 || d.Max > 1 {
+		t.Errorf("unprotected fraction over seeds = %+v, want within [0.75, 1]", d)
+	}
+	if a := sw.Dist("unprotected (analytic)"); a.Min != a.Max {
+		t.Errorf("analytic bound varies across seeds: %+v", a)
+	}
+}

@@ -11,6 +11,15 @@ func FuzzHashIncremental(f *testing.F) {
 	f.Add([]byte("the quick brown fox"), 5)
 	f.Add([]byte{}, 0)
 	f.Add([]byte{0x00, 0xFF, 0x80}, 1)
+	// Chunk boundaries: a zero-length first read and a zero-length second
+	// read — the cases the chunked checker hits at area edges.
+	f.Add([]byte("area boundary"), 0)
+	f.Add([]byte("area boundary"), 13)
+	// Zero-length data with a nonzero requested cut (clamped to 0).
+	f.Add([]byte{}, 7)
+	// A single byte split at both boundaries.
+	f.Add([]byte{0xAA}, 0)
+	f.Add([]byte{0xAA}, 1)
 	f.Fuzz(func(t *testing.T, data []byte, cut int) {
 		if cut < 0 {
 			cut = -cut
@@ -36,6 +45,10 @@ func FuzzHashIncremental(f *testing.F) {
 // digest — the property every integrity alarm in the system rests on.
 func FuzzDjb2Sensitivity(f *testing.F) {
 	f.Add([]byte("kernel text bytes"), 3, byte(1))
+	// Boundary flips: first byte, last byte, and a full-byte inversion.
+	f.Add([]byte("kernel text bytes"), 0, byte(0x01))
+	f.Add([]byte("kernel text bytes"), 16, byte(0x80))
+	f.Add([]byte{0x00}, 0, byte(0xFF))
 	f.Fuzz(func(t *testing.T, data []byte, idx int, delta byte) {
 		if len(data) == 0 || delta == 0 {
 			return

@@ -1,0 +1,127 @@
+package runner
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"satin/internal/stats"
+)
+
+// Metrics is one trial's named measurements, in report order. A slice, not
+// a map: the sweep's aggregate table lists metrics in the order the first
+// successful trial emitted them, which must not depend on map iteration.
+type Metrics []Sample
+
+// Sample is one named measurement.
+type Sample struct {
+	Name  string
+	Value float64
+}
+
+// Add appends a measurement and returns the extended Metrics, in the
+// append style.
+func (m Metrics) Add(name string, value float64) Metrics {
+	return append(m, Sample{Name: name, Value: value})
+}
+
+// Failure records a trial that returned an error or panicked.
+type Failure struct {
+	Seed uint64
+	Err  error
+}
+
+// Sweep is the deterministic aggregate of a multi-seed experiment: for each
+// metric the per-seed samples in seed order, plus any failed seeds. Two
+// sweeps over the same seeds render byte-identically regardless of how many
+// workers produced them.
+type Sweep struct {
+	// Name labels the experiment (used in Render's header).
+	Name string
+	// Seeds lists the seeds of successful trials, ascending.
+	Seeds []uint64
+	// Failures lists failed trials in seed order.
+	Failures []Failure
+
+	keys    []string
+	samples map[string][]float64
+}
+
+// RunSweep executes trial for seeds baseSeed..baseSeed+n-1 across the worker
+// pool and aggregates the per-seed Metrics in seed order. Trial errors and
+// panics become Failures rather than failing the sweep; only a configuration
+// error (n < 1) or context cancellation fails the call.
+func RunSweep(ctx context.Context, name string, baseSeed uint64, n, workers int, trial func(ctx context.Context, seed uint64) (Metrics, error)) (*Sweep, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("runner: sweep %q needs at least 1 seed, got %d", name, n)
+	}
+	results, err := Run(ctx, n, workers, func(ctx context.Context, i int) (Metrics, error) {
+		return trial(ctx, baseSeed+uint64(i))
+	})
+	if err != nil {
+		return nil, fmt.Errorf("runner: sweep %q: %w", name, err)
+	}
+	sw := &Sweep{Name: name, samples: map[string][]float64{}}
+	for _, r := range results {
+		seed := baseSeed + uint64(r.Index)
+		if r.Err != nil {
+			sw.Failures = append(sw.Failures, Failure{Seed: seed, Err: r.Err})
+			continue
+		}
+		sw.Seeds = append(sw.Seeds, seed)
+		for _, s := range r.Value {
+			if _, seen := sw.samples[s.Name]; !seen {
+				sw.keys = append(sw.keys, s.Name)
+			}
+			sw.samples[s.Name] = append(sw.samples[s.Name], s.Value)
+		}
+	}
+	return sw, nil
+}
+
+// Trials reports the total number of trials, including failures.
+func (s *Sweep) Trials() int { return len(s.Seeds) + len(s.Failures) }
+
+// Keys returns the metric names in report order.
+func (s *Sweep) Keys() []string { return append([]string(nil), s.keys...) }
+
+// Samples returns the per-seed values of one metric, in seed order, or nil
+// for an unknown metric.
+func (s *Sweep) Samples(key string) []float64 {
+	return append([]float64(nil), s.samples[key]...)
+}
+
+// Dist returns the distribution summary of one metric over all successful
+// seeds.
+func (s *Sweep) Dist(key string) stats.Dist { return stats.NewDist(s.samples[key]) }
+
+// Render prints the aggregate table: one row per metric with mean, min,
+// quartiles, p90, and max over seeds, then any failed seeds.
+func (s *Sweep) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d seeds", s.Name, s.Trials())
+	if len(s.Seeds) > 0 {
+		fmt.Fprintf(&b, " (%d..%d)", s.Seeds[0], s.Seeds[len(s.Seeds)-1])
+	}
+	if len(s.Failures) > 0 {
+		fmt.Fprintf(&b, ", %d FAILED", len(s.Failures))
+	}
+	b.WriteString("\n")
+	tbl := stats.NewTable("Metric", "Mean", "Min", "P25", "P50", "P75", "P90", "Max")
+	for _, key := range s.keys {
+		d := s.Dist(key)
+		tbl.AddRow(key,
+			fmt.Sprintf("%.4g", d.Mean),
+			fmt.Sprintf("%.4g", d.Min),
+			fmt.Sprintf("%.4g", d.P25),
+			fmt.Sprintf("%.4g", d.P50),
+			fmt.Sprintf("%.4g", d.P75),
+			fmt.Sprintf("%.4g", d.P90),
+			fmt.Sprintf("%.4g", d.Max))
+	}
+	b.WriteString(tbl.String())
+	for _, f := range s.Failures {
+		fmt.Fprintf(&b, "seed %d FAILED: %v\n", f.Seed, f.Err)
+	}
+	return b.String()
+}

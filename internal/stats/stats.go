@@ -148,6 +148,35 @@ func NewBoxPlot(xs []float64) BoxPlot {
 	return b
 }
 
+// Dist is a Summary extended with the percentiles multi-seed sweeps report:
+// detection/evasion rates and overheads are distributions over seeds, so a
+// mean alone (the single-seed form of Tables I–II) is not enough to state
+// the paper's claims with confidence.
+type Dist struct {
+	Summary
+	P25 float64
+	P50 float64
+	P75 float64
+	P90 float64
+}
+
+// NewDist computes the distribution summary of xs. An empty sample yields
+// the zero Dist.
+func NewDist(xs []float64) Dist {
+	if len(xs) == 0 {
+		return Dist{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return Dist{
+		Summary: Summarize(xs),
+		P25:     percentileSorted(sorted, 0.25),
+		P50:     percentileSorted(sorted, 0.50),
+		P75:     percentileSorted(sorted, 0.75),
+		P90:     percentileSorted(sorted, 0.90),
+	}
+}
+
 // Mean returns the arithmetic mean of xs, or 0 for an empty sample.
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {

@@ -148,6 +148,30 @@ func TestBoxPlotProperties(t *testing.T) {
 	}
 }
 
+func TestNewDist(t *testing.T) {
+	d := NewDist([]float64{5, 1, 4, 2, 3})
+	if d.N != 5 || d.Min != 1 || d.Max != 5 || !almostEq(d.Mean, 3) {
+		t.Errorf("Summary part = %+v", d.Summary)
+	}
+	if !almostEq(d.P25, 2) || !almostEq(d.P50, 3) || !almostEq(d.P75, 4) || !almostEq(d.P90, 4.6) {
+		t.Errorf("percentiles = %v/%v/%v/%v, want 2/3/4/4.6", d.P25, d.P50, d.P75, d.P90)
+	}
+}
+
+func TestNewDistEmpty(t *testing.T) {
+	if d := NewDist(nil); d != (Dist{}) {
+		t.Errorf("NewDist(nil) = %+v, want zero", d)
+	}
+}
+
+func TestNewDistDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	NewDist(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("NewDist mutated its input")
+	}
+}
+
 func TestMean(t *testing.T) {
 	if Mean(nil) != 0 {
 		t.Error("Mean(nil) != 0")

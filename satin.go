@@ -24,6 +24,7 @@
 package satin
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -33,6 +34,7 @@ import (
 	"satin/internal/introspect"
 	"satin/internal/mem"
 	"satin/internal/richos"
+	"satin/internal/runner"
 	"satin/internal/simclock"
 	"satin/internal/syncguard"
 	"satin/internal/trace"
@@ -125,6 +127,42 @@ const (
 
 // DefaultConfig returns the paper's experimental SATIN configuration.
 func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Multi-seed sweep types. A single Scenario run is one Monte Carlo sample
+// of a timing race; a Sweep reruns the same scenario across independent
+// seeds on a worker pool and aggregates per-seed metrics into
+// distributions, merged in seed order so output is byte-identical for any
+// worker count.
+type (
+	// Sweep is the deterministic aggregate of a multi-seed run.
+	Sweep = runner.Sweep
+	// SweepMetrics is one seed's named measurements, in report order.
+	SweepMetrics = runner.Metrics
+	// SweepSample is one named measurement.
+	SweepSample = runner.Sample
+	// SweepFailure records a seed whose trial errored or panicked.
+	SweepFailure = runner.Failure
+)
+
+// RunSeeds runs trial for seeds baseSeed..baseSeed+seeds-1 across up to
+// `workers` goroutines (0 means GOMAXPROCS) and aggregates the per-seed
+// metrics. Each trial typically builds its own Scenario from its seed —
+// scenarios are single-threaded internally, so trials are embarrassingly
+// parallel. A trial that errors or panics becomes a Failure in the sweep
+// rather than aborting it.
+//
+//	sw, err := satin.RunSeeds("detection", 1, 32, 0, func(seed uint64) (satin.SweepMetrics, error) {
+//	    sc, err := satin.NewScenario(satin.WithSeed(seed), ...)
+//	    if err != nil { return nil, err }
+//	    sc.RunToCompletion()
+//	    return satin.SweepMetrics{}.Add("alarms", float64(len(sc.SATIN().Alarms()))), nil
+//	})
+func RunSeeds(name string, baseSeed uint64, seeds, workers int, trial func(seed uint64) (SweepMetrics, error)) (*Sweep, error) {
+	return runner.RunSweep(context.Background(), name, baseSeed, seeds, workers,
+		func(_ context.Context, seed uint64) (runner.Metrics, error) {
+			return trial(seed)
+		})
+}
 
 // DefaultProberSleep is the paper's Tsleep (2e-4 s).
 const DefaultProberSleep = attack.DefaultProberSleep
