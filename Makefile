@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race determinism sweep-check ci
+.PHONY: all build vet test race determinism sweep-check trace-check cover ci
 
 all: build test
 
@@ -33,5 +33,15 @@ sweep-check:
 	$(GO) run ./cmd/benchtables -detection -seeds 8 -workers 1 > /tmp/sweep1.txt
 	cmp /tmp/sweep1.txt /tmp/sweep8.txt
 	@echo "sweep output is worker-count invariant"
+
+# Trace-export smoke: stream a run's events to JSONL, then validate the
+# file parses event by event.
+trace-check:
+	$(GO) run ./cmd/satin-sim -scans 1 -tp 1s -trace-out /tmp/trace.jsonl > /dev/null
+	$(GO) run ./cmd/satin-sim -lint-trace /tmp/trace.jsonl
+
+# Coverage summary across all packages.
+cover:
+	$(GO) test -cover ./...
 
 ci: vet build test race determinism

@@ -315,3 +315,41 @@ func BenchmarkFullKernelHash(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkScenario measures one full SATIN-vs-fast-evader run — the
+// engine's hot path end to end. The `observability-off` variant is the
+// zero-overhead-when-disabled check: with no bus, no registry, and no
+// sinks, per-run allocations must not exceed the pre-observability
+// baseline (publishes early-return on the nil bus and all metric handles
+// are nil no-ops). The `observability-on` variant shows the cost of live
+// timeline capture plus metrics.
+func BenchmarkScenario(b *testing.B) {
+	runOnce := func(b *testing.B, opts ...Option) {
+		b.Helper()
+		cfg := DefaultConfig()
+		cfg.Tgoal = 19 * time.Second
+		cfg.MaxRounds = 19
+		cfg.Seed = 3
+		opts = append([]Option{WithSeed(1), WithSATIN(cfg), WithFastEvader(0, 0)}, opts...)
+		sc, err := NewScenario(opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sc.RunToCompletion()
+		if len(sc.SATIN().Rounds()) != 19 {
+			b.Fatalf("expected 19 rounds, got %d", len(sc.SATIN().Rounds()))
+		}
+	}
+	b.Run("observability-off", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			runOnce(b, WithObservability(false))
+		}
+	})
+	b.Run("observability-on", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			runOnce(b)
+		}
+	})
+}

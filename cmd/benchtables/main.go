@@ -18,9 +18,17 @@
 // output is byte-identical for any -workers value.
 //
 //	benchtables -detection -seeds 32 -workers 8
+//
+// Sweep observability: -progress streams per-trial completions to stderr
+// (completion order, wall clock — diagnostic only), and -metrics-out FILE
+// exports every selected sweep's per-seed samples as deterministic
+// `experiment,metric,seed,value` CSV rows.
+//
+//	benchtables -detection -seeds 32 -progress -metrics-out detection.csv
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -30,25 +38,33 @@ import (
 	"time"
 
 	"satin/internal/experiment"
+	"satin/internal/runner"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := runWith(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintf(os.Stderr, "benchtables: %v\n", err)
 		os.Exit(1)
 	}
 }
 
 // step is one regenerable experiment. fn prints the single-seed form;
-// sweepFn, when non-nil, prints the multi-seed distribution form instead
-// whenever -seeds N > 1.
+// sweepFn, when non-nil, runs the multi-seed distribution form instead
+// whenever -seeds N > 1, returning the sweep and its section title so run
+// can render it and export the per-seed samples.
 type step struct {
 	name    string
 	fn      func(out io.Writer, seed uint64) error
-	sweepFn func(ctx context.Context, out io.Writer, seed uint64, seeds, workers int) error
+	sweepFn func(ctx context.Context, seed uint64, seeds, workers int, progress runner.Progress) (*runner.Sweep, string, error)
 }
 
+// run keeps the historical two-argument form (used throughout the tests);
+// progress output is discarded.
 func run(args []string, out io.Writer) error {
+	return runWith(args, out, io.Discard)
+}
+
+func runWith(args []string, out, errOut io.Writer) error {
 	fs := flag.NewFlagSet("benchtables", flag.ContinueOnError)
 	fs.SetOutput(out)
 	seed := fs.Uint64("seed", 1, "root seed for all deterministic streams")
@@ -56,6 +72,8 @@ func run(args []string, out io.Writer) error {
 	quick := fs.Bool("quick", false, "shrink the Fig 7 measurement window")
 	seeds := fs.Int("seeds", 1, "number of independent seeds; > 1 switches detection/evasion/race to sweep mode")
 	workers := fs.Int("workers", 0, "worker goroutines for multi-seed sweeps (0 = GOMAXPROCS)")
+	progress := fs.Bool("progress", false, "stream per-trial sweep progress to stderr")
+	metricsOut := fs.String("metrics-out", "", "export every sweep's per-seed samples to this CSV file (needs -seeds > 1)")
 
 	steps := allSteps(quick)
 	// Every experiment name is also a boolean shorthand flag:
@@ -69,6 +87,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if *seeds < 1 {
 		return fmt.Errorf("-seeds %d: need at least 1", *seeds)
+	}
+	if *metricsOut != "" && *seeds < 2 {
+		return fmt.Errorf("-metrics-out exports per-seed sweep samples; it needs -seeds N > 1")
 	}
 
 	known := map[string]bool{}
@@ -93,23 +114,74 @@ func run(args []string, out io.Writer) error {
 	selected := func(name string) bool { return len(want) == 0 || want[name] }
 
 	ran := 0
+	var sweeps []*runner.Sweep
 	for _, st := range steps {
 		if !selected(st.name) {
 			continue
 		}
-		var err error
 		if *seeds > 1 && st.sweepFn != nil {
-			err = st.sweepFn(context.Background(), out, *seed, *seeds, *workers)
-		} else {
-			err = st.fn(out, *seed)
-		}
-		if err != nil {
+			var observer runner.Progress
+			if *progress {
+				name, base := st.name, *seed
+				observer = func(done, total, index int, elapsed time.Duration, trialErr error) {
+					status := "ok"
+					if trialErr != nil {
+						status = "FAILED: " + trialErr.Error()
+					}
+					fmt.Fprintf(errOut, "%s: %d/%d seed %d in %v %s\n",
+						name, done, total, base+uint64(index), elapsed.Truncate(time.Millisecond), status)
+				}
+			}
+			sw, title, err := st.sweepFn(context.Background(), *seed, *seeds, *workers, observer)
+			if err != nil {
+				return fmt.Errorf("%s: %w", st.name, err)
+			}
+			section(out, title)
+			fmt.Fprint(out, sw.Render())
+			sweeps = append(sweeps, sw)
+		} else if err := st.fn(out, *seed); err != nil {
 			return fmt.Errorf("%s: %w", st.name, err)
 		}
 		ran++
 	}
 	if ran == 0 {
 		return fmt.Errorf("no experiment matched %q", *only)
+	}
+	if *metricsOut != "" {
+		if len(sweeps) == 0 {
+			return fmt.Errorf("-metrics-out: no sweep-capable experiment selected")
+		}
+		if err := writeSweepCSV(*metricsOut, sweeps); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nmetrics: %d sweeps exported to %s\n", len(sweeps), *metricsOut)
+	}
+	return nil
+}
+
+// writeSweepCSV concatenates the sweeps' per-seed samples into one CSV file
+// with a single header row.
+func writeSweepCSV(path string, sweeps []*runner.Sweep) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("creating metrics file: %w", err)
+	}
+	defer f.Close()
+	for i, sw := range sweeps {
+		var buf bytes.Buffer
+		if err := sw.WriteCSV(&buf); err != nil {
+			return err
+		}
+		data := buf.Bytes()
+		if i > 0 {
+			// Drop the repeated header line.
+			if nl := bytes.IndexByte(data, '\n'); nl >= 0 {
+				data = data[nl+1:]
+			}
+		}
+		if _, err := f.Write(data); err != nil {
+			return fmt.Errorf("writing metrics file: %w", err)
+		}
 	}
 	return nil
 }
@@ -194,14 +266,9 @@ func allSteps(quick *bool) []step {
 			section(out, "Race-condition analysis (§IV-C; paper: S ≤ 1,218,351 B, ≈90% unprotected)")
 			fmt.Fprint(out, res.Render())
 			return nil
-		}, sweepFn: func(ctx context.Context, out io.Writer, seed uint64, seeds, workers int) error {
-			sw, err := experiment.RunRaceSweep(ctx, seed, seeds, workers)
-			if err != nil {
-				return err
-			}
-			section(out, "Race-condition analysis, multi-seed (§IV-C; paper: ≈90% unprotected)")
-			fmt.Fprint(out, sw.Render())
-			return nil
+		}, sweepFn: func(ctx context.Context, seed uint64, seeds, workers int, progress runner.Progress) (*runner.Sweep, string, error) {
+			sw, err := experiment.RunRaceSweepObserved(ctx, seed, seeds, workers, progress)
+			return sw, "Race-condition analysis, multi-seed (§IV-C; paper: ≈90% unprotected)", err
 		}},
 		{name: "evasion", fn: func(out io.Writer, seed uint64) error {
 			res, err := experiment.RunEvasion(seed, 10, 8*time.Second)
@@ -211,14 +278,9 @@ func allSteps(quick *bool) []step {
 			section(out, "TZ-Evader vs baseline introspection (§IV premise; expected: 100% evasion)")
 			fmt.Fprint(out, res.Render())
 			return nil
-		}, sweepFn: func(ctx context.Context, out io.Writer, seed uint64, seeds, workers int) error {
-			sw, err := experiment.RunEvasionSweep(ctx, seed, seeds, workers, 10, 8*time.Second)
-			if err != nil {
-				return err
-			}
-			section(out, "TZ-Evader vs baseline, multi-seed (§IV premise; expected: 100% evasion)")
-			fmt.Fprint(out, sw.Render())
-			return nil
+		}, sweepFn: func(ctx context.Context, seed uint64, seeds, workers int, progress runner.Progress) (*runner.Sweep, string, error) {
+			sw, err := experiment.RunEvasionSweepObserved(ctx, seed, seeds, workers, 10, 8*time.Second, progress)
+			return sw, "TZ-Evader vs baseline, multi-seed (§IV premise; expected: 100% evasion)", err
 		}},
 		{name: "detection", fn: func(out io.Writer, seed uint64) error {
 			cfg := experiment.DefaultDetectionConfig()
@@ -230,16 +292,11 @@ func allSteps(quick *bool) []step {
 			section(out, "SATIN detection experiment (§VI-B1)")
 			fmt.Fprint(out, res.Render())
 			return nil
-		}, sweepFn: func(ctx context.Context, out io.Writer, seed uint64, seeds, workers int) error {
+		}, sweepFn: func(ctx context.Context, seed uint64, seeds, workers int, progress runner.Progress) (*runner.Sweep, string, error) {
 			cfg := experiment.DefaultDetectionConfig()
 			cfg.Seed = seed
-			sw, err := experiment.RunDetectionSweep(ctx, cfg, seeds, workers)
-			if err != nil {
-				return err
-			}
-			section(out, "SATIN detection experiment, multi-seed (§VI-B1; paper: 10/10, 0 FP/FN at seed 1)")
-			fmt.Fprint(out, sw.Render())
-			return nil
+			sw, err := experiment.RunDetectionSweepObserved(ctx, cfg, seeds, workers, progress)
+			return sw, "SATIN detection experiment, multi-seed (§VI-B1; paper: 10/10, 0 FP/FN at seed 1)", err
 		}},
 		{name: "fig7", fn: func(out io.Writer, seed uint64) error {
 			cfg := experiment.DefaultFig7Config()

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -93,5 +95,69 @@ func TestRunSweepFlagLeavesSingleSeedExperimentsAlone(t *testing.T) {
 	}
 	if got := out.String(); !strings.Contains(got, "Table I") || strings.Contains(got, "multi-seed") {
 		t.Errorf("-table1 -seeds 4 output unexpected:\n%s", got)
+	}
+}
+
+func TestRunMetricsOutExportsSweepCSV(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.csv")
+	var out strings.Builder
+	if err := run([]string{"-evasion", "-seeds", "3", "-metrics-out", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(data)
+	if !strings.HasPrefix(got, "experiment,metric,seed,value\n") {
+		t.Errorf("metrics CSV missing header:\n%.120s", got)
+	}
+	if !strings.Contains(got, "TZ-Evader vs baseline (§IV),evasion rate,1,1\n") {
+		t.Errorf("metrics CSV missing evasion-rate sample:\n%s", got)
+	}
+	if !strings.Contains(out.String(), "1 sweeps exported to") {
+		t.Errorf("missing export confirmation:\n%s", out.String())
+	}
+}
+
+func TestRunMetricsOutDeterministicAcrossWorkers(t *testing.T) {
+	export := func(workers string) string {
+		path := filepath.Join(t.TempDir(), "m.csv")
+		var out strings.Builder
+		if err := run([]string{"-evasion", "-seeds", "3", "-workers", workers, "-metrics-out", path}, &out); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	if export("1") != export("8") {
+		t.Error("-metrics-out CSV differs between -workers 1 and -workers 8")
+	}
+}
+
+func TestRunMetricsOutNeedsSweeps(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-evasion", "-metrics-out", "x.csv"}, &out); err == nil {
+		t.Error("-metrics-out with -seeds 1 did not error")
+	}
+	if err := run([]string{"-switch", "-seeds", "3", "-metrics-out", "x.csv"}, &out); err == nil {
+		t.Error("-metrics-out without a sweep-capable experiment did not error")
+	}
+}
+
+func TestRunProgressStreamsToErrOut(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := runWith([]string{"-evasion", "-seeds", "3", "-progress"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	got := errOut.String()
+	if !strings.Contains(got, "evasion: 3/3") {
+		t.Errorf("progress stream missing final notice:\n%s", got)
+	}
+	if strings.Contains(out.String(), "evasion: 3/3") {
+		t.Error("progress leaked into deterministic stdout")
 	}
 }

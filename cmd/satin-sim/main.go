@@ -9,6 +9,9 @@
 //	satin-sim -evader thread                    # full thread-level evader
 //	satin-sim -evader none                      # clean system
 //	satin-sim -tp 4s -scans 3 -seed 9 -v        # tweak schedule; -v prints per-round lines
+//	satin-sim -trace-out run.jsonl              # stream every event live (.csv for CSV)
+//	satin-sim -metrics-out metrics.csv          # end-of-run metrics snapshot
+//	satin-sim -lint-trace run.jsonl             # validate a streamed JSONL trace
 package main
 
 import (
@@ -41,11 +44,23 @@ func run(args []string, out io.Writer) error {
 	threshold := fs.Duration("threshold", satin.DefaultThreshold, "evader probing threshold")
 	verbose := fs.Bool("v", false, "print each round")
 	timeline := fs.String("timeline", "", "write the merged event timeline to this file (.json for JSON, else text)")
+	traceOut := fs.String("trace-out", "", "stream events live to this file as they happen (.csv for CSV, else JSONL)")
+	metricsOut := fs.String("metrics-out", "", "write the end-of-run metrics snapshot to this file (.csv for CSV, else text)")
+	lintTrace := fs.String("lint-trace", "", "validate a streamed JSONL trace file and exit")
 	routing := fs.String("routing", "nonpreemptive", "NS interrupt routing: nonpreemptive | preemptive")
 	flood := fs.Float64("flood", 0, "SGI flood rate per core (interrupts/s); 0 disables")
 	guard := fs.String("guard", "off", "synchronous guard: off | on | bypassed")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *lintTrace != "" {
+		events, err := lintTraceFile(*lintTrace)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "trace ok: %d events in %s\n", events, *lintTrace)
+		return nil
 	}
 
 	opts := []satin.Option{satin.WithSeed(*seed)}
@@ -101,6 +116,25 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	var sink *satin.StreamSink
+	if *traceOut != "" {
+		format := satin.ExportJSONL
+		if strings.HasSuffix(*traceOut, ".csv") {
+			format = satin.ExportCSV
+		}
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return fmt.Errorf("creating trace file: %w", err)
+		}
+		defer f.Close()
+		sink, err = satin.NewStreamSink(f, format)
+		if err != nil {
+			return err
+		}
+		// Subscribe before driving the scenario: the sink sees each event
+		// the instant it is published.
+		sc.Bus().Subscribe(sink.OnEvent)
+	}
 	if s := sc.SATIN(); s != nil && *verbose {
 		s.OnRound(func(r satin.Round) {
 			verdict := "clean"
@@ -132,31 +166,51 @@ func run(args []string, out io.Writer) error {
 		sc.RunToCompletion()
 	}
 
-	fmt.Fprintf(out, "simulated %v of board time\n", sc.Now().Truncate(time.Millisecond))
+	// The summary renders from the scenario's own end-of-run Report; only
+	// per-alarm details and thread-evader staleness need the component
+	// accessors.
+	rep := sc.Report()
+	fmt.Fprintf(out, "simulated %v of board time\n", rep.Elapsed.Truncate(time.Millisecond))
 	if s := sc.SATIN(); s != nil {
 		fmt.Fprintf(out, "SATIN: %d rounds, %d full scans, %d alarms\n",
-			len(s.Rounds()), s.FullScans(), len(s.Alarms()))
+			rep.SATINRounds, rep.FullScans, rep.Alarms)
 		for _, a := range s.Alarms() {
 			fmt.Fprintf(out, "  alarm: round %d flagged area %d at %v\n", a.Round, a.Area, a.At.Duration().Truncate(time.Millisecond))
 		}
 	}
-	if b := sc.Baseline(); b != nil {
-		clean := 0
-		for _, o := range b.Outcomes() {
-			if o.Clean {
-				clean++
-			}
-		}
-		fmt.Fprintf(out, "baseline: %d rounds, %d reported clean\n", len(b.Outcomes()), clean)
+	if sc.Baseline() != nil {
+		fmt.Fprintf(out, "baseline: %d rounds, %d reported clean\n", rep.BaselineRounds, rep.BaselineClean)
 	}
 	if rk := sc.Rootkit(); rk != nil {
-		fmt.Fprintf(out, "rootkit: state %v, %d state transitions\n", rk.State(), len(rk.Transitions()))
+		fmt.Fprintf(out, "rootkit: state %v, %d state transitions\n", rep.RootkitState, len(rk.Transitions()))
 	}
-	if fe := sc.FastEvader(); fe != nil {
-		fmt.Fprintf(out, "evader: %d suspect events\n", len(fe.SuspectEvents()))
+	if sc.FastEvader() != nil {
+		fmt.Fprintf(out, "evader: %d suspect events\n", rep.Suspects)
 	}
 	if te := sc.ThreadEvader(); te != nil {
-		fmt.Fprintf(out, "evader: %d suspect events, max staleness %v\n", len(te.SuspectEvents()), te.MaxStaleness())
+		fmt.Fprintf(out, "evader: %d suspect events, max staleness %v\n", rep.Suspects, te.MaxStaleness())
+	}
+	if sink != nil {
+		if err := sink.Flush(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "trace: %d events streamed to %s\n", sink.Events(), *traceOut)
+	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			return fmt.Errorf("creating metrics file: %w", err)
+		}
+		defer f.Close()
+		if strings.HasSuffix(*metricsOut, ".csv") {
+			err = rep.Metrics.WriteCSV(f)
+		} else {
+			_, err = io.WriteString(f, rep.Metrics.String())
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "metrics: %d metrics written to %s\n", len(rep.Metrics.Rows), *metricsOut)
 	}
 	if *timeline != "" {
 		f, err := os.Create(*timeline)
@@ -176,4 +230,22 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "timeline: %d events written to %s\n", tl.Len(), *timeline)
 	}
 	return nil
+}
+
+// lintTraceFile validates a streamed JSONL trace and reports the event
+// count — the CI smoke check for the export path.
+func lintTraceFile(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("opening trace: %w", err)
+	}
+	defer f.Close()
+	events, err := satin.ReadTraceJSONL(f)
+	if err != nil {
+		return 0, err
+	}
+	if len(events) == 0 {
+		return 0, fmt.Errorf("trace %s contains no events", path)
+	}
+	return len(events), nil
 }

@@ -75,3 +75,66 @@ func TestRunFlagValidation(t *testing.T) {
 		}
 	}
 }
+
+func TestRunTraceOutJSONL(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	var out strings.Builder
+	if err := run([]string{"-scans", "1", "-tp", "1s", "-trace-out", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "events streamed to") {
+		t.Errorf("missing stream confirmation:\n%s", out.String())
+	}
+	// The streamed file must parse back via the lint path.
+	var lint strings.Builder
+	if err := run([]string{"-lint-trace", path}, &lint); err != nil {
+		t.Fatalf("lint of streamed trace failed: %v", err)
+	}
+	if !strings.Contains(lint.String(), "trace ok:") {
+		t.Errorf("missing lint confirmation:\n%s", lint.String())
+	}
+}
+
+func TestRunTraceOutCSV(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	var out strings.Builder
+	if err := run([]string{"-scans", "1", "-tp", "1s", "-trace-out", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "at_ns,kind,core,area,detail\n") {
+		t.Errorf("CSV trace missing header:\n%.80s", data)
+	}
+}
+
+func TestRunMetricsOut(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.csv")
+	var out strings.Builder
+	if err := run([]string{"-scans", "1", "-tp", "1s", "-metrics-out", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(data)
+	for _, want := range []string{"name,type,field,value\n", "satin.rounds,counter,value,19\n", "monitor.switch_enter_ns,histogram,count,"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("metrics CSV missing %q:\n%.400s", want, got)
+		}
+	}
+}
+
+func TestRunLintTraceRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := os.WriteFile(path, []byte("{broken\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-lint-trace", path}, &out); err == nil {
+		t.Error("lint accepted a malformed trace")
+	}
+}

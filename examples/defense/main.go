@@ -34,12 +34,14 @@ func main() {
 	})
 	sc.RunToCompletion()
 
-	s := sc.SATIN()
-	fmt.Printf("\nsimulated %v of board time\n", sc.Now().Truncate(time.Second))
-	fmt.Printf("rounds: %d (%d full scans)\n", len(s.Rounds()), s.FullScans())
-	area14 := s.AreaRounds(14)
+	// Headline numbers come from the scenario's Report; the per-area gap
+	// analysis below still reads the component log.
+	rep := sc.Report()
+	fmt.Printf("\nsimulated %v of board time\n", rep.Elapsed.Truncate(time.Second))
+	fmt.Printf("rounds: %d (%d full scans)\n", rep.SATINRounds, rep.FullScans)
+	area14 := sc.SATIN().AreaRounds(14)
 	fmt.Printf("area-14 checks: %d, alarms: %d — every recovery effort failed\n",
-		len(area14), len(s.Alarms()))
+		len(area14), rep.Alarms)
 	if len(area14) > 1 {
 		var total time.Duration
 		for i := 1; i < len(area14); i++ {
@@ -49,5 +51,5 @@ func main() {
 			(total / time.Duration(len(area14)-1)).Truncate(time.Second))
 	}
 	fmt.Printf("evader flagged %d/%d rounds (and still lost every race)\n",
-		len(sc.FastEvader().SuspectEvents()), len(s.Rounds()))
+		rep.Suspects, rep.SATINRounds)
 }

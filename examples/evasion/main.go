@@ -36,19 +36,19 @@ func main() {
 	// 8 randomized rounds land within 8 × 2·period plus slack.
 	sc.Run(150 * time.Second)
 
-	clean := 0
 	for _, o := range sc.Baseline().Outcomes() {
 		verdict := "DETECTED"
 		if o.Clean {
 			verdict = "clean (evaded)"
-			clean++
 		}
 		fmt.Printf("round %d on core %d: checked %v of kernel in %v -> %s\n",
 			o.Round, o.CoreID, "11.9 MB", o.Elapsed().Truncate(time.Millisecond), verdict)
 	}
-	ev := sc.ThreadEvader()
+	// The summary comes from the scenario's Report; only the evader's max
+	// staleness needs the component accessor.
+	rep := sc.Report()
 	fmt.Printf("\nTZ-Evader flagged %d introspection entries (max staleness seen: %v)\n",
-		len(ev.SuspectEvents()), ev.MaxStaleness().Truncate(time.Microsecond))
+		rep.Suspects, sc.ThreadEvader().MaxStaleness().Truncate(time.Microsecond))
 	fmt.Printf("evasion success: %d/%d rounds — the rootkit is %v and was hidden only during checks\n",
-		clean, len(sc.Baseline().Outcomes()), sc.Rootkit().State())
+		rep.BaselineClean, rep.BaselineRounds, rep.RootkitState)
 }

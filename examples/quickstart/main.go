@@ -40,8 +40,12 @@ func main() {
 	})
 	sc.RunToCompletion()
 
-	s := sc.SATIN()
+	// The end-of-run summary comes straight from the scenario's Report.
+	rep := sc.Report()
 	fmt.Printf("ran %d introspection rounds over %v of board time\n",
-		len(s.Rounds()), sc.Now().Truncate(time.Millisecond))
-	fmt.Printf("alarms raised: %d (the syscall table lives in area 14)\n", len(s.Alarms()))
+		rep.SATINRounds, rep.Elapsed.Truncate(time.Millisecond))
+	fmt.Printf("alarms raised: %d (the syscall table lives in area 14)\n", rep.Alarms)
+	if rep.Detected {
+		fmt.Println("verdict: the rootkit was detected")
+	}
 }

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"time"
 
+	"satin/internal/obs"
 	"satin/internal/richos"
 	"satin/internal/simclock"
+	"satin/internal/trace"
 )
 
 // EvaderState is the TZ-Evader state machine of §III-C: attack while no
@@ -50,7 +52,31 @@ const (
 	EventCoreBack
 	// EventReinstalled: the attack is active again.
 	EventReinstalled
+
+	// eventKindEnd is one past the last kind. Adding a kind without
+	// extending TraceKind fails the exhaustiveness test that iterates up
+	// to this sentinel.
+	eventKindEnd
 )
+
+// TraceKind maps the evader event kind to its timeline representation.
+// Every kind must map: the timeline is the record the experiments and
+// exports audit, so a silently dropped kind would hide attacker activity.
+// TestEventTraceExhaustive enforces this.
+func (k EventKind) TraceKind() (trace.Kind, bool) {
+	switch k {
+	case EventSuspect:
+		return trace.KindSuspect, true
+	case EventHidden:
+		return trace.KindHidden, true
+	case EventCoreBack:
+		return trace.KindCoreBack, true
+	case EventReinstalled:
+		return trace.KindReinstalled, true
+	default:
+		return "", false
+	}
+}
 
 // String names the kind.
 func (k EventKind) String() string {
@@ -74,6 +100,54 @@ type Event struct {
 	Kind EventKind
 	// Core is the flagged core for EventSuspect/EventCoreBack, else -1.
 	Core int
+}
+
+// Trace converts the log entry to its timeline event, or reports false for
+// a kind with no timeline representation (there is none today; see
+// EventKind.TraceKind).
+func (e Event) Trace() (trace.Event, bool) {
+	k, ok := e.Kind.TraceKind()
+	if !ok {
+		return trace.Event{}, false
+	}
+	return trace.Event{At: e.At.Duration(), Kind: k, Core: e.Core, Area: -1}, true
+}
+
+// evaderObs is the shared observability hookup of the two evaders: the bus
+// the log streams to, plus per-kind counters.
+type evaderObs struct {
+	bus      *obs.Bus
+	suspects *obs.Counter
+	hides    *obs.Counter
+	backs    *obs.Counter
+	installs *obs.Counter
+}
+
+func newEvaderObs(bus *obs.Bus, reg *obs.Registry) evaderObs {
+	return evaderObs{
+		bus:      bus,
+		suspects: reg.Counter("evader.suspects"),
+		hides:    reg.Counter("evader.hides"),
+		backs:    reg.Counter("evader.core_backs"),
+		installs: reg.Counter("evader.reinstalls"),
+	}
+}
+
+// record streams one logged event: count it and publish its timeline form.
+func (o *evaderObs) record(e Event) {
+	switch e.Kind {
+	case EventSuspect:
+		o.suspects.Inc()
+	case EventHidden:
+		o.hides.Inc()
+	case EventCoreBack:
+		o.backs.Inc()
+	case EventReinstalled:
+		o.installs.Inc()
+	}
+	if te, ok := e.Trace(); ok {
+		o.bus.Publish(te)
+	}
 }
 
 // ReporterKind selects where the evader's Time Reporters run.
@@ -152,8 +226,15 @@ type Evader struct {
 	// is always an artifact.
 	clearedAt []simclock.Time
 	events    []Event
+	obs       evaderObs
 
 	maxStaleness time.Duration
+}
+
+// Observe wires the evader into the observability layer: every log entry
+// is published to bus and counted in reg. Either argument may be nil.
+func (e *Evader) Observe(bus *obs.Bus, reg *obs.Registry) {
+	e.obs = newEvaderObs(bus, reg)
 }
 
 // NewEvader builds the evader. Call Start to install the rootkit and spawn
@@ -245,7 +326,9 @@ func (e *Evader) SuspectEvents() []Event {
 }
 
 func (e *Evader) log(at simclock.Time, kind EventKind, core int) {
-	e.events = append(e.events, Event{At: at, Kind: kind, Core: core})
+	ev := Event{At: at, Kind: kind, Core: core}
+	e.events = append(e.events, ev)
+	e.obs.record(ev)
 }
 
 // evaderPhase is the per-thread continuation.

@@ -1,0 +1,72 @@
+package attack
+
+import (
+	"testing"
+	"time"
+
+	"satin/internal/obs"
+	"satin/internal/simclock"
+	"satin/internal/trace"
+)
+
+// TestEventTraceExhaustive walks every EventKind up to the sentinel and
+// demands a timeline mapping: an unmapped kind would silently vanish from
+// the exported record of attacker activity.
+func TestEventTraceExhaustive(t *testing.T) {
+	seen := map[trace.Kind]EventKind{}
+	for k := EventKind(1); k < eventKindEnd; k++ {
+		tk, ok := k.TraceKind()
+		if !ok {
+			t.Errorf("EventKind %v (%d) has no trace mapping", k, int(k))
+			continue
+		}
+		if prev, dup := seen[tk]; dup {
+			t.Errorf("EventKind %v and %v both map to trace kind %q", prev, k, tk)
+		}
+		seen[tk] = k
+	}
+	if _, ok := EventKind(0).TraceKind(); ok {
+		t.Error("zero EventKind claims a trace mapping")
+	}
+	if _, ok := eventKindEnd.TraceKind(); ok {
+		t.Error("sentinel EventKind claims a trace mapping")
+	}
+}
+
+func TestEventTraceFields(t *testing.T) {
+	e := Event{At: simclock.Time(3 * time.Second), Kind: EventSuspect, Core: 4}
+	te, ok := e.Trace()
+	if !ok {
+		t.Fatal("EventSuspect did not convert")
+	}
+	want := trace.Event{At: 3 * time.Second, Kind: trace.KindSuspect, Core: 4, Area: -1}
+	if te != want {
+		t.Fatalf("Trace() = %+v, want %+v", te, want)
+	}
+}
+
+// TestEvaderObsRecords checks the shared evader instrumentation: counts by
+// kind and one published event per log entry.
+func TestEvaderObsRecords(t *testing.T) {
+	bus := obs.NewBus()
+	reg := obs.NewRegistry()
+	var published []trace.Event
+	bus.Subscribe(func(e trace.Event) { published = append(published, e) })
+	eo := newEvaderObs(bus, reg)
+	for _, k := range []EventKind{EventSuspect, EventSuspect, EventHidden, EventCoreBack, EventReinstalled} {
+		eo.record(Event{At: 1, Kind: k, Core: -1})
+	}
+	for name, want := range map[string]int64{
+		"evader.suspects":   2,
+		"evader.hides":      1,
+		"evader.core_backs": 1,
+		"evader.reinstalls": 1,
+	} {
+		if got := reg.Counter(name).Value(); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if len(published) != 5 {
+		t.Fatalf("published %d events, want 5", len(published))
+	}
+}

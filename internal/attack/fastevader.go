@@ -6,6 +6,7 @@ import (
 
 	"satin/internal/hw"
 	"satin/internal/mem"
+	"satin/internal/obs"
 	"satin/internal/simclock"
 )
 
@@ -38,8 +39,15 @@ type FastEvader struct {
 	secureCores map[int]simclock.Time // entry times of cores currently away
 	suspected   map[int]bool
 	events      []Event
+	obs         evaderObs
 	pending     map[int]*simclock.Handle // detection events per core
 	started     bool
+}
+
+// Observe wires the evader into the observability layer: every log entry
+// is published to bus and counted in reg. Either argument may be nil.
+func (f *FastEvader) Observe(bus *obs.Bus, reg *obs.Registry) {
+	f.obs = newEvaderObs(bus, reg)
 }
 
 // NewFastEvader builds the evader; Start installs the rootkit and begins
@@ -96,7 +104,9 @@ func (f *FastEvader) SuspectEvents() []Event {
 }
 
 func (f *FastEvader) log(at simclock.Time, kind EventKind, core int) {
-	f.events = append(f.events, Event{At: at, Kind: kind, Core: core})
+	ev := Event{At: at, Kind: kind, Core: core}
+	f.events = append(f.events, ev)
+	f.obs.record(ev)
 }
 
 func (f *FastEvader) onWorldChange(c *hw.Core, _, newWorld hw.World) {

@@ -7,7 +7,9 @@ import (
 	"satin/internal/hw"
 	"satin/internal/introspect"
 	"satin/internal/mem"
+	"satin/internal/obs"
 	"satin/internal/simclock"
+	"satin/internal/trace"
 	"satin/internal/trustzone"
 )
 
@@ -65,6 +67,21 @@ type SATIN struct {
 	onRound []func(Round)
 	onAlarm []func(Alarm)
 	started bool
+
+	// Observability (nil unless Observe was called; all nil-safe).
+	bus        *obs.Bus
+	roundCtr   *obs.Counter
+	alarmCtr   *obs.Counter
+	roundHist  *obs.Histogram
+	areaHists  []*obs.Histogram
+	queueDepth *obs.Gauge
+}
+
+// RoundBuckets returns histogram bounds (ns) for per-round check durations:
+// the paper's area checks land in the low milliseconds (≤1.2 MB at
+// ~6.7–10.7 ns/B), so the bounds step 2 ms up to 16 ms.
+func RoundBuckets() []int64 {
+	return []int64{2e6, 4e6, 6e6, 8e6, 10e6, 12e6, 16e6}
 }
 
 // New assembles SATIN over the given areas. The golden hash table is
@@ -107,6 +124,24 @@ func NewJuno(p *hw.Platform, monitor *trustzone.Monitor, image *mem.Image, check
 		return nil, err
 	}
 	return New(p, monitor, image, checker, areas, cfg)
+}
+
+// Observe wires SATIN into the observability layer: completed rounds and
+// alarms are published to bus as trace events, and reg gains round/alarm
+// counters, an all-areas round-duration histogram plus one per area, and a
+// wake-queue depth gauge. Call before Start. Either argument may be nil.
+func (s *SATIN) Observe(bus *obs.Bus, reg *obs.Registry) {
+	s.bus = bus
+	s.roundCtr = reg.Counter("satin.rounds")
+	s.alarmCtr = reg.Counter("satin.alarms")
+	s.roundHist = reg.Histogram("satin.round_ns", RoundBuckets())
+	if reg != nil {
+		s.areaHists = make([]*obs.Histogram, len(s.areas))
+		for i := range s.areas {
+			s.areaHists[i] = reg.Histogram(fmt.Sprintf("satin.round_ns[area=%02d]", i), RoundBuckets())
+		}
+	}
+	s.queueDepth = reg.Gauge("satin.queue_pending")
 }
 
 // Start performs the trusted-boot initialization: install SATIN as the
@@ -185,9 +220,22 @@ func (s *SATIN) OnSecureTimer(ctx *trustzone.Context) {
 			Clean:    res.Sum == s.golden[areaIdx],
 		}
 		s.rounds = append(s.rounds, round)
+		s.roundCtr.Inc()
+		elapsed := int64(round.Elapsed())
+		s.roundHist.Observe(elapsed)
+		if s.areaHists != nil {
+			s.areaHists[areaIdx].Observe(elapsed)
+		}
+		detail := "clean"
+		if !round.Clean {
+			detail = "dirty"
+		}
+		s.bus.Publish(trace.Event{At: res.Finished.Duration(), Kind: trace.KindRound, Core: round.CoreID, Area: areaIdx, Detail: detail})
 		if !round.Clean {
 			alarm := Alarm{Round: roundIdx, Area: areaIdx, At: res.Finished}
 			s.alarms = append(s.alarms, alarm)
+			s.alarmCtr.Inc()
+			s.bus.Publish(trace.Event{At: res.Finished.Duration(), Kind: trace.KindAlarm, Core: -1, Area: areaIdx})
 			for _, fn := range s.onAlarm {
 				fn(alarm)
 			}
@@ -199,6 +247,7 @@ func (s *SATIN) OnSecureTimer(ctx *trustzone.Context) {
 		// this core's own timer; then return to the normal world.
 		if s.cfg.MaxRounds == 0 || len(s.rounds) < s.cfg.MaxRounds {
 			next := s.queue.Next(s.partIndex[ctx.Core().ID()], ctx.Now())
+			s.queueDepth.Set(int64(s.queue.Pending()))
 			// A deviation can land the assigned time in the past; fire
 			// no earlier than after this round's world exit completes,
 			// or the interrupt would assert while we still hold the core.

@@ -89,6 +89,18 @@ func (q *WakeQueue) Next(owner int, now simclock.Time) simclock.Time {
 	return t
 }
 
+// Pending reports how many slots of the current generation are still
+// unextracted — the queue depth an observability gauge tracks.
+func (q *WakeQueue) Pending() int {
+	n := 0
+	for _, tk := range q.taken {
+		if !tk {
+			n++
+		}
+	}
+	return n
+}
+
 // AllTaken reports whether the current generation is exhausted.
 func (q *WakeQueue) AllTaken() bool {
 	for _, tk := range q.taken {

@@ -30,8 +30,14 @@ func DetectionMetrics(r DetectionResult) runner.Metrics {
 // RunDetectionSweep runs the §VI-B1 detection experiment for seeds
 // cfg.Seed..cfg.Seed+seeds-1 across the worker pool.
 func RunDetectionSweep(ctx context.Context, cfg DetectionConfig, seeds, workers int) (*runner.Sweep, error) {
+	return RunDetectionSweepObserved(ctx, cfg, seeds, workers, nil)
+}
+
+// RunDetectionSweepObserved is RunDetectionSweep with a live per-trial
+// progress observer (may be nil).
+func RunDetectionSweepObserved(ctx context.Context, cfg DetectionConfig, seeds, workers int, progress runner.Progress) (*runner.Sweep, error) {
 	base := cfg.Seed
-	return runner.RunSweep(ctx, "SATIN detection (§VI-B1)", base, seeds, workers,
+	return runner.RunSweepObserved(ctx, "SATIN detection (§VI-B1)", base, seeds, workers, progress,
 		func(_ context.Context, seed uint64) (runner.Metrics, error) {
 			c := cfg
 			c.Seed = seed
@@ -55,7 +61,13 @@ func EvasionMetrics(r EvasionResult) runner.Metrics {
 // RunEvasionSweep runs the §IV TZ-Evader-vs-baseline experiment for seeds
 // base..base+seeds-1 across the worker pool.
 func RunEvasionSweep(ctx context.Context, base uint64, seeds, workers, rounds int, period time.Duration) (*runner.Sweep, error) {
-	return runner.RunSweep(ctx, "TZ-Evader vs baseline (§IV)", base, seeds, workers,
+	return RunEvasionSweepObserved(ctx, base, seeds, workers, rounds, period, nil)
+}
+
+// RunEvasionSweepObserved is RunEvasionSweep with a live per-trial progress
+// observer (may be nil).
+func RunEvasionSweepObserved(ctx context.Context, base uint64, seeds, workers, rounds int, period time.Duration, progress runner.Progress) (*runner.Sweep, error) {
+	return runner.RunSweepObserved(ctx, "TZ-Evader vs baseline (§IV)", base, seeds, workers, progress,
 		func(_ context.Context, seed uint64) (runner.Metrics, error) {
 			res, err := RunEvasion(seed, rounds, period)
 			if err != nil {
@@ -75,7 +87,13 @@ func RaceMetrics(r RaceResult) runner.Metrics {
 // RunRaceSweep runs the §IV-C race analysis for seeds base..base+seeds-1
 // across the worker pool.
 func RunRaceSweep(ctx context.Context, base uint64, seeds, workers int) (*runner.Sweep, error) {
-	return runner.RunSweep(ctx, "race-condition analysis (§IV-C)", base, seeds, workers,
+	return RunRaceSweepObserved(ctx, base, seeds, workers, nil)
+}
+
+// RunRaceSweepObserved is RunRaceSweep with a live per-trial progress
+// observer (may be nil).
+func RunRaceSweepObserved(ctx context.Context, base uint64, seeds, workers int, progress runner.Progress) (*runner.Sweep, error) {
+	return runner.RunSweepObserved(ctx, "race-condition analysis (§IV-C)", base, seeds, workers, progress,
 		func(_ context.Context, seed uint64) (runner.Metrics, error) {
 			res, err := RunRace(seed)
 			if err != nil {

@@ -6,7 +6,9 @@ import (
 
 	"satin/internal/hw"
 	"satin/internal/mem"
+	"satin/internal/obs"
 	"satin/internal/simclock"
+	"satin/internal/trace"
 	"satin/internal/trustzone"
 )
 
@@ -117,6 +119,20 @@ type Baseline struct {
 	rounds   int
 	outcomes []Outcome
 	onRound  []func(Outcome)
+
+	// Observability (nil unless Observe was called; all nil-safe).
+	bus      *obs.Bus
+	roundCtr *obs.Counter
+	dirtyCtr *obs.Counter
+}
+
+// Observe wires the baseline into the observability layer: each outcome is
+// published to bus as a round (or alarm, when dirty) trace event, and reg
+// gains round/dirty counters. Either argument may be nil.
+func (b *Baseline) Observe(bus *obs.Bus, reg *obs.Registry) {
+	b.bus = bus
+	b.roundCtr = reg.Counter("baseline.rounds")
+	b.dirtyCtr = reg.Counter("baseline.dirty_rounds")
 }
 
 // NewBaseline builds the baseline checker. Call Start to arm the first
@@ -173,6 +189,13 @@ func (b *Baseline) OnSecureTimer(ctx *trustzone.Context) {
 		}
 		b.rounds++
 		b.outcomes = append(b.outcomes, out)
+		b.roundCtr.Inc()
+		detail, kind := "clean", trace.KindRound
+		if !out.Clean {
+			detail, kind = "dirty", trace.KindAlarm
+			b.dirtyCtr.Inc()
+		}
+		b.bus.Publish(trace.Event{At: res.Finished.Duration(), Kind: kind, Core: out.CoreID, Area: -1, Detail: detail})
 		for _, fn := range b.onRound {
 			fn(out)
 		}

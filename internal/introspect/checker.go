@@ -6,6 +6,7 @@ import (
 
 	"satin/internal/hw"
 	"satin/internal/mem"
+	"satin/internal/obs"
 	"satin/internal/simclock"
 	"satin/internal/trustzone"
 )
@@ -58,6 +59,22 @@ type Checker struct {
 	rng   *simclock.RNG
 	hash  HashKind
 	chunk int
+
+	// Observability (nil unless Observe was called; all nil-safe).
+	checks      *obs.Counter
+	bytesHashed *obs.Counter
+	bytesCopied *obs.Counter
+	snapshots   *obs.Counter
+}
+
+// Observe wires the checker's hot path into the metrics registry: bytes
+// hashed and snapshot-copied are counted per chunk, at the virtual instant
+// the checker touches them. reg may be nil.
+func (c *Checker) Observe(reg *obs.Registry) {
+	c.checks = reg.Counter("introspect.checks")
+	c.bytesHashed = reg.Counter("introspect.bytes_hashed")
+	c.bytesCopied = reg.Counter("introspect.bytes_copied")
+	c.snapshots = reg.Counter("introspect.snapshot_copies")
 }
 
 // NewChecker builds a checker over the image using the platform's timing
@@ -120,6 +137,10 @@ func (c *Checker) Check(ctx *trustzone.Context, tech Technique, addr uint64, siz
 	coreType := ctx.Core().Type()
 	rates := c.perf.RatesFor(coreType)
 	res := Result{Technique: tech, Addr: addr, Size: size, Started: ctx.Now()}
+	c.checks.Inc()
+	if tech == SnapshotHash {
+		c.snapshots.Inc()
+	}
 	switch tech {
 	case DirectHash:
 		// One per-byte rate per check, as the paper measures per run.
@@ -165,6 +186,7 @@ func (c *Checker) runChunks(ctx *trustzone.Context, addr uint64, remaining int, 
 		panic(fmt.Sprintf("introspect: validated range became unreadable: %v", err))
 	}
 	sum = c.hash.update(sum, view)
+	c.bytesHashed.Add(int64(n))
 	ctx.Elapse(secondsDuration(rate*float64(n)), func() {
 		c.runChunks(ctx, addr+uint64(n), remaining-n, rate, sum, done)
 	})
@@ -185,6 +207,7 @@ func (c *Checker) captureChunks(ctx *trustzone.Context, addr uint64, remaining i
 		panic(fmt.Sprintf("introspect: validated range became unreadable: %v", err))
 	}
 	*out = append(*out, view...)
+	c.bytesCopied.Add(int64(n))
 	ctx.Elapse(secondsDuration(rate*float64(n)), func() {
 		c.captureChunks(ctx, addr+uint64(n), remaining-n, rate, out, done)
 	})

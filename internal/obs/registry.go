@@ -1,0 +1,294 @@
+package obs
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Counter is a monotonically increasing count. All methods are no-ops on a
+// nil receiver, so components can hold un-wired handles at zero cost.
+type Counter struct{ v int64 }
+
+// Add increases the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v += n
+}
+
+// Inc increases the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reports the current count (0 on a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a point-in-time value. Nil-safe like Counter.
+type Gauge struct{ v int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v = v
+}
+
+// Value reports the stored value (0 on a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// InfBucket is the upper bound of a histogram's implicit overflow bucket.
+const InfBucket = math.MaxInt64
+
+// Histogram counts observations into fixed buckets. Bounds are inclusive
+// upper edges in ascending order; an implicit +Inf bucket catches the rest.
+// Fixed buckets keep the histogram deterministic and allocation-free on the
+// observe path. Nil-safe like Counter.
+type Histogram struct {
+	bounds []int64
+	counts []int64
+	sum    int64
+	count  int64
+	min    int64
+	max    int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.sum += v
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// Sum reports the total of all observations.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Registry holds a scenario's metrics. The zero value is not usable;
+// construct with NewRegistry. Handles are created once and cached by name,
+// so the hot path never touches the maps.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Returns nil
+// (a no-op handle) on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Nil-safe.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bucket
+// bounds on first use (later calls reuse the first bounds). Nil-safe.
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	h, ok := r.hists[name]
+	if !ok {
+		b := append([]int64(nil), bounds...)
+		h = &Histogram{bounds: b, counts: make([]int64, len(b)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Bucket is one histogram bucket in a snapshot: the count of observations
+// at or below LE (and above the previous bound). LE is InfBucket for the
+// overflow bucket.
+type Bucket struct {
+	LE    int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
+// Row is one metric in a snapshot.
+type Row struct {
+	Name string `json:"name"`
+	// Type is "counter", "gauge", or "histogram".
+	Type  string `json:"type"`
+	Value int64  `json:"value"`
+	// Histogram-only fields.
+	Count   int64    `json:"count,omitempty"`
+	Sum     int64    `json:"sum,omitempty"`
+	Min     int64    `json:"min,omitempty"`
+	Max     int64    `json:"max,omitempty"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot is a registry's state at one instant, sorted by metric name so
+// two identical registries render byte-identically.
+type Snapshot struct {
+	Rows []Row
+}
+
+// Snapshot captures every metric. Empty metrics (zero counters that were
+// created but never incremented) are included: the set of rows depends only
+// on which components were observed, never on what happened during the run.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	for name, c := range r.counters {
+		s.Rows = append(s.Rows, Row{Name: name, Type: "counter", Value: c.v})
+	}
+	for name, g := range r.gauges {
+		s.Rows = append(s.Rows, Row{Name: name, Type: "gauge", Value: g.v})
+	}
+	for name, h := range r.hists {
+		row := Row{Name: name, Type: "histogram", Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+		for i, b := range h.bounds {
+			row.Buckets = append(row.Buckets, Bucket{LE: b, Count: h.counts[i]})
+		}
+		row.Buckets = append(row.Buckets, Bucket{LE: InfBucket, Count: h.counts[len(h.bounds)]})
+		s.Rows = append(s.Rows, row)
+	}
+	sort.Slice(s.Rows, func(i, j int) bool { return s.Rows[i].Name < s.Rows[j].Name })
+	return s
+}
+
+// Get returns the row with the given name, or false.
+func (s Snapshot) Get(name string) (Row, bool) {
+	for _, row := range s.Rows {
+		if row.Name == name {
+			return row, true
+		}
+	}
+	return Row{}, false
+}
+
+// String renders one line per metric, sorted by name.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	for _, row := range s.Rows {
+		switch row.Type {
+		case "histogram":
+			fmt.Fprintf(&b, "%-9s %s count=%d sum=%d min=%d max=%d", row.Type, row.Name, row.Count, row.Sum, row.Min, row.Max)
+			for _, bk := range row.Buckets {
+				fmt.Fprintf(&b, " le%s=%d", bucketLabel(bk.LE), bk.Count)
+			}
+			b.WriteString("\n")
+		default:
+			fmt.Fprintf(&b, "%-9s %s %d\n", row.Type, row.Name, row.Value)
+		}
+	}
+	return b.String()
+}
+
+// WriteCSV renders the snapshot as `name,type,field,value` rows with a
+// header, one row per scalar and per histogram bucket.
+func (s Snapshot) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"name", "type", "field", "value"}); err != nil {
+		return fmt.Errorf("obs: writing metrics CSV: %w", err)
+	}
+	row := func(name, typ, field string, v int64) error {
+		return cw.Write([]string{name, typ, field, strconv.FormatInt(v, 10)})
+	}
+	for _, r := range s.Rows {
+		var err error
+		switch r.Type {
+		case "histogram":
+			for _, f := range []struct {
+				field string
+				v     int64
+			}{{"count", r.Count}, {"sum", r.Sum}, {"min", r.Min}, {"max", r.Max}} {
+				if err = row(r.Name, r.Type, f.field, f.v); err != nil {
+					break
+				}
+			}
+			if err == nil {
+				for _, bk := range r.Buckets {
+					if err = row(r.Name, r.Type, "le"+bucketLabel(bk.LE), bk.Count); err != nil {
+						break
+					}
+				}
+			}
+		default:
+			err = row(r.Name, r.Type, "value", r.Value)
+		}
+		if err != nil {
+			return fmt.Errorf("obs: writing metrics CSV: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("obs: writing metrics CSV: %w", err)
+	}
+	return nil
+}
+
+func bucketLabel(le int64) string {
+	if le == InfBucket {
+		return "+inf"
+	}
+	return strconv.FormatInt(le, 10)
+}

@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"satin/internal/trace"
+)
+
+// Format selects a streaming export encoding.
+type Format int
+
+// Stream formats.
+const (
+	// JSONL writes one JSON object per event per line (the same field
+	// names as trace.Event's JSON encoding).
+	JSONL Format = iota + 1
+	// CSV writes a header then one `at_ns,kind,core,area,detail` row per
+	// event.
+	CSV
+)
+
+// String names the format.
+func (f Format) String() string {
+	switch f {
+	case JSONL:
+		return "jsonl"
+	case CSV:
+		return "csv"
+	default:
+		return fmt.Sprintf("Format(%d)", int(f))
+	}
+}
+
+// StreamSink writes every published event to w as it happens — the live
+// export behind `satin-sim -trace-out`. Events stream in publish order
+// (chronological per the single-threaded engine), so the output of a
+// fixed-seed run is byte-identical across runs and worker counts. A write
+// error latches: later events are dropped and Err reports the first
+// failure.
+type StreamSink struct {
+	bw     *bufio.Writer
+	cw     *csv.Writer
+	format Format
+	events int
+	err    error
+}
+
+// NewStreamSink builds a sink over w. For CSV the header row is written
+// immediately. Subscribe its OnEvent to a bus, then Flush when the run ends.
+func NewStreamSink(w io.Writer, format Format) (*StreamSink, error) {
+	s := &StreamSink{format: format}
+	switch format {
+	case JSONL:
+		s.bw = bufio.NewWriter(w)
+	case CSV:
+		s.cw = csv.NewWriter(w)
+		if err := s.cw.Write([]string{"at_ns", "kind", "core", "area", "detail"}); err != nil {
+			return nil, fmt.Errorf("obs: writing CSV header: %w", err)
+		}
+	default:
+		return nil, fmt.Errorf("obs: unknown stream format %v", format)
+	}
+	return s, nil
+}
+
+// OnEvent implements SinkFunc.
+func (s *StreamSink) OnEvent(e trace.Event) {
+	if s.err != nil {
+		return
+	}
+	switch s.format {
+	case JSONL:
+		data, err := json.Marshal(e)
+		if err != nil {
+			s.err = fmt.Errorf("obs: encoding event: %w", err)
+			return
+		}
+		data = append(data, '\n')
+		if _, err := s.bw.Write(data); err != nil {
+			s.err = fmt.Errorf("obs: streaming event: %w", err)
+			return
+		}
+	case CSV:
+		rec := []string{
+			strconv.FormatInt(int64(e.At), 10),
+			string(e.Kind),
+			strconv.Itoa(e.Core),
+			strconv.Itoa(e.Area),
+			e.Detail,
+		}
+		if err := s.cw.Write(rec); err != nil {
+			s.err = fmt.Errorf("obs: streaming event: %w", err)
+			return
+		}
+	}
+	s.events++
+}
+
+// Events reports how many events were written.
+func (s *StreamSink) Events() int { return s.events }
+
+// Flush drains buffered output and reports the first error seen.
+func (s *StreamSink) Flush() error {
+	if s.bw != nil {
+		if err := s.bw.Flush(); err != nil && s.err == nil {
+			s.err = fmt.Errorf("obs: flushing stream: %w", err)
+		}
+	}
+	if s.cw != nil {
+		s.cw.Flush()
+		if err := s.cw.Error(); err != nil && s.err == nil {
+			s.err = fmt.Errorf("obs: flushing stream: %w", err)
+		}
+	}
+	return s.err
+}
+
+// Err reports the first write error, or nil.
+func (s *StreamSink) Err() error { return s.err }
+
+// ReadJSONL parses a JSONL event stream back into events — the validation
+// half of the streaming export, used by tests and the CI trace smoke check.
+func ReadJSONL(r io.Reader) ([]trace.Event, error) {
+	var out []trace.Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var e trace.Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		if e.Kind == "" {
+			return nil, fmt.Errorf("obs: trace line %d: missing event kind", line)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: reading trace: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,138 @@
+package runner
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunObservedReportsEveryTrial(t *testing.T) {
+	var calls int32
+	var lastDone int32
+	seen := make([]bool, 10)
+	progress := func(done, total, index int, elapsed time.Duration, err error) {
+		atomic.AddInt32(&calls, 1)
+		atomic.StoreInt32(&lastDone, int32(done))
+		if total != 10 {
+			t.Errorf("total = %d, want 10", total)
+		}
+		if elapsed < 0 {
+			t.Errorf("negative elapsed %v", elapsed)
+		}
+		if (err != nil) != (index == 3) {
+			t.Errorf("index %d: err = %v", index, err)
+		}
+		seen[index] = true
+	}
+	results, err := RunObserved(context.Background(), 10, 4, progress, func(_ context.Context, i int) (int, error) {
+		if i == 3 {
+			return 0, fmt.Errorf("boom")
+		}
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 10 {
+		t.Fatalf("%d results", len(results))
+	}
+	if calls != 10 || lastDone != 10 {
+		t.Fatalf("progress calls=%d lastDone=%d, want 10/10", calls, lastDone)
+	}
+	for i, s := range seen {
+		if !s {
+			t.Errorf("no progress notice for trial %d", i)
+		}
+	}
+}
+
+func TestRunObservedNilProgress(t *testing.T) {
+	results, err := RunObserved(context.Background(), 3, 2, nil, func(_ context.Context, i int) (int, error) {
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Value != i*i {
+			t.Errorf("trial %d: %d", i, r.Value)
+		}
+	}
+}
+
+func TestRunSweepObservedSeedIndices(t *testing.T) {
+	const base = 100
+	var reported int32
+	progress := func(done, total, index int, _ time.Duration, err error) {
+		atomic.AddInt32(&reported, 1)
+		if index < 0 || index >= 5 {
+			t.Errorf("index %d out of range", index)
+		}
+	}
+	sw, err := RunSweepObserved(context.Background(), "t", base, 5, 3, progress,
+		func(_ context.Context, seed uint64) (Metrics, error) {
+			return Metrics{}.Add("seed", float64(seed)), nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reported != 5 {
+		t.Fatalf("progress reported %d trials, want 5", reported)
+	}
+	for i, v := range sw.Samples("seed") {
+		if v != float64(base+i) {
+			t.Errorf("sample %d = %v, want %d", i, v, base+i)
+		}
+	}
+}
+
+func TestSweepWriteCSV(t *testing.T) {
+	sw, err := RunSweep(context.Background(), "exp", 7, 3, 1,
+		func(_ context.Context, seed uint64) (Metrics, error) {
+			if seed == 8 {
+				return nil, fmt.Errorf("bad seed")
+			}
+			return Metrics{}.Add("alarms", float64(seed)).Add("rounds", 19), nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sw.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "experiment,metric,seed,value\n" +
+		"exp,alarms,7,7\n" +
+		"exp,alarms,9,9\n" +
+		"exp,rounds,7,19\n" +
+		"exp,rounds,9,19\n" +
+		"exp,__failed__,8,1\n"
+	if buf.String() != want {
+		t.Fatalf("CSV:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+// TestSweepCSVDeterministicAcrossWorkers: the export must not depend on
+// completion order.
+func TestSweepCSVDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) string {
+		sw, err := RunSweep(context.Background(), "d", 1, 16, workers,
+			func(_ context.Context, seed uint64) (Metrics, error) {
+				return Metrics{}.Add("m", float64(seed*seed)), nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := sw.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if run(1) != run(8) {
+		t.Fatal("sweep CSV differs between workers=1 and workers=8")
+	}
+}

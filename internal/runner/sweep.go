@@ -2,7 +2,10 @@ package runner
 
 import (
 	"context"
+	"encoding/csv"
 	"fmt"
+	"io"
+	"strconv"
 	"strings"
 
 	"satin/internal/stats"
@@ -52,10 +55,16 @@ type Sweep struct {
 // panics become Failures rather than failing the sweep; only a configuration
 // error (n < 1) or context cancellation fails the call.
 func RunSweep(ctx context.Context, name string, baseSeed uint64, n, workers int, trial func(ctx context.Context, seed uint64) (Metrics, error)) (*Sweep, error) {
+	return RunSweepObserved(ctx, name, baseSeed, n, workers, nil, trial)
+}
+
+// RunSweepObserved is RunSweep with a live progress observer (may be nil);
+// the observer's trial index i corresponds to seed baseSeed+i.
+func RunSweepObserved(ctx context.Context, name string, baseSeed uint64, n, workers int, progress Progress, trial func(ctx context.Context, seed uint64) (Metrics, error)) (*Sweep, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("runner: sweep %q needs at least 1 seed, got %d", name, n)
 	}
-	results, err := Run(ctx, n, workers, func(ctx context.Context, i int) (Metrics, error) {
+	results, err := RunObserved(ctx, n, workers, progress, func(ctx context.Context, i int) (Metrics, error) {
 		return trial(ctx, baseSeed+uint64(i))
 	})
 	if err != nil {
@@ -94,6 +103,36 @@ func (s *Sweep) Samples(key string) []float64 {
 // Dist returns the distribution summary of one metric over all successful
 // seeds.
 func (s *Sweep) Dist(key string) stats.Dist { return stats.NewDist(s.samples[key]) }
+
+// WriteCSV exports the per-seed samples as `experiment,metric,seed,value`
+// rows (with a header). Rows are ordered metric-major in report order,
+// seeds ascending within a metric, so output is byte-identical for any
+// worker count. Failed seeds contribute `experiment,__failed__,seed,1`
+// rows at the end.
+func (s *Sweep) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"experiment", "metric", "seed", "value"}); err != nil {
+		return fmt.Errorf("runner: writing sweep CSV: %w", err)
+	}
+	for _, key := range s.keys {
+		for i, v := range s.samples[key] {
+			rec := []string{s.Name, key, strconv.FormatUint(s.Seeds[i], 10), strconv.FormatFloat(v, 'g', -1, 64)}
+			if err := cw.Write(rec); err != nil {
+				return fmt.Errorf("runner: writing sweep CSV: %w", err)
+			}
+		}
+	}
+	for _, f := range s.Failures {
+		if err := cw.Write([]string{s.Name, "__failed__", strconv.FormatUint(f.Seed, 10), "1"}); err != nil {
+			return fmt.Errorf("runner: writing sweep CSV: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("runner: writing sweep CSV: %w", err)
+	}
+	return nil
+}
 
 // Render prints the aggregate table: one row per metric with mean, min,
 // quartiles, p90, and max over seeds, then any failed seeds.

@@ -50,10 +50,11 @@ func (t Time) String() string { return time.Duration(t).String() }
 // Engine is a discrete-event simulation engine. The zero value is not
 // usable; construct one with NewEngine.
 type Engine struct {
-	now     Time
-	queue   eventQueue
-	nextSeq uint64
-	stopped bool
+	now        Time
+	queue      eventQueue
+	nextSeq    uint64
+	dispatched uint64
+	stopped    bool
 }
 
 // NewEngine returns an engine with the clock at the boot instant and an
@@ -106,6 +107,7 @@ func (e *Engine) Step() bool {
 			continue
 		}
 		e.now = ev.when
+		e.dispatched++
 		ev.fn()
 		return true
 	}
@@ -149,6 +151,12 @@ func (e *Engine) Stopped() bool { return e.stopped }
 // that were canceled but not yet discarded. Intended for tests and
 // diagnostics.
 func (e *Engine) Pending() int { return e.queue.len() }
+
+// Dispatched reports how many events have fired since boot — the engine's
+// own throughput counter, maintained unconditionally (one increment per
+// event) so observability snapshots can read it without hooking the hot
+// path.
+func (e *Engine) Dispatched() uint64 { return e.dispatched }
 
 // Handle identifies a scheduled event and allows canceling it.
 type Handle struct {

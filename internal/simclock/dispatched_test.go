@@ -1,0 +1,40 @@
+package simclock
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDispatchedCountsFiredEvents: the engine's throughput counter counts
+// exactly the events that fired — canceled events never count.
+func TestDispatchedCountsFiredEvents(t *testing.T) {
+	e := NewEngine()
+	if e.Dispatched() != 0 {
+		t.Fatalf("fresh engine dispatched %d", e.Dispatched())
+	}
+	for i := 0; i < 5; i++ {
+		e.After(time.Duration(i+1)*time.Millisecond, "tick", func() {})
+	}
+	canceled := e.After(10*time.Millisecond, "canceled", func() {
+		t.Error("canceled event fired")
+	})
+	canceled.Cancel()
+	e.Run()
+	if e.Dispatched() != 5 {
+		t.Fatalf("Dispatched() = %d, want 5", e.Dispatched())
+	}
+	// Rescheduling from inside a handler still counts each firing.
+	n := 0
+	var rearm func()
+	rearm = func() {
+		n++
+		if n < 3 {
+			e.After(time.Millisecond, "rearm", rearm)
+		}
+	}
+	e.After(time.Millisecond, "rearm", rearm)
+	e.Run()
+	if e.Dispatched() != 8 {
+		t.Fatalf("Dispatched() = %d after rearm chain, want 8", e.Dispatched())
+	}
+}

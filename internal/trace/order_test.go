@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+// TestTieOrderMatchesPostHocMerge: at one instant, world entries precede
+// rounds, rounds precede alarms, alarms precede evader reactions —
+// regardless of arrival order. This is the invariant that lets a timeline
+// filled by live bus subscription render byte-identically to the original
+// post-hoc component-log merge.
+func TestTieOrderMatchesPostHocMerge(t *testing.T) {
+	at := 5 * time.Second
+	var tl Timeline
+	// Arrive in deliberately scrambled order.
+	tl.Observe(Event{At: at, Kind: KindSuspect, Core: 1, Area: -1})
+	tl.Observe(Event{At: at, Kind: KindAlarm, Core: -1, Area: 17})
+	tl.Observe(Event{At: at, Kind: KindRound, Core: 1, Area: 17, Detail: "dirty"})
+	tl.Observe(Event{At: at, Kind: KindWorldEnter, Core: 1, Area: -1})
+	got := tl.Events()
+	want := []Kind{KindWorldEnter, KindRound, KindAlarm, KindSuspect}
+	for i, k := range want {
+		if got[i].Kind != k {
+			t.Fatalf("position %d: kind %q, want %q (full order: %v)", i, got[i].Kind, k, kinds(got))
+		}
+	}
+}
+
+// TestTieOrderStableWithinRank: events with equal time and rank keep
+// arrival order (the component logs are chronological, so stability
+// preserves their relative order).
+func TestTieOrderStableWithinRank(t *testing.T) {
+	at := time.Second
+	var tl Timeline
+	tl.Observe(Event{At: at, Kind: KindWorldEnter, Core: 0, Area: -1})
+	tl.Observe(Event{At: at, Kind: KindWorldEnter, Core: 5, Area: -1})
+	tl.Observe(Event{At: at, Kind: KindSuspect, Core: 2, Area: -1})
+	tl.Observe(Event{At: at, Kind: KindHidden, Core: -1, Area: -1})
+	got := tl.Events()
+	if got[0].Core != 0 || got[1].Core != 5 {
+		t.Errorf("same-rank world entries reordered: %v", kinds(got))
+	}
+	if got[2].Kind != KindSuspect || got[3].Kind != KindHidden {
+		t.Errorf("same-rank evader events reordered: %v", kinds(got))
+	}
+}
+
+// TestTimeOrderBeatsRank: rank only breaks ties; time dominates.
+func TestTimeOrderBeatsRank(t *testing.T) {
+	var tl Timeline
+	tl.Observe(Event{At: 2 * time.Second, Kind: KindWorldEnter, Core: 0, Area: -1})
+	tl.Observe(Event{At: time.Second, Kind: KindSuspect, Core: 0, Area: -1})
+	got := tl.Events()
+	if got[0].Kind != KindSuspect {
+		t.Fatalf("earlier suspect sorted after later world-enter: %v", kinds(got))
+	}
+}
+
+func kinds(events []Event) []Kind {
+	out := make([]Kind, len(events))
+	for i, e := range events {
+		out[i] = e.Kind
+	}
+	return out
+}

@@ -60,7 +60,29 @@ func (e Event) String() string {
 	return sb.String()
 }
 
-// Timeline is a collection of events, sorted on demand.
+// kindRank orders events sharing an instant: world entries precede the
+// rounds they enabled, rounds precede the alarms they raised (a dirty
+// round's Finished IS its alarm's At), and evader reactions come last.
+// This reproduces the grouping of the original post-hoc timeline merge, so
+// a timeline filled by streaming subscription renders byte-identically to
+// one assembled from the component logs after the run.
+func kindRank(k Kind) int {
+	switch k {
+	case KindWorldEnter:
+		return 0
+	case KindRound:
+		return 1
+	case KindAlarm:
+		return 2
+	case KindSuspect, KindHidden, KindCoreBack, KindReinstalled:
+		return 3
+	default:
+		return 4
+	}
+}
+
+// Timeline is a collection of events, sorted on demand. It doubles as a
+// bus sink: subscribe its Add method to stream events in as they happen.
 type Timeline struct {
 	events []Event
 	sorted bool
@@ -72,11 +94,21 @@ func (t *Timeline) Add(events ...Event) {
 	t.sorted = false
 }
 
-// Events returns the events in time order (stable for equal instants).
+// Observe appends one event — the allocation-light single-event form of
+// Add, suitable as a bus subscriber.
+func (t *Timeline) Observe(e Event) {
+	t.events = append(t.events, e)
+	t.sorted = false
+}
+
+// Events returns the events in (time, kind rank) order, stable within ties.
 func (t *Timeline) Events() []Event {
 	if !t.sorted {
 		sort.SliceStable(t.events, func(i, j int) bool {
-			return t.events[i].At < t.events[j].At
+			if t.events[i].At != t.events[j].At {
+				return t.events[i].At < t.events[j].At
+			}
+			return kindRank(t.events[i].Kind) < kindRank(t.events[j].Kind)
 		})
 		t.sorted = true
 	}

@@ -17,7 +17,9 @@ import (
 	"time"
 
 	"satin/internal/hw"
+	"satin/internal/obs"
 	"satin/internal/simclock"
+	"satin/internal/trace"
 )
 
 // Service is the S-EL1 secure software the monitor dispatches to. The
@@ -100,6 +102,12 @@ func DefaultPreemptionCost() simclock.Dist {
 	return simclock.Seconds(20e-6, 30e-6, 45e-6)
 }
 
+// SwitchBuckets returns the histogram bounds (ns) for Ts_switch latencies:
+// fine steps across the paper's measured 2.38–3.60 µs band.
+func SwitchBuckets() []int64 {
+	return []int64{2400, 2600, 2800, 3000, 3200, 3400, 3600, 4000}
+}
+
 // Monitor is the EL3 secure monitor.
 type Monitor struct {
 	platform *hw.Platform
@@ -108,6 +116,12 @@ type Monitor struct {
 	inSecure []bool
 	switches []SwitchRecord
 	onEnter  []func(SwitchRecord)
+
+	// Observability (nil unless Observe was called; all nil-safe).
+	bus       *obs.Bus
+	entries   *obs.Counter
+	enterHist *obs.Histogram
+	exitHist  *obs.Histogram
 
 	routing        RoutingMode
 	preemptionCost simclock.Dist
@@ -135,6 +149,17 @@ func NewMonitor(p *hw.Platform, seed uint64) *Monitor {
 		m.handleSecureTimer(coreID)
 	})
 	return m
+}
+
+// Observe wires the monitor into the observability layer: every completed
+// world entry is published to bus as a trace event, and the per-switch
+// Ts_switch costs feed enter/exit latency histograms in reg. Either
+// argument may be nil.
+func (m *Monitor) Observe(bus *obs.Bus, reg *obs.Registry) {
+	m.bus = bus
+	m.entries = reg.Counter("monitor.world_entries")
+	m.enterHist = reg.Histogram("monitor.switch_enter_ns", SwitchBuckets())
+	m.exitHist = reg.Histogram("monitor.switch_exit_ns", SwitchBuckets())
 }
 
 // SetRouting configures the non-secure interrupt routing (§II-B). In
@@ -228,8 +253,14 @@ func (m *Monitor) enter(coreID int, reason EntryReason, fn func(ctx *Context)) {
 			Entered:   m.platform.Engine().Now(),
 		}
 		m.switches = append(m.switches, rec)
-		for _, obs := range m.onEnter {
-			obs(rec)
+		m.entries.Inc()
+		m.enterHist.Observe(int64(rec.SwitchTime()))
+		m.bus.Publish(trace.Event{
+			At: rec.Entered.Duration(), Kind: trace.KindWorldEnter,
+			Core: coreID, Area: -1, Detail: reason.String(),
+		})
+		for _, fn := range m.onEnter {
+			fn(rec)
 		}
 		ctx := &Context{monitor: m, core: core, stretchSeen: m.stretch[coreID]}
 		fn(ctx)
@@ -240,6 +271,7 @@ func (m *Monitor) enter(coreID int, reason EntryReason, fn func(ctx *Context)) {
 // the secure-context save and NS-context restore.
 func (m *Monitor) exit(coreID int) {
 	switchCost := m.platform.Perf().SwitchTime(m.rng)
+	m.exitHist.Observe(int64(switchCost))
 	m.platform.Engine().After(switchCost, fmt.Sprintf("world-exit-core%d", coreID), func() {
 		m.inSecure[coreID] = false
 		m.platform.Core(coreID).SetWorld(hw.NormalWorld)

@@ -26,6 +26,7 @@ package satin
 import (
 	"context"
 	"fmt"
+	"io"
 	"time"
 
 	"satin/internal/attack"
@@ -33,6 +34,7 @@ import (
 	"satin/internal/hw"
 	"satin/internal/introspect"
 	"satin/internal/mem"
+	"satin/internal/obs"
 	"satin/internal/richos"
 	"satin/internal/runner"
 	"satin/internal/simclock"
@@ -128,6 +130,49 @@ const (
 // DefaultConfig returns the paper's experimental SATIN configuration.
 func DefaultConfig() Config { return core.DefaultConfig() }
 
+// Re-exported observability types. Every Scenario carries a live event bus
+// and a metrics registry (disable with WithObservability(false)): components
+// publish trace events as they happen and keep named counters, gauges, and
+// fixed-bucket histograms. Everything is driven by virtual time, so a
+// fixed-seed run's bus stream and metrics snapshot are byte-identical across
+// runs and worker counts.
+type (
+	// Bus is the live event bus; Subscribe receives every trace event as
+	// it is published.
+	Bus = obs.Bus
+	// MetricsSnapshot is a point-in-time copy of every metric, sorted by
+	// name.
+	MetricsSnapshot = obs.Snapshot
+	// MetricRow is one metric in a snapshot.
+	MetricRow = obs.Row
+	// MetricBucket is one histogram bucket in a snapshot row.
+	MetricBucket = obs.Bucket
+	// StreamSink writes each published event to a writer as it happens
+	// (the engine behind `satin-sim -trace-out`).
+	StreamSink = obs.StreamSink
+	// ExportFormat selects a streaming export encoding.
+	ExportFormat = obs.Format
+)
+
+// Streaming export formats.
+const (
+	// ExportJSONL writes one JSON object per event per line.
+	ExportJSONL = obs.JSONL
+	// ExportCSV writes a header then one row per event.
+	ExportCSV = obs.CSV
+)
+
+// NewStreamSink builds a streaming event sink over w; subscribe its OnEvent
+// to a scenario's Bus, then Flush when the run ends.
+func NewStreamSink(w io.Writer, format ExportFormat) (*StreamSink, error) {
+	return obs.NewStreamSink(w, format)
+}
+
+// ReadTraceJSONL parses a JSONL event stream written by a StreamSink —
+// the validation half of the export, used by `satin-sim -lint-trace` and
+// the CI smoke check.
+func ReadTraceJSONL(r io.Reader) ([]TimelineEvent, error) { return obs.ReadJSONL(r) }
+
 // Multi-seed sweep types. A single Scenario run is one Monte Carlo sample
 // of a timing race; a Sweep reruns the same scenario across independent
 // seeds on a worker pool and aggregates per-seed metrics into
@@ -158,7 +203,19 @@ type (
 //	    return satin.SweepMetrics{}.Add("alarms", float64(len(sc.SATIN().Alarms()))), nil
 //	})
 func RunSeeds(name string, baseSeed uint64, seeds, workers int, trial func(seed uint64) (SweepMetrics, error)) (*Sweep, error) {
-	return runner.RunSweep(context.Background(), name, baseSeed, seeds, workers,
+	return RunSeedsObserved(context.Background(), name, baseSeed, seeds, workers, nil, trial)
+}
+
+// SweepProgress observes trial completions live: done/total counts, the
+// finished trial's index (its seed is baseSeed+index), wall-clock duration,
+// and error. Notices arrive in completion order, which depends on
+// scheduling — route them to stderr or a TUI, never into results.
+type SweepProgress = runner.Progress
+
+// RunSeedsObserved is RunSeeds with a context and a live progress observer
+// (either may be nil/background).
+func RunSeedsObserved(ctx context.Context, name string, baseSeed uint64, seeds, workers int, progress SweepProgress, trial func(seed uint64) (SweepMetrics, error)) (*Sweep, error) {
+	return runner.RunSweepObserved(ctx, name, baseSeed, seeds, workers, progress,
 		func(_ context.Context, seed uint64) (runner.Metrics, error) {
 			return trial(seed)
 		})
@@ -173,6 +230,7 @@ const DefaultThreshold = 1800 * time.Microsecond
 // Scenario is a fully assembled testbed: platform, monitor, kernel image,
 // rich OS, and optionally SATIN, a baseline checker, and an evader.
 type Scenario struct {
+	seed    uint64
 	engine  *simclock.Engine
 	plat    *hw.Platform
 	image   *mem.Image
@@ -187,16 +245,29 @@ type Scenario struct {
 	evader     *attack.Evader
 	guard      *syncguard.Guard
 	flood      *attack.InterruptFlood
+
+	bus      *obs.Bus
+	reg      *obs.Registry
+	timeline *trace.Timeline
 }
 
 // Option configures a Scenario.
 type Option func(*options)
 
+// evaderKind selects which evader (if any) a scenario installs.
+type evaderKind int
+
+const (
+	evaderNone evaderKind = iota
+	evaderFast
+	evaderThread
+)
+
 type options struct {
 	seed          uint64
 	satinCfg      *core.Config
 	baselineCfg   *introspect.BaselineConfig
-	evaderKind    int // 0 none, 1 fast, 2 thread
+	evader        evaderKind
 	evaderSleep   time.Duration
 	evaderThresh  time.Duration
 	rootkitTarget *uint64
@@ -204,6 +275,7 @@ type options struct {
 	guardBypass   bool
 	routing       trustzone.RoutingMode
 	floodRate     float64
+	noObs         bool
 }
 
 // WithSeed sets the root seed for every deterministic stream.
@@ -220,7 +292,7 @@ func WithBaseline(cfg BaselineConfig) Option { return func(o *options) { o.basel
 // fast evader. Zero durations select the paper's defaults.
 func WithFastEvader(sleep, threshold time.Duration) Option {
 	return func(o *options) {
-		o.evaderKind = 1
+		o.evader = evaderFast
 		o.evaderSleep = sleep
 		o.evaderThresh = threshold
 	}
@@ -230,7 +302,7 @@ func WithFastEvader(sleep, threshold time.Duration) Option {
 // thread-level evader (KProber-II probing threads on every core).
 func WithThreadEvader(threshold time.Duration) Option {
 	return func(o *options) {
-		o.evaderKind = 2
+		o.evader = evaderThread
 		o.evaderThresh = threshold
 	}
 }
@@ -254,9 +326,21 @@ func WithSyncGuard(bypass bool) Option {
 }
 
 // WithRouting selects the §II-B NS-interrupt routing mode. SATIN's design
-// requires NonPreemptive (the default).
+// requires NonPreemptive (the default); passing WithRouting(NonPreemptive)
+// explicitly is identical to omitting the option. An unknown mode —
+// including the zero RoutingMode — fails NewScenario rather than being
+// silently ignored.
 func WithRouting(mode RoutingMode) Option {
 	return func(o *options) { o.routing = mode }
+}
+
+// WithObservability enables or disables the scenario's event bus, timeline,
+// and metrics registry. It is enabled by default; disable it to measure the
+// zero-overhead path (publishes early-return, metric handles are nil
+// no-ops), in which case Bus returns nil, Timeline stays empty, and Metrics
+// returns an empty snapshot.
+func WithObservability(enabled bool) Option {
+	return func(o *options) { o.noObs = !enabled }
 }
 
 // WithFlood starts the §V-B SGI interrupt flood at boot, at the given
@@ -267,7 +351,12 @@ func WithFlood(rate float64) Option {
 
 // NewScenario assembles and boots a testbed.
 func NewScenario(opts ...Option) (*Scenario, error) {
-	o := options{seed: 1, evaderSleep: DefaultProberSleep, evaderThresh: DefaultThreshold}
+	o := options{
+		seed:         1,
+		evaderSleep:  DefaultProberSleep,
+		evaderThresh: DefaultThreshold,
+		routing:      trustzone.NonPreemptive,
+	}
 	for _, opt := range opts {
 		opt(&o)
 	}
@@ -279,6 +368,11 @@ func NewScenario(opts ...Option) (*Scenario, error) {
 	}
 	if o.satinCfg != nil && o.baselineCfg != nil {
 		return nil, fmt.Errorf("satin: a scenario runs either SATIN or the baseline, not both")
+	}
+	switch o.routing {
+	case trustzone.NonPreemptive, trustzone.Preemptive:
+	default:
+		return nil, fmt.Errorf("satin: unknown routing mode %v", o.routing)
 	}
 
 	engine := simclock.NewEngine()
@@ -299,15 +393,22 @@ func NewScenario(opts ...Option) (*Scenario, error) {
 		return nil, err
 	}
 	sc := &Scenario{
-		engine:  engine,
-		plat:    plat,
-		image:   image,
-		monitor: trustzone.NewMonitor(plat, o.seed+3),
-		os:      osim,
-		checker: checker,
+		seed:     o.seed,
+		engine:   engine,
+		plat:     plat,
+		image:    image,
+		monitor:  trustzone.NewMonitor(plat, o.seed+3),
+		os:       osim,
+		checker:  checker,
+		timeline: &trace.Timeline{},
 	}
-	if o.routing != 0 {
-		sc.monitor.SetRouting(o.routing)
+	sc.monitor.SetRouting(o.routing)
+	if !o.noObs {
+		sc.bus = obs.NewBus()
+		sc.reg = obs.NewRegistry()
+		sc.bus.Subscribe(sc.timeline.Observe)
+		sc.monitor.Observe(sc.bus, sc.reg)
+		sc.checker.Observe(sc.reg)
 	}
 	if o.guard {
 		sc.guard = syncguard.New(osim)
@@ -317,7 +418,7 @@ func NewScenario(opts ...Option) (*Scenario, error) {
 	}
 
 	// Attack side first (the persistent threat predates the defense).
-	if o.evaderKind != 0 {
+	if o.evader != evaderNone {
 		if o.rootkitTarget != nil {
 			sc.rootkit = attack.NewRootkitAt(osim, image, *o.rootkitTarget)
 		} else {
@@ -330,17 +431,18 @@ func NewScenario(opts ...Option) (*Scenario, error) {
 			// The flipped PTE is now part of the attack surface; golden
 			// hashes were captured before, so area 17 will flag it.
 		}
-		switch o.evaderKind {
-		case 1:
+		switch o.evader {
+		case evaderFast:
 			fe, err := attack.NewFastEvader(plat, image, sc.rootkit, o.evaderSleep, o.evaderThresh, o.seed+4)
 			if err != nil {
 				return nil, err
 			}
+			fe.Observe(sc.bus, sc.reg)
 			if err := fe.Start(); err != nil {
 				return nil, err
 			}
 			sc.fastEvader = fe
-		case 2:
+		case evaderThread:
 			buf, err := attack.NewReportBuffer(plat.NumCores(), attack.JunoCrossCoreNoise(), o.seed+5)
 			if err != nil {
 				return nil, err
@@ -352,6 +454,7 @@ func NewScenario(opts ...Option) (*Scenario, error) {
 			if err != nil {
 				return nil, err
 			}
+			ev.Observe(sc.bus, sc.reg)
 			if err := ev.Start(); err != nil {
 				return nil, err
 			}
@@ -365,6 +468,7 @@ func NewScenario(opts ...Option) (*Scenario, error) {
 		if err != nil {
 			return nil, err
 		}
+		s.Observe(sc.bus, sc.reg)
 		if err := s.Start(); err != nil {
 			return nil, err
 		}
@@ -375,6 +479,7 @@ func NewScenario(opts ...Option) (*Scenario, error) {
 		if err != nil {
 			return nil, err
 		}
+		b.Observe(sc.bus, sc.reg)
 		if err := b.Start(); err != nil {
 			return nil, err
 		}
@@ -441,40 +546,90 @@ func (s *Scenario) Guard() *SyncGuard { return s.guard }
 // Flood returns the interrupt flood, or nil.
 func (s *Scenario) Flood() *InterruptFlood { return s.flood }
 
-// Timeline merges the run's component logs — world entries, SATIN rounds
-// and alarms, baseline outcomes, and evader reactions — into one
-// time-ordered event stream for inspection or export.
-func (s *Scenario) Timeline() *trace.Timeline {
-	var tl trace.Timeline
-	for _, sw := range s.monitor.Switches() {
-		tl.Add(trace.Event{
-			At: sw.Entered.Duration(), Kind: trace.KindWorldEnter,
-			Core: sw.CoreID, Area: -1, Detail: sw.Reason.String(),
-		})
+// Bus returns the live event bus, or nil when the scenario was built with
+// WithObservability(false). Subscribe before driving the scenario to stream
+// every trace event as it happens:
+//
+//	sink, _ := satin.NewStreamSink(f, satin.ExportJSONL)
+//	sc.Bus().Subscribe(sink.OnEvent)
+func (s *Scenario) Bus() *Bus { return s.bus }
+
+// Timeline returns the run's time-ordered event stream — world entries,
+// SATIN rounds and alarms, baseline outcomes, and evader reactions. The
+// timeline is filled live by a bus subscription installed at construction,
+// so it can be inspected mid-run; it is empty when the scenario was built
+// with WithObservability(false).
+func (s *Scenario) Timeline() *trace.Timeline { return s.timeline }
+
+// Metrics snapshots every metric the run has accumulated: counters, gauges,
+// and histograms from the monitor (world-switch latency), SATIN (round
+// durations per area, alarms, queue depth), the checker (bytes hashed and
+// copied), the baseline, any evader, plus the engine's own gauges
+// (virtual time, events dispatched, pending events), refreshed at snapshot
+// time. Returns an empty snapshot under WithObservability(false).
+func (s *Scenario) Metrics() MetricsSnapshot {
+	if s.reg == nil {
+		return MetricsSnapshot{}
 	}
+	s.reg.Gauge("engine.virtual_time_ns").Set(int64(s.engine.Now()))
+	s.reg.Gauge("engine.events_dispatched").Set(int64(s.engine.Dispatched()))
+	s.reg.Gauge("engine.pending_events").Set(int64(s.engine.Pending()))
+	return s.reg.Snapshot()
+}
+
+// Report is a Scenario's end-of-run summary: what the defense and the
+// attacker each did, the detection verdict, and the final metrics snapshot.
+// The cmds and examples render their output from it.
+type Report struct {
+	// Seed is the scenario's root seed.
+	Seed uint64
+	// Elapsed is the virtual time since boot.
+	Elapsed time.Duration
+
+	// SATINRounds, FullScans, and Alarms summarize SATIN (zero when the
+	// scenario runs the baseline or no defense).
+	SATINRounds int
+	FullScans   int
+	Alarms      int
+
+	// BaselineRounds and BaselineClean summarize the baseline checker.
+	BaselineRounds int
+	BaselineClean  int
+
+	// Evader reaction counts, from whichever evader is installed.
+	Suspects   int
+	Hides      int
+	CoreBacks  int
+	Reinstalls int
+
+	// RootkitState names the rootkit's final state ("" without an evader).
+	RootkitState string
+
+	// Detected reports the defense's verdict: SATIN raised at least one
+	// alarm, or the baseline saw at least one dirty round.
+	Detected bool
+
+	// Metrics is the end-of-run snapshot (empty when observability is off).
+	Metrics MetricsSnapshot
+}
+
+// Report summarizes the run so far.
+func (s *Scenario) Report() Report {
+	r := Report{Seed: s.seed, Elapsed: s.Now(), Metrics: s.Metrics()}
 	if s.satin != nil {
-		for _, r := range s.satin.Rounds() {
-			detail := "clean"
-			if !r.Clean {
-				detail = "dirty"
-			}
-			tl.Add(trace.Event{At: r.Finished.Duration(), Kind: trace.KindRound, Core: r.CoreID, Area: r.Area, Detail: detail})
-		}
-		for _, a := range s.satin.Alarms() {
-			tl.Add(trace.Event{At: a.At.Duration(), Kind: trace.KindAlarm, Core: -1, Area: a.Area})
-		}
+		r.SATINRounds = len(s.satin.Rounds())
+		r.FullScans = s.satin.FullScans()
+		r.Alarms = len(s.satin.Alarms())
 	}
 	if s.baseline != nil {
-		for _, o := range s.baseline.Outcomes() {
-			detail := "clean"
-			kind := trace.KindRound
-			if !o.Clean {
-				detail = "dirty"
-				kind = trace.KindAlarm
+		for _, out := range s.baseline.Outcomes() {
+			r.BaselineRounds++
+			if out.Clean {
+				r.BaselineClean++
 			}
-			tl.Add(trace.Event{At: o.Finished.Duration(), Kind: kind, Core: o.CoreID, Area: -1, Detail: detail})
 		}
 	}
+	r.Detected = r.Alarms > 0 || r.BaselineRounds > r.BaselineClean
 	var evaderEvents []attack.Event
 	if s.fastEvader != nil {
 		evaderEvents = s.fastEvader.Events()
@@ -482,20 +637,19 @@ func (s *Scenario) Timeline() *trace.Timeline {
 		evaderEvents = s.evader.Events()
 	}
 	for _, e := range evaderEvents {
-		kind := trace.Kind("")
 		switch e.Kind {
 		case attack.EventSuspect:
-			kind = trace.KindSuspect
+			r.Suspects++
 		case attack.EventHidden:
-			kind = trace.KindHidden
+			r.Hides++
 		case attack.EventCoreBack:
-			kind = trace.KindCoreBack
+			r.CoreBacks++
 		case attack.EventReinstalled:
-			kind = trace.KindReinstalled
-		default:
-			continue
+			r.Reinstalls++
 		}
-		tl.Add(trace.Event{At: e.At.Duration(), Kind: kind, Core: e.Core, Area: -1})
 	}
-	return &tl
+	if s.rootkit != nil {
+		r.RootkitState = s.rootkit.State().String()
+	}
+	return r
 }
