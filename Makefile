@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race determinism sweep-check trace-check cover ci
+.PHONY: all build vet test race determinism sweep-check trace-check sensitivity-smoke docs-check cover ci
 
 all: build test
 
@@ -40,8 +40,23 @@ trace-check:
 	$(GO) run ./cmd/satin-sim -scans 1 -tp 1s -trace-out /tmp/trace.jsonl > /dev/null
 	$(GO) run ./cmd/satin-sim -lint-trace /tmp/trace.jsonl
 
+# Fault-injection sensitivity smoke: a reduced sweep (3 magnitudes,
+# 2 seeds, 4 full scans) must complete and still show detection degrading
+# from 100% at magnitude 0 — the shape assertions live in
+# internal/experiment's sensitivity tests; this exercises the CLI path.
+sensitivity-smoke:
+	$(GO) run ./cmd/benchtables -only=sensitivity -seeds 2 -quick
+
+# Every internal package must open with a '// Package <name>' doc comment
+# so `go doc` gives a real answer at each layer.
+docs-check:
+	@fail=0; for d in internal/*/; do \
+		grep -qs '^// Package' $$d*.go || { echo "missing '// Package' doc comment in $$d"; fail=1; }; \
+	done; exit $$fail
+	@echo "all internal packages documented"
+
 # Coverage summary across all packages.
 cover:
 	$(GO) test -cover ./...
 
-ci: vet build test race determinism
+ci: vet build test race determinism docs-check

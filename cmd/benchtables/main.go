@@ -6,10 +6,16 @@
 //
 //	benchtables            # everything
 //	benchtables -only table1,table2,fig3,fig4,switch,recover,singlecore,race,
-//	            evasion,detection,fig7,ablation,flood,syncbypass,userprober,kprober1
+//	            evasion,detection,fig7,ablation,flood,syncbypass,userprober,
+//	            kprober1,sensitivity
 //	benchtables -detection # shorthand for -only detection (any experiment name)
 //	benchtables -seed 7    # different deterministic universe
-//	benchtables -quick     # reduced Fig 7 window (for smoke runs)
+//	benchtables -quick     # reduced Fig 7 window / sensitivity grid (smoke runs)
+//
+// The sensitivity experiment is a sweep of sweeps: each fault-injection
+// magnitude reruns the detection experiment across -seeds seeds (default 8)
+// on the -workers pool, charting detection probability against perturbation
+// magnitude (see EXPERIMENTS.md "Sensitivity & fault injection").
 //
 // Multi-seed sweeps: with -seeds N (N > 1) the sweep-capable experiments
 // (detection, evasion, race) rerun across seeds seed..seed+N-1 on a worker
@@ -75,7 +81,7 @@ func runWith(args []string, out, errOut io.Writer) error {
 	progress := fs.Bool("progress", false, "stream per-trial sweep progress to stderr")
 	metricsOut := fs.String("metrics-out", "", "export every sweep's per-seed samples to this CSV file (needs -seeds > 1)")
 
-	steps := allSteps(quick)
+	steps := allSteps(quick, seeds, workers)
 	// Every experiment name is also a boolean shorthand flag:
 	// `-detection` == `-only detection`.
 	shorthand := map[string]*bool{}
@@ -194,7 +200,7 @@ func stepNames(steps []step) []string {
 	return names
 }
 
-func allSteps(quick *bool) []step {
+func allSteps(quick *bool, seeds, workers *int) []step {
 	return []step{
 		{name: "table1", fn: func(out io.Writer, seed uint64) error {
 			res, err := experiment.RunTable1(seed)
@@ -381,6 +387,33 @@ func allSteps(quick *bool) []step {
 			}
 			section(out, "KProber-I self-exposure — the vector hijack is introspection-visible (§III-C1)")
 			fmt.Fprint(out, res.Render())
+			return nil
+		}},
+		{name: "sensitivity", fn: func(out io.Writer, seed uint64) error {
+			// The sensitivity chart is multi-seed by construction: every
+			// magnitude is its own detection sweep, so -seeds and -workers
+			// apply here even without the generic sweep path.
+			cfg := experiment.DefaultSensitivityConfig()
+			cfg.Detection.Seed = seed
+			cfg.Workers = *workers
+			if *seeds > 1 {
+				cfg.Seeds = *seeds
+			}
+			if *quick {
+				cfg.Magnitudes = []float64{0, 2, 6}
+				cfg.Detection.FullScans = 4
+			}
+			res, err := experiment.RunSensitivity(context.Background(), cfg, nil)
+			if err != nil {
+				return err
+			}
+			section(out, fmt.Sprintf("Fault-injection sensitivity — detection probability vs perturbation magnitude (%d seeds each)", cfg.Seeds))
+			fmt.Fprint(out, res.Render())
+			if fb := res.FirstBreak(); fb >= 0 {
+				fmt.Fprintf(out, "first magnitude breaking 10/10 detection: %g\n", fb)
+			} else {
+				fmt.Fprintln(out, "detection never degraded across the charted magnitudes")
+			}
 			return nil
 		}},
 	}

@@ -12,6 +12,8 @@
 //	satin-sim -trace-out run.jsonl              # stream every event live (.csv for CSV)
 //	satin-sim -metrics-out metrics.csv          # end-of-run metrics snapshot
 //	satin-sim -lint-trace run.jsonl             # validate a streamed JSONL trace
+//	satin-sim -faults "scale:2"                 # fault-injected run (grammar in EXPERIMENTS.md)
+//	satin-sim -faults "hotplug:core=1,off=30s,on=200s;jitter:0.1"
 package main
 
 import (
@@ -50,6 +52,7 @@ func run(args []string, out io.Writer) error {
 	routing := fs.String("routing", "nonpreemptive", "NS interrupt routing: nonpreemptive | preemptive")
 	flood := fs.Float64("flood", 0, "SGI flood rate per core (interrupts/s); 0 disables")
 	guard := fs.String("guard", "off", "synchronous guard: off | on | bypassed")
+	faults := fs.String("faults", "", `fault-injection plan, e.g. "scale:2" or "dvfs:at=10s,factor=0.5;irq:p=0.1,delay=100us" (empty = none)`)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -64,6 +67,13 @@ func run(args []string, out io.Writer) error {
 	}
 
 	opts := []satin.Option{satin.WithSeed(*seed)}
+	if *faults != "" {
+		plan, err := satin.ParseFaultPlan(*faults)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, satin.WithFaultPlan(plan))
+	}
 	switch *routing {
 	case "nonpreemptive":
 	case "preemptive":
@@ -189,6 +199,12 @@ func run(args []string, out io.Writer) error {
 	}
 	if te := sc.ThreadEvader(); te != nil {
 		fmt.Fprintf(out, "evader: %d suspect events, max staleness %v\n", rep.Suspects, te.MaxStaleness())
+	}
+	if inj := sc.Faults(); inj != nil {
+		fmt.Fprintf(out, "faults: %d injected\n", inj.Injected())
+		if s := sc.SATIN(); s != nil && s.ReroutedRounds() > 0 {
+			fmt.Fprintf(out, "  %d rounds re-routed around offline cores\n", s.ReroutedRounds())
+		}
 	}
 	if sink != nil {
 		if err := sink.Flush(); err != nil {

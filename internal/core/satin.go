@@ -61,12 +61,22 @@ type SATIN struct {
 	// partIndex maps a core ID to its slot-owner index in the wake queue
 	// (only participating cores have entries).
 	partIndex map[int]int
+	// partCores lists participating core IDs by slot-owner index — the
+	// inverse of partIndex.
+	partCores []int
 
 	rounds  []Round
 	alarms  []Alarm
 	onRound []func(Round)
 	onAlarm []func(Alarm)
 	started bool
+
+	// Hotplug re-routing state (§V-D collaboration under core unplug): when
+	// a participating core goes offline, its wake-queue slot is served by
+	// SMC-driven rounds on a surviving core until it returns.
+	orphans   map[int]*simclock.Handle // slot-owner index → pending re-routed wake
+	uncovered map[int]bool             // slots stalled because every core is offline
+	reroutes  int
 
 	// Observability (nil unless Observe was called; all nil-safe).
 	bus        *obs.Bus
@@ -75,6 +85,7 @@ type SATIN struct {
 	roundHist  *obs.Histogram
 	areaHists  []*obs.Histogram
 	queueDepth *obs.Gauge
+	rerouteCtr *obs.Counter
 }
 
 // RoundBuckets returns histogram bounds (ns) for per-round check durations:
@@ -142,6 +153,7 @@ func (s *SATIN) Observe(bus *obs.Bus, reg *obs.Registry) {
 		}
 	}
 	s.queueDepth = reg.Gauge("satin.queue_pending")
+	s.rerouteCtr = reg.Counter("satin.rerouted_rounds")
 }
 
 // Start performs the trusted-boot initialization: install SATIN as the
@@ -161,11 +173,15 @@ func (s *SATIN) Start() error {
 	for i, coreID := range cores {
 		s.partIndex[coreID] = i
 	}
+	s.partCores = cores
+	s.orphans = make(map[int]*simclock.Handle)
+	s.uncovered = make(map[int]bool)
 	s.queue = NewWakeQueue(len(cores), s.tp, s.cfg.RandomDeviation, s.rng, now)
 	for _, coreID := range cores {
 		if err := s.armCore(coreID, s.queue.Next(s.partIndex[coreID], now)); err != nil {
 			return err
 		}
+		s.platform.Core(coreID).OnHotplug(s.onHotplug)
 	}
 	return nil
 }
@@ -201,11 +217,37 @@ func (s *SATIN) OnSecureTimer(ctx *trustzone.Context) {
 	if err := st.WriteCTL(hw.SecureWorld, false); err != nil {
 		panic(fmt.Sprintf("core: stopping secure timer: %v", err))
 	}
-	if s.cfg.MaxRounds > 0 && len(s.rounds) >= s.cfg.MaxRounds {
+	if s.budgetExhausted() {
 		// Budget exhausted: let this core stay dormant.
 		ctx.Exit()
 		return
 	}
+	s.runRound(ctx, func(ctx *trustzone.Context) {
+		// §V-C/§V-D: take the next wake time from the queue and restart
+		// this core's own timer; then return to the normal world.
+		if !s.budgetExhausted() {
+			next := s.queue.Next(s.partIndex[ctx.Core().ID()], ctx.Now())
+			s.queueDepth.Set(int64(s.queue.Pending()))
+			// A deviation can land the assigned time in the past; fire
+			// no earlier than after this round's world exit completes,
+			// or the interrupt would assert while we still hold the core.
+			earliest := ctx.Now().Add(minRearmGap)
+			if next.Before(earliest) {
+				next = earliest
+			}
+			if err := s.armCore(ctx.Core().ID(), next); err != nil {
+				panic(err)
+			}
+		}
+		ctx.Exit()
+	})
+}
+
+// runRound performs one introspection round inside the secure context: pick
+// a random unchecked area, hash it, record the verdict, then hand the
+// context to after (which re-arms a timer or schedules the next re-routed
+// wake, and exits the secure world).
+func (s *SATIN) runRound(ctx *trustzone.Context, after func(*trustzone.Context)) {
 	areaIdx := s.areaSet.Pick()
 	area := s.areas[areaIdx]
 	roundIdx := len(s.rounds)
@@ -243,28 +285,160 @@ func (s *SATIN) OnSecureTimer(ctx *trustzone.Context) {
 		for _, fn := range s.onRound {
 			fn(round)
 		}
-		// §V-C/§V-D: take the next wake time from the queue and restart
-		// this core's own timer; then return to the normal world.
-		if s.cfg.MaxRounds == 0 || len(s.rounds) < s.cfg.MaxRounds {
-			next := s.queue.Next(s.partIndex[ctx.Core().ID()], ctx.Now())
-			s.queueDepth.Set(int64(s.queue.Pending()))
-			// A deviation can land the assigned time in the past; fire
-			// no earlier than after this round's world exit completes,
-			// or the interrupt would assert while we still hold the core.
-			earliest := ctx.Now().Add(minRearmGap)
-			if next.Before(earliest) {
-				next = earliest
-			}
-			if err := s.armCore(ctx.Core().ID(), next); err != nil {
-				panic(err)
-			}
-		}
-		ctx.Exit()
+		after(ctx)
 	})
 	if err != nil {
 		panic(fmt.Sprintf("core: SATIN round failed to start: %v", err))
 	}
 }
+
+// budgetExhausted reports whether the configured MaxRounds budget is spent.
+func (s *SATIN) budgetExhausted() bool {
+	return s.cfg.MaxRounds > 0 && len(s.rounds) >= s.cfg.MaxRounds
+}
+
+// orphanRetryGap is how long a re-routed wake waits before retrying when
+// every candidate cover core is momentarily busy in the secure world.
+const orphanRetryGap = 100 * time.Microsecond
+
+// onHotplug reacts to a participating core going offline or coming back.
+// Offline: park the core's secure timer (its pending wake is lost with the
+// core) and migrate its wake-queue slot to SMC-driven rounds on a surviving
+// core — the multi-core collaboration of §V-D continued under hotplug.
+// Online: cancel the migration and restore the core's own timer.
+func (s *SATIN) onHotplug(c *hw.Core, online bool) {
+	owner, ok := s.partIndex[c.ID()]
+	if !ok || !s.started {
+		return
+	}
+	now := s.platform.Engine().Now()
+	if !online {
+		st := c.SecureTimer()
+		if err := st.WriteCTL(hw.SecureWorld, false); err != nil {
+			panic(fmt.Sprintf("core: parking offline core %d timer: %v", c.ID(), err))
+		}
+		s.bus.Publish(trace.Event{At: now.Duration(), Kind: trace.KindFault, Core: c.ID(), Area: -1, Detail: "satin: core offline, slot re-routed"})
+		s.scheduleOrphan(owner)
+		return
+	}
+	delete(s.uncovered, owner)
+	if h := s.orphans[owner]; h != nil {
+		h.Cancel()
+		delete(s.orphans, owner)
+	}
+	s.bus.Publish(trace.Event{At: now.Duration(), Kind: trace.KindFault, Core: c.ID(), Area: -1, Detail: "satin: core online, slot restored"})
+	if !s.budgetExhausted() {
+		if err := s.armCore(c.ID(), s.queue.Next(owner, now)); err != nil {
+			panic(err)
+		}
+	}
+	// Slots may have stalled while every participating core was offline;
+	// resume their coverage now that one is back.
+	s.retryUncovered()
+}
+
+// scheduleOrphan draws the offline owner's next wake from the queue and
+// schedules a re-routed round for it.
+func (s *SATIN) scheduleOrphan(owner int) {
+	if s.budgetExhausted() {
+		return
+	}
+	engine := s.platform.Engine()
+	at := s.queue.Next(owner, engine.Now())
+	s.queueDepth.Set(int64(s.queue.Pending()))
+	s.orphans[owner] = engine.At(at, fmt.Sprintf("satin-reroute-slot%d", owner), func() {
+		s.coverOrphan(owner)
+	})
+}
+
+// coverOrphan runs one re-routed round for an offline owner's slot on the
+// lowest-numbered available participating core, via the SMC path.
+func (s *SATIN) coverOrphan(owner int) {
+	delete(s.orphans, owner)
+	if s.budgetExhausted() {
+		return
+	}
+	engine := s.platform.Engine()
+	retry := func() {
+		s.orphans[owner] = engine.After(orphanRetryGap, fmt.Sprintf("satin-reroute-retry%d", owner), func() {
+			s.coverOrphan(owner)
+		})
+	}
+	cover := s.pickCoverCore()
+	if cover < 0 {
+		if s.anyOnlineParticipant() {
+			// All candidates are momentarily busy in the secure world.
+			retry()
+			return
+		}
+		// Every participating core is unplugged; onHotplug resumes this
+		// slot when one returns.
+		s.uncovered[owner] = true
+		return
+	}
+	s.reroutes++
+	s.rerouteCtr.Inc()
+	s.bus.Publish(trace.Event{At: engine.Now().Duration(), Kind: trace.KindFault, Core: cover, Area: -1, Detail: fmt.Sprintf("satin: rerouted round for slot %d", owner)})
+	err := s.monitor.RequestSecure(cover, func(ctx *trustzone.Context) {
+		s.runRound(ctx, func(ctx *trustzone.Context) {
+			// Keep covering while the slot's own core stays offline.
+			if !s.platform.Core(s.partCores[owner]).Online() {
+				s.scheduleOrphan(owner)
+			}
+			ctx.Exit()
+		})
+	})
+	if err != nil {
+		// The cover core slipped into the secure world in the meantime.
+		retry()
+	}
+}
+
+// pickCoverCore returns the lowest-numbered participating core that is
+// online and outside the secure world, or -1 if none qualifies right now.
+func (s *SATIN) pickCoverCore() int {
+	for _, coreID := range s.partCores {
+		if s.platform.Core(coreID).Online() && !s.monitor.InSecure(coreID) {
+			return coreID
+		}
+	}
+	return -1
+}
+
+// anyOnlineParticipant reports whether any participating core is online.
+func (s *SATIN) anyOnlineParticipant() bool {
+	for _, coreID := range s.partCores {
+		if s.platform.Core(coreID).Online() {
+			return true
+		}
+	}
+	return false
+}
+
+// retryUncovered resumes coverage for slots that stalled with every core
+// offline, in slot order for determinism.
+func (s *SATIN) retryUncovered() {
+	if len(s.uncovered) == 0 {
+		return
+	}
+	owners := make([]int, 0, len(s.uncovered))
+	for owner := range s.uncovered {
+		owners = append(owners, owner)
+	}
+	for i := 1; i < len(owners); i++ {
+		for j := i; j > 0 && owners[j] < owners[j-1]; j-- {
+			owners[j], owners[j-1] = owners[j-1], owners[j]
+		}
+	}
+	for _, owner := range owners {
+		delete(s.uncovered, owner)
+		s.scheduleOrphan(owner)
+	}
+}
+
+// ReroutedRounds reports how many rounds ran on a substitute core because
+// the slot's own core was offline.
+func (s *SATIN) ReroutedRounds() int { return s.reroutes }
 
 // Rounds returns all completed rounds.
 func (s *SATIN) Rounds() []Round { return s.rounds }

@@ -6,6 +6,7 @@ import (
 
 	"satin/internal/attack"
 	"satin/internal/core"
+	"satin/internal/faultinject"
 	"satin/internal/stats"
 )
 
@@ -20,6 +21,9 @@ type DetectionConfig struct {
 	// Threshold is the evader's probing threshold (paper: 1.8e-3 s).
 	Threshold time.Duration
 	Seed      uint64
+	// Faults is the perturbation plan installed over the rig; the zero
+	// plan reproduces the paper's unperturbed run exactly.
+	Faults faultinject.Plan
 }
 
 // DefaultDetectionConfig returns the paper's §VI-B1 parameters.
@@ -102,6 +106,11 @@ func RunDetection(cfg DetectionConfig) (DetectionResult, error) {
 		return DetectionResult{}, err
 	}
 	if err := satin.Start(); err != nil {
+		return DetectionResult{}, err
+	}
+	// Perturbations compose over the assembled rig; the empty plan installs
+	// nothing and leaves the run byte-identical.
+	if _, err := faultinject.Install(cfg.Faults, rig.Plat, rig.Monitor, cfg.Seed+8, nil, nil); err != nil {
 		return DetectionResult{}, err
 	}
 	rig.Engine.Run()

@@ -45,6 +45,10 @@
 //     asynchronous catch of both traces.
 //   - RunKProber1Exposure — §III-C1: SATIN flagging KProber-I's own
 //     vector hijack.
+//   - RunSensitivity — robustness of the §VI-B1 result under deterministic
+//     fault injection: detection probability and evasion rate vs
+//     perturbation magnitude (faultinject.ScaledPlan), with per-magnitude
+//     confidence bands across seeds.
 //
 // Every driver returns a typed result with a Render method producing the
 // paper-layout text table; cmd/benchtables prints them all and

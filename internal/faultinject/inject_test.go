@@ -1,0 +1,258 @@
+package faultinject
+
+import (
+	"testing"
+	"time"
+
+	"satin/internal/hw"
+	"satin/internal/simclock"
+	"satin/internal/trustzone"
+)
+
+func newRig(t *testing.T) (*simclock.Engine, *hw.Platform, *trustzone.Monitor) {
+	t.Helper()
+	e := simclock.NewEngine()
+	p, err := hw.NewJunoR1(e)
+	if err != nil {
+		t.Fatalf("NewJunoR1: %v", err)
+	}
+	return e, p, trustzone.NewMonitor(p, 77)
+}
+
+func TestInstallValidatesPlan(t *testing.T) {
+	_, p, mon := newRig(t)
+	bad := Plan{DVFS: []DVFSStep{{Core: p.NumCores(), Factor: 0.5}}}
+	if _, err := Install(bad, p, mon, 1, nil, nil); err == nil {
+		t.Error("out-of-range DVFS core accepted")
+	}
+	if _, err := Install(Plan{RateJitter: 1.5}, p, mon, 1, nil, nil); err == nil {
+		t.Error("jitter above 1 accepted")
+	}
+}
+
+func TestEmptyPlanInstallsNothing(t *testing.T) {
+	e, p, mon := newRig(t)
+	base := p.Core(0).Rates()
+	in, err := Install(Plan{}, p, mon, 1, nil, nil)
+	if err != nil {
+		t.Fatalf("Install(empty): %v", err)
+	}
+	e.Run()
+	if in.Injected() != 0 {
+		t.Errorf("empty plan injected %d faults", in.Injected())
+	}
+	if p.Core(0).Rates() != base {
+		t.Error("empty plan touched core rates")
+	}
+}
+
+func TestRateJitterBounded(t *testing.T) {
+	_, p, mon := newRig(t)
+	base := make([]hw.CoreRates, p.NumCores())
+	for i := range base {
+		base[i] = p.Core(i).Rates()
+	}
+	const j = 0.2
+	if _, err := Install(Plan{RateJitter: j}, p, mon, 1, nil, nil); err != nil {
+		t.Fatalf("Install: %v", err)
+	}
+	changed := false
+	for i := 0; i < p.NumCores(); i++ {
+		got := p.Core(i).Rates().HashPerByte.Avg
+		want := base[i].HashPerByte.Avg
+		if got < want*(1-j) || got > want*(1+j) {
+			t.Errorf("core %d jittered rate %v outside ±%.0f%% of %v", i, got, j*100, want)
+		}
+		if got != want {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Error("jitter plan left every core at the calibrated rates")
+	}
+}
+
+func TestDVFSStepRescalesAtScheduledTime(t *testing.T) {
+	e, p, mon := newRig(t)
+	base := p.Core(0).Rates()
+	plan := Plan{DVFS: []DVFSStep{{At: time.Millisecond, Core: -1, Factor: 0.5}}}
+	in, err := Install(plan, p, mon, 1, nil, nil)
+	if err != nil {
+		t.Fatalf("Install: %v", err)
+	}
+	e.RunUntil(simclock.Time(500 * time.Microsecond))
+	if p.Core(0).Rates() != base {
+		t.Error("DVFS step applied before its scheduled time")
+	}
+	e.Run()
+	// Factor 0.5 halves the clock: per-byte times double, on every core.
+	for i := 0; i < p.NumCores(); i++ {
+		got := p.Core(i).Rates().HashPerByte.Avg
+		if got != 2*baseFor(t, p, i).HashPerByte.Avg {
+			t.Errorf("core %d avg hash rate %v, want doubled calibration", i, got)
+		}
+	}
+	if in.Injected() != 1 {
+		t.Errorf("Injected() = %d, want 1 (one DVFS step)", in.Injected())
+	}
+}
+
+// baseFor rebuilds the calibration rates for core i from the platform's
+// perf model (the injector's own base snapshot is not exported).
+func baseFor(t *testing.T, p *hw.Platform, i int) hw.CoreRates {
+	t.Helper()
+	r, ok := p.Perf().Rates[p.Core(i).Type()]
+	if !ok {
+		t.Fatalf("no calibration for core %d", i)
+	}
+	return r
+}
+
+func TestIRQDelayPostponesDelivery(t *testing.T) {
+	e, p, mon := newRig(t)
+	_ = mon
+	plan := Plan{IRQ: IRQFaults{DelayProb: 1, Delay: simclock.Seconds(100e-6, 200e-6, 400e-6)}}
+	in, err := Install(plan, p, mon, 1, nil, nil)
+	if err != nil {
+		t.Fatalf("Install: %v", err)
+	}
+	g := p.GIC()
+	g.Configure(hw.IntSGIFlood, hw.GroupNonSecure)
+	var firedAt simclock.Time
+	fired := 0
+	g.Register(hw.IntSGIFlood, func(int) { fired++; firedAt = e.Now() })
+	g.Raise(hw.IntSGIFlood, 0)
+	e.Run()
+	if fired != 1 {
+		t.Fatalf("delayed interrupt fired %d times, want 1", fired)
+	}
+	if firedAt.Duration() < 100*time.Microsecond {
+		t.Errorf("interrupt delivered after %v, want ≥ the 100µs minimum delay", firedAt.Duration())
+	}
+	if in.Injected() != 1 {
+		t.Errorf("Injected() = %d, want 1", in.Injected())
+	}
+}
+
+func TestIRQDropBoundedRetry(t *testing.T) {
+	e, p, mon := newRig(t)
+	plan := Plan{IRQ: IRQFaults{DropProb: 1, MaxRetries: 2}}
+	in, err := Install(plan, p, mon, 1, nil, nil)
+	if err != nil {
+		t.Fatalf("Install: %v", err)
+	}
+	g := p.GIC()
+	g.Configure(hw.IntSGIFlood, hw.GroupNonSecure)
+	fired := 0
+	g.Register(hw.IntSGIFlood, func(int) { fired++ })
+	g.Raise(hw.IntSGIFlood, 0)
+	e.Run()
+	// DropProb 1 drops every attempt, so the bounded retry must deliver
+	// unconditionally after MaxRetries redrops — nothing is lost for good.
+	if fired != 1 {
+		t.Fatalf("dropped interrupt fired %d times after retries, want exactly 1", fired)
+	}
+	if in.Injected() < 2 {
+		t.Errorf("Injected() = %d, want ≥ 2 (initial drop plus redrops)", in.Injected())
+	}
+}
+
+func TestSwitchSpikeDelaysPayloadNotFreeze(t *testing.T) {
+	// The spike lands in the secure dispatch path: the core must already be
+	// in the secure world (reporters frozen) while the payload is still
+	// pending — this asymmetry is what widens TZ-Evader's window.
+	e, p, mon := newRig(t)
+	plan := Plan{Switch: SwitchFaults{SpikeProb: 1, Spike: simclock.Seconds(5e-3, 5e-3, 5e-3)}}
+	if _, err := Install(plan, p, mon, 1, nil, nil); err != nil {
+		t.Fatalf("Install: %v", err)
+	}
+	var frozenAt, payloadAt simclock.Time
+	p.Core(0).OnWorldChange(func(_ *hw.Core, _, w hw.World) {
+		if w == hw.SecureWorld {
+			frozenAt = e.Now()
+		}
+	})
+	if err := mon.RequestSecure(0, func(ctx *trustzone.Context) {
+		payloadAt = e.Now()
+		ctx.Exit()
+	}); err != nil {
+		t.Fatalf("RequestSecure: %v", err)
+	}
+	e.Run()
+	if payloadAt == 0 || frozenAt == 0 {
+		t.Fatal("secure entry never completed")
+	}
+	gap := payloadAt.Sub(frozenAt)
+	if gap < 5*time.Millisecond {
+		t.Errorf("payload started %v after the freeze, want ≥ the 5ms spike", gap)
+	}
+	if frozenAt.Duration() > 100*time.Microsecond {
+		t.Errorf("freeze itself was delayed to %v; the spike must not postpone it", frozenAt.Duration())
+	}
+}
+
+func TestHotplugDeferredWhileSecure(t *testing.T) {
+	e, p, mon := newRig(t)
+	plan := Plan{Hotplug: []HotplugEvent{{At: time.Millisecond, Core: 0, Online: false}}}
+	if _, err := Install(plan, p, mon, 1, nil, nil); err != nil {
+		t.Fatalf("Install: %v", err)
+	}
+	var exitedAt simclock.Time
+	if err := mon.RequestSecure(0, func(ctx *trustzone.Context) {
+		ctx.Elapse(5*time.Millisecond, func() {
+			exitedAt = e.Now()
+			ctx.Exit()
+		})
+	}); err != nil {
+		t.Fatalf("RequestSecure: %v", err)
+	}
+	e.Run()
+	// The PSCI CPU_OFF at t=1ms must wait for the secure payload (running
+	// until ≈5ms) instead of unplugging a secure-world core (which panics).
+	if p.Core(0).Online() {
+		t.Error("core 0 still online after the hotplug event")
+	}
+	if exitedAt == 0 {
+		t.Error("secure payload never finished")
+	}
+}
+
+func TestScaledPlanShape(t *testing.T) {
+	if !ScaledPlan(0).Empty() || !ScaledPlan(-1).Empty() {
+		t.Error("non-positive magnitude must map to the empty plan")
+	}
+	prev := ScaledPlan(0.5)
+	if err := prev.Validate(6); err != nil {
+		t.Errorf("ScaledPlan(0.5) invalid: %v", err)
+	}
+	for _, mag := range []float64{1, 2, 4, 8} {
+		p := ScaledPlan(mag)
+		if err := p.Validate(6); err != nil {
+			t.Errorf("ScaledPlan(%g) invalid: %v", mag, err)
+		}
+		if p.Switch.SpikeProb < prev.Switch.SpikeProb || p.Switch.Spike.Avg < prev.Switch.Spike.Avg {
+			t.Errorf("ScaledPlan(%g) spike not monotone vs previous magnitude", mag)
+		}
+		if len(p.DVFS) != 1 || p.DVFS[0].Factor >= prev.DVFS[0].Factor {
+			t.Errorf("ScaledPlan(%g) DVFS factor not strictly decreasing", mag)
+		}
+		prev = p
+	}
+}
+
+func TestPlanEmpty(t *testing.T) {
+	if !(Plan{}).Empty() {
+		t.Error("zero plan not empty")
+	}
+	for _, p := range []Plan{
+		{RateJitter: 0.1},
+		{DVFS: []DVFSStep{{Factor: 0.5}}},
+		{Hotplug: []HotplugEvent{{Core: 0}}},
+		{IRQ: IRQFaults{DelayProb: 0.5, Delay: simclock.Seconds(1e-6, 2e-6, 3e-6)}},
+		{Switch: SwitchFaults{SpikeProb: 0.5, Spike: simclock.Seconds(1e-6, 2e-6, 3e-6)}},
+	} {
+		if p.Empty() {
+			t.Errorf("plan %+v reported empty", p)
+		}
+	}
+}

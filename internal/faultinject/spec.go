@@ -1,0 +1,226 @@
+package faultinject
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"satin/internal/simclock"
+)
+
+// ParsePlan builds a Plan from a compact spec string, the grammar behind
+// `satin-sim -faults=...` (documented in EXPERIMENTS.md):
+//
+//	spec    = clause *( ";" clause )
+//	clause  = "scale:" MAG                                 — ScaledPlan(MAG)
+//	        | "jitter:" J                                  — per-core rate jitter ±J
+//	        | "dvfs:at=DUR,factor=F[,core=N]"              — frequency step (repeatable)
+//	        | "hotplug:core=N,off=DUR[,on=DUR]"            — unplug core N, optionally replug (repeatable)
+//	        | "irq:p=P,delay=DUR[,drop=P2][,retry=DUR][,retries=K]" — interrupt delay/drop
+//	        | "switch:p=P,spike=DUR"                       — world-switch latency spikes
+//
+// Durations use Go syntax ("30s", "200us"); a single duration D stands for
+// the bounded distribution [D/2, D, 2·D] with mean D. "scale" expands to a
+// whole plan and cannot be combined with the sections it would set; the
+// repeatable clauses append. The empty string parses to the empty plan.
+func ParsePlan(spec string) (Plan, error) {
+	var p Plan
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return p, nil
+	}
+	seen := map[string]bool{}
+	for _, raw := range strings.Split(spec, ";") {
+		clause := strings.TrimSpace(raw)
+		if clause == "" {
+			continue
+		}
+		kind, rest, ok := strings.Cut(clause, ":")
+		if !ok {
+			return Plan{}, fmt.Errorf("faultinject: clause %q lacks a ':'", clause)
+		}
+		kind = strings.TrimSpace(kind)
+		if seen[kind] && kind != "dvfs" && kind != "hotplug" {
+			return Plan{}, fmt.Errorf("faultinject: duplicate %q clause", kind)
+		}
+		seen[kind] = true
+		var err error
+		switch kind {
+		case "scale":
+			var mag float64
+			if mag, err = parseNum(rest); err == nil {
+				scaled := ScaledPlan(mag)
+				if p.RateJitter != 0 || len(p.DVFS) > 0 || p.IRQ.enabled() || p.Switch.enabled() {
+					return Plan{}, fmt.Errorf("faultinject: scale cannot follow jitter/dvfs/irq/switch clauses")
+				}
+				seen["jitter"], seen["irq"], seen["switch"] = true, true, true
+				p.RateJitter = scaled.RateJitter
+				p.DVFS = scaled.DVFS
+				p.IRQ = scaled.IRQ
+				p.Switch = scaled.Switch
+			}
+		case "jitter":
+			p.RateJitter, err = parseNum(rest)
+		case "dvfs":
+			err = parseDVFS(rest, &p)
+		case "hotplug":
+			err = parseHotplug(rest, &p)
+		case "irq":
+			err = parseIRQ(rest, &p)
+		case "switch":
+			err = parseSwitch(rest, &p)
+		default:
+			return Plan{}, fmt.Errorf("faultinject: unknown clause kind %q", kind)
+		}
+		if err != nil {
+			return Plan{}, fmt.Errorf("faultinject: clause %q: %w", clause, err)
+		}
+	}
+	return p, nil
+}
+
+func parseDVFS(rest string, p *Plan) error {
+	step := DVFSStep{Core: -1}
+	haveAt, haveFactor := false, false
+	err := eachKV(rest, func(k, v string) error {
+		var err error
+		switch k {
+		case "at":
+			step.At, err = time.ParseDuration(v)
+			haveAt = true
+		case "factor":
+			step.Factor, err = parseNum(v)
+			haveFactor = true
+		case "core":
+			step.Core, err = strconv.Atoi(v)
+		default:
+			err = fmt.Errorf("unknown key %q", k)
+		}
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	if !haveAt || !haveFactor {
+		return fmt.Errorf("dvfs needs at= and factor=")
+	}
+	p.DVFS = append(p.DVFS, step)
+	return nil
+}
+
+func parseHotplug(rest string, p *Plan) error {
+	core := -1
+	var off, on time.Duration
+	haveOff, haveOn := false, false
+	err := eachKV(rest, func(k, v string) error {
+		var err error
+		switch k {
+		case "core":
+			core, err = strconv.Atoi(v)
+		case "off":
+			off, err = time.ParseDuration(v)
+			haveOff = true
+		case "on":
+			on, err = time.ParseDuration(v)
+			haveOn = true
+		default:
+			err = fmt.Errorf("unknown key %q", k)
+		}
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	if core < 0 {
+		return fmt.Errorf("hotplug needs core=")
+	}
+	if !haveOff && !haveOn {
+		return fmt.Errorf("hotplug needs off= and/or on=")
+	}
+	if haveOff {
+		p.Hotplug = append(p.Hotplug, HotplugEvent{At: off, Core: core, Online: false})
+	}
+	if haveOn {
+		if haveOff && on <= off {
+			return fmt.Errorf("hotplug on=%v must be after off=%v", on, off)
+		}
+		p.Hotplug = append(p.Hotplug, HotplugEvent{At: on, Core: core, Online: true})
+	}
+	return nil
+}
+
+func parseIRQ(rest string, p *Plan) error {
+	return eachKV(rest, func(k, v string) error {
+		var err error
+		switch k {
+		case "p":
+			p.IRQ.DelayProb, err = parseNum(v)
+		case "delay":
+			p.IRQ.Delay, err = parseDistDuration(v)
+		case "drop":
+			p.IRQ.DropProb, err = parseNum(v)
+		case "retry":
+			p.IRQ.RetryDelay, err = parseDistDuration(v)
+		case "retries":
+			p.IRQ.MaxRetries, err = strconv.Atoi(v)
+		default:
+			err = fmt.Errorf("unknown key %q", k)
+		}
+		return err
+	})
+}
+
+func parseSwitch(rest string, p *Plan) error {
+	return eachKV(rest, func(k, v string) error {
+		var err error
+		switch k {
+		case "p":
+			p.Switch.SpikeProb, err = parseNum(v)
+		case "spike":
+			p.Switch.Spike, err = parseDistDuration(v)
+		default:
+			err = fmt.Errorf("unknown key %q", k)
+		}
+		return err
+	})
+}
+
+// eachKV walks "k=v,k=v" pairs.
+func eachKV(rest string, fn func(k, v string) error) error {
+	for _, pair := range strings.Split(rest, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(pair, "=")
+		if !ok {
+			return fmt.Errorf("%q is not key=value", pair)
+		}
+		if err := fn(strings.TrimSpace(k), strings.TrimSpace(v)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func parseNum(s string) (float64, error) {
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q", s)
+	}
+	return v, nil
+}
+
+// parseDistDuration reads one duration D and widens it to the bounded
+// distribution [D/2, D, 2·D], whose mean-preserving draw averages D.
+func parseDistDuration(s string) (simclock.Dist, error) {
+	d, err := time.ParseDuration(strings.TrimSpace(s))
+	if err != nil {
+		return simclock.Dist{}, err
+	}
+	if d <= 0 {
+		return simclock.Dist{}, fmt.Errorf("duration %v must be positive", d)
+	}
+	return simclock.Dist{Min: d / 2, Avg: d, Max: 2 * d}, nil
+}

@@ -1,0 +1,110 @@
+package faultinject
+
+import (
+	"testing"
+	"time"
+
+	"satin/internal/simclock"
+)
+
+func TestParsePlanGrammar(t *testing.T) {
+	plan, err := ParsePlan(
+		"jitter:0.1; dvfs:at=10s,factor=0.5,core=2; dvfs:at=20s,factor=1.0;" +
+			"hotplug:core=1,off=30s,on=200s; irq:p=0.1,delay=100us,drop=0.05,retry=50us,retries=5;" +
+			"switch:p=0.2,spike=1ms")
+	if err != nil {
+		t.Fatalf("ParsePlan: %v", err)
+	}
+	if plan.RateJitter != 0.1 {
+		t.Errorf("RateJitter = %v", plan.RateJitter)
+	}
+	if len(plan.DVFS) != 2 || plan.DVFS[0] != (DVFSStep{At: 10 * time.Second, Core: 2, Factor: 0.5}) ||
+		plan.DVFS[1] != (DVFSStep{At: 20 * time.Second, Core: -1, Factor: 1.0}) {
+		t.Errorf("DVFS = %+v", plan.DVFS)
+	}
+	if len(plan.Hotplug) != 2 ||
+		plan.Hotplug[0] != (HotplugEvent{At: 30 * time.Second, Core: 1, Online: false}) ||
+		plan.Hotplug[1] != (HotplugEvent{At: 200 * time.Second, Core: 1, Online: true}) {
+		t.Errorf("Hotplug = %+v", plan.Hotplug)
+	}
+	if plan.IRQ.DelayProb != 0.1 || plan.IRQ.DropProb != 0.05 || plan.IRQ.MaxRetries != 5 {
+		t.Errorf("IRQ = %+v", plan.IRQ)
+	}
+	if plan.IRQ.Delay != (simclock.Dist{Min: 50 * time.Microsecond, Avg: 100 * time.Microsecond, Max: 200 * time.Microsecond}) {
+		t.Errorf("IRQ delay widened wrong: %+v", plan.IRQ.Delay)
+	}
+	if plan.Switch.SpikeProb != 0.2 || plan.Switch.Spike.Avg != time.Millisecond {
+		t.Errorf("Switch = %+v", plan.Switch)
+	}
+	if err := plan.Validate(6); err != nil {
+		t.Errorf("parsed plan invalid: %v", err)
+	}
+}
+
+func TestParsePlanEmptyAndScale(t *testing.T) {
+	for _, spec := range []string{"", "  ", ";;"} {
+		plan, err := ParsePlan(spec)
+		if err != nil || !plan.Empty() {
+			t.Errorf("ParsePlan(%q) = %+v, %v; want empty plan", spec, plan, err)
+		}
+	}
+	plan, err := ParsePlan("scale:2")
+	if err != nil {
+		t.Fatalf("ParsePlan(scale:2): %v", err)
+	}
+	if want := ScaledPlan(2); plan.RateJitter != want.RateJitter ||
+		plan.Switch != want.Switch || plan.IRQ != want.IRQ ||
+		len(plan.DVFS) != 1 || plan.DVFS[0] != want.DVFS[0] {
+		t.Errorf("scale:2 = %+v, want ScaledPlan(2) = %+v", plan, want)
+	}
+	// scale composes with the clause it does not set.
+	plan, err = ParsePlan("scale:1;hotplug:core=0,off=5s")
+	if err != nil || len(plan.Hotplug) != 1 {
+		t.Errorf("scale+hotplug = %+v, %v", plan, err)
+	}
+}
+
+func TestParsePlanErrors(t *testing.T) {
+	for _, spec := range []string{
+		"bogus:1",                        // unknown clause
+		"jitter",                         // missing colon
+		"jitter:x",                       // bad number
+		"jitter:0.1;jitter:0.2",          // duplicate non-repeatable clause
+		"jitter:0.1;scale:2",             // scale after a clause it would set
+		"scale:2;switch:p=0.1,spike=1ms", // clause after scale set it
+		"dvfs:factor=0.5",                // missing at=
+		"dvfs:at=1s",                     // missing factor=
+		"dvfs:at=1s,factor=0.5,x=1",      // unknown key
+		"hotplug:off=1s",                 // missing core=
+		"hotplug:core=0",                 // missing off=/on=
+		"hotplug:core=0,off=10s,on=5s",   // on before off
+		"irq:p=0.1,delay=-5us",           // non-positive duration
+		"irq:p=0.1,delay",                // not key=value
+		"switch:spike=abc",               // bad duration
+	} {
+		if _, err := ParsePlan(spec); err == nil {
+			t.Errorf("ParsePlan(%q) accepted", spec)
+		}
+	}
+}
+
+func TestPlanValidateErrors(t *testing.T) {
+	for name, plan := range map[string]Plan{
+		"jitter negative":  {RateJitter: -0.1},
+		"jitter one":       {RateJitter: 1},
+		"dvfs negative at": {DVFS: []DVFSStep{{At: -time.Second, Factor: 0.5}}},
+		"dvfs zero factor": {DVFS: []DVFSStep{{Factor: 0}}},
+		"dvfs core range":  {DVFS: []DVFSStep{{Core: 6, Factor: 0.5}}},
+		"hotplug core":     {Hotplug: []HotplugEvent{{Core: -1}}},
+		"irq prob":         {IRQ: IRQFaults{DelayProb: 1.5}},
+		"irq prob sum":     {IRQ: IRQFaults{DelayProb: 0.6, DropProb: 0.6, Delay: simclock.Seconds(1e-6, 2e-6, 3e-6)}},
+		"irq bad delay":    {IRQ: IRQFaults{DelayProb: 0.5}},
+		"irq neg retries":  {IRQ: IRQFaults{DropProb: 0.5, MaxRetries: -1}},
+		"switch prob":      {Switch: SwitchFaults{SpikeProb: 2}},
+		"switch bad spike": {Switch: SwitchFaults{SpikeProb: 0.5}},
+	} {
+		if err := plan.Validate(6); err == nil {
+			t.Errorf("%s: plan %+v accepted", name, plan)
+		}
+	}
+}

@@ -70,17 +70,24 @@ func (w World) String() string {
 // running on the remaining cores while one core performs introspection, and
 // that TZ-Evader's probing exploits.
 type Core struct {
-	id        int
-	typ       CoreType
-	world     World
-	timer     *SecureTimer
+	id     int
+	typ    CoreType
+	world  World
+	online bool
+	timer  *SecureTimer
+	// rates holds the core's current effective per-byte operation rates.
+	// They start at the platform calibration for the core's type and may be
+	// rescaled at runtime (DVFS steps, fault-injected jitter) — but only
+	// through SetRates, which validates every mutation.
+	rates     CoreRates
 	observers []func(c *Core, old, new World)
+	hotplug   []func(c *Core, online bool)
 }
 
-// newCore builds a core in the normal world. Platform construction attaches
-// the secure timer.
+// newCore builds an online core in the normal world. Platform construction
+// attaches the secure timer and the calibrated rates.
 func newCore(id int, typ CoreType) *Core {
-	return &Core{id: id, typ: typ, world: NormalWorld}
+	return &Core{id: id, typ: typ, world: NormalWorld, online: true}
 }
 
 // ID reports the core's index on the platform.
@@ -126,6 +133,53 @@ func (c *Core) OnWorldChange(fn func(c *Core, old, new World)) {
 	c.observers = append(c.observers, fn)
 }
 
+// Online reports whether the core is administratively online. Offline cores
+// still exist (their registers retain state) but the GIC pends every
+// interrupt targeting them until they return.
+func (c *Core) Online() bool { return c.online }
+
+// SetOnline hotplugs the core in or out, notifying hotplug observers. A core
+// executing in the secure world cannot be unplugged — on real hardware the
+// PSCI CPU_OFF call runs from the rich OS, which by definition is not
+// scheduled while the core is in the secure world — so callers must defer
+// the transition until the core has exited; violating that invariant panics.
+func (c *Core) SetOnline(online bool) {
+	if online == c.online {
+		return
+	}
+	if !online && c.world == SecureWorld {
+		panic(fmt.Sprintf("hw: core %d unplugged while executing in the secure world", c.id))
+	}
+	c.online = online
+	for _, fn := range c.hotplug {
+		fn(c, online)
+	}
+}
+
+// OnHotplug registers fn to run whenever the core goes offline or comes back
+// online. The GIC uses this to drain pended interrupts on online; SATIN uses
+// it to re-route the core's introspection slot while it is away.
+func (c *Core) OnHotplug(fn func(c *Core, online bool)) {
+	c.hotplug = append(c.hotplug, fn)
+}
+
+// Rates returns the core's current effective per-byte rates: the Table I
+// calibration for its type, times whatever runtime rescaling (DVFS, fault
+// jitter) has been applied through SetRates.
+func (c *Core) Rates() CoreRates { return c.rates }
+
+// SetRates installs new effective rates for the core. This is the single
+// mutation path for rates: every caller — platform assembly, DVFS steps,
+// fault injection — goes through the same validation, so a rescale can never
+// install zero, negative, or inverted distributions mid-run.
+func (c *Core) SetRates(r CoreRates) error {
+	if err := r.Validate(); err != nil {
+		return fmt.Errorf("hw: core %d rates: %w", c.id, err)
+	}
+	c.rates = r
+	return nil
+}
+
 // String renders like "core2(A53)".
 func (c *Core) String() string {
 	return fmt.Sprintf("core%d(%s)", c.id, c.typ)
@@ -146,16 +200,40 @@ type CoreRates struct {
 	RecoverPerByte simclock.FloatDist
 }
 
-// Validate checks that every rate distribution is well-formed.
+// Scaled returns a copy of the rates with every distribution multiplied by
+// factor. A factor above 1 models a slower core (seconds per byte stretch);
+// below 1, a faster one. The result is not validated here — feed it to
+// Core.SetRates, which is.
+func (r CoreRates) Scaled(factor float64) CoreRates {
+	scale := func(d simclock.FloatDist) simclock.FloatDist {
+		return simclock.FloatDist{Min: d.Min * factor, Avg: d.Avg * factor, Max: d.Max * factor}
+	}
+	return CoreRates{
+		HashPerByte:     scale(r.HashPerByte),
+		SnapshotPerByte: scale(r.SnapshotPerByte),
+		RecoverPerByte:  scale(r.RecoverPerByte),
+	}
+}
+
+// Validate checks that every rate distribution is well-formed and strictly
+// positive — a per-byte time of zero (or less) would let a check finish in
+// no virtual time, so rescaling paths (DVFS, fault injection) can never
+// install one.
 func (r CoreRates) Validate() error {
-	if err := r.HashPerByte.Validate(); err != nil {
-		return fmt.Errorf("hash rate: %w", err)
-	}
-	if err := r.SnapshotPerByte.Validate(); err != nil {
-		return fmt.Errorf("snapshot rate: %w", err)
-	}
-	if err := r.RecoverPerByte.Validate(); err != nil {
-		return fmt.Errorf("recover rate: %w", err)
+	for _, rate := range []struct {
+		name string
+		d    simclock.FloatDist
+	}{
+		{"hash rate", r.HashPerByte},
+		{"snapshot rate", r.SnapshotPerByte},
+		{"recover rate", r.RecoverPerByte},
+	} {
+		if err := rate.d.Validate(); err != nil {
+			return fmt.Errorf("%s: %w", rate.name, err)
+		}
+		if rate.d.Min <= 0 {
+			return fmt.Errorf("%s: min %v must be positive", rate.name, rate.d.Min)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,139 @@
+package hw
+
+// Tests for the fault-injection hook points: validated rate mutation,
+// hotplug state with interrupt pending/drain, and the GIC raise
+// interceptor with its Deliver bypass.
+
+import (
+	"strings"
+	"testing"
+
+	"satin/internal/simclock"
+)
+
+func TestSetRatesValidates(t *testing.T) {
+	_, p := newTestPlatform(t)
+	c := p.Core(0)
+	base := c.Rates()
+	bad := base
+	bad.HashPerByte.Avg = -1
+	if err := c.SetRates(bad); err == nil {
+		t.Error("negative rates accepted")
+	}
+	if c.Rates() != base {
+		t.Error("failed SetRates mutated the core's rates")
+	}
+	scaled := base.Scaled(2)
+	if err := c.SetRates(scaled); err != nil {
+		t.Fatalf("SetRates(scaled): %v", err)
+	}
+	if got := c.Rates().HashPerByte.Avg; got != 2*base.HashPerByte.Avg {
+		t.Errorf("scaled avg hash rate = %v, want %v", got, 2*base.HashPerByte.Avg)
+	}
+	if err := c.SetRates(CoreRates{}.Scaled(0)); err == nil {
+		t.Error("zero rates accepted")
+	}
+}
+
+func TestCoreRatesScaled(t *testing.T) {
+	_, p := newTestPlatform(t)
+	base := p.Core(0).Rates()
+	s := base.Scaled(0.5)
+	for name, pair := range map[string][2]simclock.FloatDist{
+		"hash":     {base.HashPerByte, s.HashPerByte},
+		"snapshot": {base.SnapshotPerByte, s.SnapshotPerByte},
+		"recover":  {base.RecoverPerByte, s.RecoverPerByte},
+	} {
+		if pair[1].Min != 0.5*pair[0].Min || pair[1].Avg != 0.5*pair[0].Avg || pair[1].Max != 0.5*pair[0].Max {
+			t.Errorf("%s rates not scaled by 0.5: %+v vs %+v", name, pair[1], pair[0])
+		}
+	}
+}
+
+func TestHotplugObserversAndSecureGuard(t *testing.T) {
+	_, p := newTestPlatform(t)
+	c := p.Core(2)
+	var log []bool
+	c.OnHotplug(func(_ *Core, online bool) { log = append(log, online) })
+	if !c.Online() {
+		t.Fatal("core boots offline")
+	}
+	c.SetOnline(true) // no-op: already online
+	c.SetOnline(false)
+	c.SetOnline(false) // no-op: already offline
+	c.SetOnline(true)
+	if len(log) != 2 || log[0] != false || log[1] != true {
+		t.Errorf("hotplug observer log = %v, want [false true]", log)
+	}
+
+	c.SetWorld(SecureWorld)
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Error("offlining a secure-world core did not panic")
+				return
+			}
+			if !strings.Contains(r.(string), "secure world") {
+				t.Errorf("unexpected panic: %v", r)
+			}
+		}()
+		c.SetOnline(false)
+	}()
+}
+
+func TestGICPendsToOfflineCoreAndDrainsOnReplug(t *testing.T) {
+	e, p := newTestPlatform(t)
+	g := p.GIC()
+	g.Configure(IntSGIFlood, GroupNonSecure)
+	fired := 0
+	g.Register(IntSGIFlood, func(int) { fired++ })
+
+	p.Core(1).SetOnline(false)
+	g.Raise(IntSGIFlood, 1)
+	e.Run()
+	if fired != 0 {
+		t.Fatalf("interrupt delivered to an offline core (%d fires)", fired)
+	}
+	p.Core(1).SetOnline(true)
+	e.Run()
+	if fired != 1 {
+		t.Errorf("pending interrupt not drained on replug: %d fires", fired)
+	}
+}
+
+func TestGICRaiseInterceptorAndDeliver(t *testing.T) {
+	e, p := newTestPlatform(t)
+	g := p.GIC()
+	g.Configure(IntSGIFlood, GroupNonSecure)
+	fired := 0
+	g.Register(IntSGIFlood, func(int) { fired++ })
+
+	intercepted := 0
+	g.SetRaiseInterceptor(func(id IntID, coreID int) bool {
+		intercepted++
+		return intercepted == 1 // swallow the first raise only
+	})
+	g.Raise(IntSGIFlood, 0)
+	e.Run()
+	if fired != 0 {
+		t.Fatalf("intercepted raise was delivered (%d fires)", fired)
+	}
+	g.Raise(IntSGIFlood, 0)
+	e.Run()
+	if fired != 1 {
+		t.Fatalf("passed-through raise not delivered: %d fires", fired)
+	}
+	// Deliver bypasses the interceptor: no third interception, one more fire.
+	g.Deliver(IntSGIFlood, 0)
+	e.Run()
+	if fired != 2 || intercepted != 2 {
+		t.Errorf("Deliver: fired=%d intercepted=%d, want 2 and 2", fired, intercepted)
+	}
+	g.SetRaiseInterceptor(nil)
+	g.Raise(IntSGIFlood, 0)
+	e.Run()
+	if fired != 3 {
+		t.Errorf("raise after removing interceptor: fired=%d, want 3", fired)
+	}
+}

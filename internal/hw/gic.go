@@ -77,6 +77,12 @@ type GIC struct {
 	// of pending it. The trustzone monitor installs it when configured
 	// for preemptive routing.
 	preemptive func(id IntID, coreID int) bool
+	// intercept, when set, sees every Raise before routing. Returning true
+	// consumes the assertion: the interceptor has taken ownership and will
+	// complete (or retry) delivery later via Deliver. The fault-injection
+	// layer installs it to model delayed and dropped interrupts; when nil
+	// (the default), Raise routes directly with zero overhead.
+	intercept func(id IntID, coreID int) bool
 }
 
 // newGIC wires the controller to the platform's cores.
@@ -99,6 +105,11 @@ func newGIC(cores []*Core) *GIC {
 				g.drainPending(c.id)
 			}
 		})
+		c.OnHotplug(func(c *Core, online bool) {
+			if online {
+				g.drainPending(c.id)
+			}
+		})
 	}
 	return g
 }
@@ -118,11 +129,34 @@ func (g *GIC) Register(id IntID, h Handler) {
 
 // Raise asserts interrupt id targeting core coreID and routes it according
 // to the rules above. Raising a line with no registered handler is a
-// platform assembly error and panics.
+// platform assembly error and panics. An installed fault interceptor may
+// consume the assertion (modeling wire delay or a dropped edge); it then
+// completes delivery through Deliver.
 func (g *GIC) Raise(id IntID, coreID int) {
+	if g.intercept != nil && g.intercept(id, coreID) {
+		return
+	}
+	g.route(id, coreID)
+}
+
+// Deliver routes interrupt id to core coreID, bypassing the fault
+// interceptor. The interceptor itself uses it to complete a delayed or
+// retried raise without being re-intercepted; routing rules (groups,
+// secure-world pending, offline pending) still apply at delivery time.
+func (g *GIC) Deliver(id IntID, coreID int) {
+	g.route(id, coreID)
+}
+
+func (g *GIC) route(id IntID, coreID int) {
 	group, ok := g.groups[id]
 	if !ok {
 		panic(fmt.Sprintf("hw: interrupt %v raised without a configured group", id))
+	}
+	if !g.cores[coreID].Online() {
+		// An offline core takes no interrupts in either group; the GIC
+		// holds the level until the core is powered back on.
+		g.pending[coreID][id] = true
+		return
 	}
 	switch group {
 	case GroupSecure:
@@ -147,6 +181,12 @@ func (g *GIC) Raise(id IntID, coreID int) {
 // restores the default non-preemptive behavior (pending).
 func (g *GIC) SetPreemptiveHook(fn func(id IntID, coreID int) bool) {
 	g.preemptive = fn
+}
+
+// SetRaiseInterceptor installs the fault-injection interceptor consulted at
+// the top of Raise; nil (the default) removes it, restoring direct routing.
+func (g *GIC) SetRaiseInterceptor(fn func(id IntID, coreID int) bool) {
+	g.intercept = fn
 }
 
 // PendingOn reports whether interrupt id is pending delivery on core coreID.

@@ -43,6 +43,11 @@ func NewPlatform(engine *simclock.Engine, cfg Config) (*Platform, error) {
 	p.cores = make([]*Core, len(cfg.CoreTypes))
 	for i, ct := range cfg.CoreTypes {
 		p.cores[i] = newCore(i, ct)
+		// Seed each core's effective rates with the type calibration; runtime
+		// rescaling (DVFS, fault jitter) goes through Core.SetRates.
+		if err := p.cores[i].SetRates(cfg.Perf.Rates[ct]); err != nil {
+			return nil, err
+		}
 	}
 	p.gic = newGIC(p.cores)
 	for _, c := range p.cores {

@@ -55,7 +55,6 @@ const DefaultChunkSize = 4096
 // Checker reads and hashes normal-world memory from the secure world.
 type Checker struct {
 	image *mem.Image
-	perf  hw.PerfModel
 	rng   *simclock.RNG
 	hash  HashKind
 	chunk int
@@ -77,11 +76,17 @@ func (c *Checker) Observe(reg *obs.Registry) {
 	c.snapshots = reg.Counter("introspect.snapshot_copies")
 }
 
-// NewChecker builds a checker over the image using the platform's timing
-// model. Pass chunk 0 for DefaultChunkSize and hash 0 for djb2.
+// NewChecker builds a checker over the image. perf is the platform timing
+// model the checker's cores were calibrated from; it is validated here, but
+// at check time the per-byte rates come from the core the check runs on
+// (Core.Rates), so runtime rescaling — DVFS steps, fault-injected jitter —
+// is honored. Pass chunk 0 for DefaultChunkSize and hash 0 for djb2.
 func NewChecker(image *mem.Image, perf hw.PerfModel, seed uint64, hash HashKind, chunk int) (*Checker, error) {
 	if image == nil {
 		return nil, fmt.Errorf("introspect: nil image")
+	}
+	if err := perf.Validate(); err != nil {
+		return nil, fmt.Errorf("introspect: perf model: %w", err)
 	}
 	if chunk == 0 {
 		chunk = DefaultChunkSize
@@ -94,7 +99,6 @@ func NewChecker(image *mem.Image, perf hw.PerfModel, seed uint64, hash HashKind,
 	}
 	return &Checker{
 		image: image,
-		perf:  perf,
 		rng:   simclock.NewRNG(seed, "introspect.checker"),
 		hash:  hash,
 		chunk: chunk,
@@ -134,8 +138,9 @@ func (c *Checker) Check(ctx *trustzone.Context, tech Technique, addr uint64, siz
 	if !c.image.Mem().Contains(addr, size) {
 		return fmt.Errorf("introspect: check range [%#x,+%d) unmapped", addr, size)
 	}
-	coreType := ctx.Core().Type()
-	rates := c.perf.RatesFor(coreType)
+	// Effective rates of the core the check runs on: the Table I calibration
+	// times any DVFS/fault rescaling currently applied to this core.
+	rates := ctx.Core().Rates()
 	res := Result{Technique: tech, Addr: addr, Size: size, Started: ctx.Now()}
 	c.checks.Inc()
 	if tech == SnapshotHash {

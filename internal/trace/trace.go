@@ -28,6 +28,11 @@ const (
 	KindCoreBack    Kind = "core-back"
 	KindReinstalled Kind = "reinstalled"
 	KindGuardDeny   Kind = "guard-deny"
+	// KindFault marks an injected perturbation (DVFS step, hotplug
+	// transition, delayed/dropped interrupt, switch-latency spike) or the
+	// system's reaction to one (a SATIN round re-routed off an offline
+	// core). Detail carries the specifics.
+	KindFault Kind = "fault"
 )
 
 // Event is one timeline entry.

@@ -114,8 +114,19 @@ type Monitor struct {
 	rng      *simclock.RNG
 	service  Service
 	inSecure []bool
-	switches []SwitchRecord
-	onEnter  []func(SwitchRecord)
+	// timerPending[core] records a secure timer interrupt that arrived while
+	// the core was already busy in the secure world (an SMC-driven payload):
+	// EL3 masks IRQs during secure execution, so the fire is taken on exit.
+	timerPending []bool
+	switches     []SwitchRecord
+	onEnter      []func(SwitchRecord)
+	// switchPerturb, when set, returns extra secure-dispatch latency for a
+	// world entry: time spent in the monitor/secure-OS entry path after the
+	// core has already left the normal world but before the payload runs.
+	// The fault-injection layer installs it to model entry-latency spikes
+	// (the large software-path variance Amacher & Schiavoni measured); nil
+	// (the default) costs nothing and schedules nothing.
+	switchPerturb func(coreID int, base time.Duration) time.Duration
 
 	// Observability (nil unless Observe was called; all nil-safe).
 	bus       *obs.Bus
@@ -140,6 +151,7 @@ func NewMonitor(p *hw.Platform, seed uint64) *Monitor {
 		platform:       p,
 		rng:            simclock.NewRNG(seed, "trustzone.monitor"),
 		inSecure:       make([]bool, p.NumCores()),
+		timerPending:   make([]bool, p.NumCores()),
 		routing:        NonPreemptive,
 		preemptionCost: DefaultPreemptionCost(),
 		stretch:        make([]time.Duration, p.NumCores()),
@@ -215,9 +227,12 @@ func (m *Monitor) handleSecureTimer(coreID int) {
 		panic(fmt.Sprintf("trustzone: secure timer fired on core %d with no service installed", coreID))
 	}
 	if m.inSecure[coreID] {
-		// The architecture cannot deliver a second secure timer interrupt
-		// mid-handler: the service owns CVAL and the GIC models a level.
-		panic(fmt.Sprintf("trustzone: secure timer re-entered core %d", coreID))
+		// The core is already busy in the secure world — possible only when
+		// an SMC-driven payload (e.g. a SATIN re-routed round) overlaps the
+		// core's own timer fire. EL3 runs with IRQs masked, so the fire is
+		// held here and taken when the core exits.
+		m.timerPending[coreID] = true
+		return
 	}
 	m.enter(coreID, ReasonSecureTimer, func(ctx *Context) {
 		m.service.OnSecureTimer(ctx)
@@ -235,8 +250,21 @@ func (m *Monitor) RequestSecure(coreID int, fn func(ctx *Context)) error {
 	if m.inSecure[coreID] {
 		return fmt.Errorf("trustzone: core %d already in secure world", coreID)
 	}
+	if !m.platform.Core(coreID).Online() {
+		return fmt.Errorf("trustzone: core %d is offline", coreID)
+	}
 	m.enter(coreID, ReasonSMC, fn)
 	return nil
+}
+
+// SetSwitchPerturb installs a hook that adds secure-dispatch latency to
+// world entries (the fault-injection layer's entry-latency spikes); nil
+// removes it. The extra latency lands *after* the core leaves the normal
+// world — the reporter-freeze observable TZ-Evader watches — but *before*
+// the secure payload runs, so a large spike genuinely widens the evader's
+// Eq. 1/2 window. Non-positive returns cost nothing.
+func (m *Monitor) SetSwitchPerturb(fn func(coreID int, base time.Duration) time.Duration) {
+	m.switchPerturb = fn
 }
 
 func (m *Monitor) enter(coreID int, reason EntryReason, fn func(ctx *Context)) {
@@ -245,25 +273,39 @@ func (m *Monitor) enter(coreID int, reason EntryReason, fn func(ctx *Context)) {
 	switchCost := m.platform.Perf().SwitchTime(m.rng)
 	m.platform.Engine().After(switchCost, fmt.Sprintf("world-entry-core%d", coreID), func() {
 		core := m.platform.Core(coreID)
+		// The core leaves the normal world here: its reporters freeze and
+		// TZ-Evader's staleness clock starts ticking.
 		core.SetWorld(hw.SecureWorld)
-		rec := SwitchRecord{
-			CoreID:    coreID,
-			Reason:    reason,
-			Requested: requested,
-			Entered:   m.platform.Engine().Now(),
+		dispatch := func() {
+			rec := SwitchRecord{
+				CoreID:    coreID,
+				Reason:    reason,
+				Requested: requested,
+				Entered:   m.platform.Engine().Now(),
+			}
+			m.switches = append(m.switches, rec)
+			m.entries.Inc()
+			m.enterHist.Observe(int64(rec.SwitchTime()))
+			m.bus.Publish(trace.Event{
+				At: rec.Entered.Duration(), Kind: trace.KindWorldEnter,
+				Core: coreID, Area: -1, Detail: reason.String(),
+			})
+			for _, fn := range m.onEnter {
+				fn(rec)
+			}
+			ctx := &Context{monitor: m, core: core, stretchSeen: m.stretch[coreID]}
+			fn(ctx)
 		}
-		m.switches = append(m.switches, rec)
-		m.entries.Inc()
-		m.enterHist.Observe(int64(rec.SwitchTime()))
-		m.bus.Publish(trace.Event{
-			At: rec.Entered.Duration(), Kind: trace.KindWorldEnter,
-			Core: coreID, Area: -1, Detail: reason.String(),
-		})
-		for _, fn := range m.onEnter {
-			fn(rec)
+		// Perturbed entries spend extra time in the secure dispatch path
+		// before the payload starts; unperturbed entries dispatch inline,
+		// with no extra engine event.
+		if m.switchPerturb != nil {
+			if extra := m.switchPerturb(coreID, switchCost); extra > 0 {
+				m.platform.Engine().After(extra, fmt.Sprintf("secure-dispatch-core%d", coreID), dispatch)
+				return
+			}
 		}
-		ctx := &Context{monitor: m, core: core, stretchSeen: m.stretch[coreID]}
-		fn(ctx)
+		dispatch()
 	})
 }
 
@@ -275,6 +317,12 @@ func (m *Monitor) exit(coreID int) {
 	m.platform.Engine().After(switchCost, fmt.Sprintf("world-exit-core%d", coreID), func() {
 		m.inSecure[coreID] = false
 		m.platform.Core(coreID).SetWorld(hw.NormalWorld)
+		if m.timerPending[coreID] {
+			// A secure timer fire was held while the core ran an SMC
+			// payload; with IRQs unmasked again it traps straight back in.
+			m.timerPending[coreID] = false
+			m.handleSecureTimer(coreID)
+		}
 	})
 }
 

@@ -31,6 +31,7 @@ import (
 
 	"satin/internal/attack"
 	"satin/internal/core"
+	"satin/internal/faultinject"
 	"satin/internal/hw"
 	"satin/internal/introspect"
 	"satin/internal/mem"
@@ -129,6 +130,34 @@ const (
 
 // DefaultConfig returns the paper's experimental SATIN configuration.
 func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Re-exported fault-injection types. A FaultPlan describes deterministic
+// hardware-timing perturbations — rate jitter, DVFS steps, core hotplug,
+// interrupt delay/drop, world-switch spikes — that compose over a scenario
+// via WithFaultPlan. The empty plan installs nothing and a run stays
+// byte-identical to an unperturbed one.
+type (
+	// FaultPlan describes what to inject; see faultinject.Plan.
+	FaultPlan = faultinject.Plan
+	// FaultDVFSStep is one scheduled frequency change.
+	FaultDVFSStep = faultinject.DVFSStep
+	// FaultHotplugEvent is one scheduled core offline/online transition.
+	FaultHotplugEvent = faultinject.HotplugEvent
+	// FaultIRQ perturbs interrupt delivery at the GIC.
+	FaultIRQ = faultinject.IRQFaults
+	// FaultSwitch adds world-switch entry-latency spikes.
+	FaultSwitch = faultinject.SwitchFaults
+	// FaultInjector is an installed plan; Scenario.Faults returns it.
+	FaultInjector = faultinject.Injector
+)
+
+// ParseFaultPlan builds a FaultPlan from the `-faults` spec grammar
+// (e.g. "scale:1.5" or "jitter:0.2;dvfs:at=30s,factor=0.5;hotplug:core=5,off=1m,on=2m").
+func ParseFaultPlan(spec string) (FaultPlan, error) { return faultinject.ParsePlan(spec) }
+
+// ScaledFaultPlan maps one perturbation magnitude to a plan, the knob the
+// sensitivity sweeps turn; magnitude 0 is the empty plan.
+func ScaledFaultPlan(mag float64) FaultPlan { return faultinject.ScaledPlan(mag) }
 
 // Re-exported observability types. Every Scenario carries a live event bus
 // and a metrics registry (disable with WithObservability(false)): components
@@ -245,6 +274,7 @@ type Scenario struct {
 	evader     *attack.Evader
 	guard      *syncguard.Guard
 	flood      *attack.InterruptFlood
+	injector   *faultinject.Injector
 
 	bus      *obs.Bus
 	reg      *obs.Registry
@@ -276,6 +306,7 @@ type options struct {
 	routing       trustzone.RoutingMode
 	floodRate     float64
 	noObs         bool
+	faults        faultinject.Plan
 }
 
 // WithSeed sets the root seed for every deterministic stream.
@@ -347,6 +378,16 @@ func WithObservability(enabled bool) Option {
 // per-core rate (interrupts/second).
 func WithFlood(rate float64) Option {
 	return func(o *options) { o.floodRate = rate }
+}
+
+// WithFaultPlan installs the deterministic fault-injection plan at boot:
+// per-core rate jitter is applied immediately, DVFS and hotplug events are
+// scheduled at their virtual times, and interrupt/world-switch perturbation
+// hooks are wired in. Every injected fault appears as a "fault" trace event
+// and in the fault.* metrics. The empty plan installs nothing — the run is
+// byte-identical to one built without this option.
+func WithFaultPlan(plan FaultPlan) Option {
+	return func(o *options) { o.faults = plan }
 }
 
 // NewScenario assembles and boots a testbed.
@@ -495,6 +536,16 @@ func NewScenario(opts ...Option) (*Scenario, error) {
 		}
 		sc.flood = fl
 	}
+	// Fault injection composes last, over the fully assembled testbed, so
+	// hotplug re-routing finds SATIN already subscribed and jitter rescales
+	// the final calibrated rates. Skipped entirely for the empty plan.
+	if !o.faults.Empty() {
+		inj, err := faultinject.Install(o.faults, plat, sc.monitor, o.seed+8, sc.bus, sc.reg)
+		if err != nil {
+			return nil, err
+		}
+		sc.injector = inj
+	}
 	return sc, nil
 }
 
@@ -545,6 +596,10 @@ func (s *Scenario) Guard() *SyncGuard { return s.guard }
 
 // Flood returns the interrupt flood, or nil.
 func (s *Scenario) Flood() *InterruptFlood { return s.flood }
+
+// Faults returns the installed fault injector, or nil when the scenario was
+// built without a fault plan (or with an empty one).
+func (s *Scenario) Faults() *FaultInjector { return s.injector }
 
 // Bus returns the live event bus, or nil when the scenario was built with
 // WithObservability(false). Subscribe before driving the scenario to stream
