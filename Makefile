@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race determinism sweep-check trace-check sensitivity-smoke docs-check cover ci
+.PHONY: all build vet test race determinism sweep-check trace-check sensitivity-smoke docs-check cover bench bench-json bench-smoke profile ci
 
 all: build test
 
@@ -58,5 +58,33 @@ docs-check:
 # Coverage summary across all packages.
 cover:
 	$(GO) test -cover ./...
+
+# Full benchmark suite with allocation counts.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# Regenerate BENCH_PR4.json: run the hot-path benchmarks on the current
+# tree and merge them with the committed pre-overhaul baseline
+# (testdata/bench_baseline_pr4.txt, captured at the parent commit of the
+# hot-path PR on the same benchmark definitions).
+bench-json:
+	$(GO) test -run '^$$' -bench 'BenchmarkDetection$$|BenchmarkSensitivitySweep$$|BenchmarkSteadyStateRounds$$' -benchtime 5x -count 1 . | tee /tmp/bench_current_pr4.txt
+	$(GO) run ./tools/benchjson -baseline testdata/bench_baseline_pr4.txt -current /tmp/bench_current_pr4.txt \
+		-desc "hot-path overhaul: incremental hash cache + word-wide kernels + allocation-free scheduling vs pre-overhaul baseline" \
+		-out BENCH_PR4.json
+	@echo "wrote BENCH_PR4.json"
+
+# Quick non-blocking benchmark smoke for CI: one short iteration of every
+# benchmark, checking they still run — not their numbers.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# CPU and heap profiles of the detection sweep benchmark, for digging into
+# the simulator's hot path. Writes /tmp/satin_cpu.prof, /tmp/satin_mem.prof
+# and the test binary /tmp/satin.test (pprof needs it to symbolize).
+profile:
+	$(GO) test -run '^$$' -bench 'BenchmarkDetection$$' -benchtime 5x -count 1 \
+		-cpuprofile /tmp/satin_cpu.prof -memprofile /tmp/satin_mem.prof -o /tmp/satin.test .
+	@echo "inspect with: $(GO) tool pprof /tmp/satin.test /tmp/satin_cpu.prof"
 
 ci: vet build test race determinism docs-check

@@ -7,6 +7,7 @@ package satin
 // cmd/benchtables binary prints the full rendered tables.
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -19,6 +20,7 @@ import (
 // BenchmarkTable1IntrospectionTime regenerates Table I: per-byte secure
 // world introspection times (hash vs snapshot, A53 vs A57).
 func BenchmarkTable1IntrospectionTime(b *testing.B) {
+	b.ReportAllocs()
 	var res experiment.Table1Result
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -35,6 +37,7 @@ func BenchmarkTable1IntrospectionTime(b *testing.B) {
 
 // BenchmarkSwitchTime regenerates the §IV-B1 Ts_switch measurement.
 func BenchmarkSwitchTime(b *testing.B) {
+	b.ReportAllocs()
 	var res experiment.SwitchResult
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -49,6 +52,7 @@ func BenchmarkSwitchTime(b *testing.B) {
 
 // BenchmarkRecoverTime regenerates the §IV-B2 Tns_recover measurement.
 func BenchmarkRecoverTime(b *testing.B) {
+	b.ReportAllocs()
 	var res experiment.RecoverResult
 	for i := 0; i < b.N; i++ {
 		res = experiment.RunRecover(uint64(i + 1))
@@ -60,6 +64,7 @@ func BenchmarkRecoverTime(b *testing.B) {
 // BenchmarkTable2ProbingThreshold regenerates Table II: probing thresholds
 // across the five probing periods.
 func BenchmarkTable2ProbingThreshold(b *testing.B) {
+	b.ReportAllocs()
 	var res experiment.Table2Result
 	for i := 0; i < b.N; i++ {
 		res = experiment.RunTable2(uint64(i + 1))
@@ -72,6 +77,7 @@ func BenchmarkTable2ProbingThreshold(b *testing.B) {
 // BenchmarkFig4ThresholdStability regenerates Figure 4's box-plot data
 // (same sampler as Table II; the metric here is the spread).
 func BenchmarkFig4ThresholdStability(b *testing.B) {
+	b.ReportAllocs()
 	var res experiment.Table2Result
 	for i := 0; i < b.N; i++ {
 		res = experiment.RunTable2(uint64(i + 100))
@@ -85,6 +91,7 @@ func BenchmarkFig4ThresholdStability(b *testing.B) {
 // BenchmarkSingleCoreProbing regenerates the §IV-B2 single-core-vs-all
 // probing comparison (ratio ≈ 1/4).
 func BenchmarkSingleCoreProbing(b *testing.B) {
+	b.ReportAllocs()
 	var res experiment.SingleCoreResult
 	for i := 0; i < b.N; i++ {
 		res = experiment.RunSingleCore(uint64(i+1), 8*time.Second)
@@ -96,6 +103,7 @@ func BenchmarkSingleCoreProbing(b *testing.B) {
 // timelines for a whole-kernel check (evader wins) and a SATIN-sized area
 // check (defender wins).
 func BenchmarkFig3RaceTimeline(b *testing.B) {
+	b.ReportAllocs()
 	var res []experiment.Fig3Result
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -117,6 +125,7 @@ func BenchmarkFig3RaceTimeline(b *testing.B) {
 // BenchmarkRaceAnalysis regenerates the §IV-C race analysis: Equation 2's
 // S bound and the unprotected kernel fraction.
 func BenchmarkRaceAnalysis(b *testing.B) {
+	b.ReportAllocs()
 	var res experiment.RaceResult
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -133,6 +142,7 @@ func BenchmarkRaceAnalysis(b *testing.B) {
 // BenchmarkEvasionVsBaseline regenerates the §IV/§VI premise: TZ-Evader's
 // success against the randomized full-kernel baseline.
 func BenchmarkEvasionVsBaseline(b *testing.B) {
+	b.ReportAllocs()
 	var res experiment.EvasionResult
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -148,6 +158,7 @@ func BenchmarkEvasionVsBaseline(b *testing.B) {
 // BenchmarkDetection regenerates the §VI-B1 headline experiment at paper
 // scale: 190 SATIN rounds (10 full scans) vs TZ-Evader.
 func BenchmarkDetection(b *testing.B) {
+	b.ReportAllocs()
 	var res experiment.DetectionResult
 	for i := 0; i < b.N; i++ {
 		cfg := experiment.DefaultDetectionConfig()
@@ -169,6 +180,7 @@ func BenchmarkDetection(b *testing.B) {
 // BenchmarkFig7Overhead regenerates Figure 7: per-benchmark normalized
 // degradation under SATIN, 1-task and 6-task.
 func BenchmarkFig7Overhead(b *testing.B) {
+	b.ReportAllocs()
 	var res experiment.Fig7Result
 	for i := 0; i < b.N; i++ {
 		cfg := experiment.DefaultFig7Config()
@@ -191,6 +203,7 @@ func BenchmarkFig7Overhead(b *testing.B) {
 
 // BenchmarkAblation regenerates the design-choice ablation (DESIGN.md E11).
 func BenchmarkAblation(b *testing.B) {
+	b.ReportAllocs()
 	var res experiment.AblationResult
 	for i := 0; i < b.N; i++ {
 		cfg := experiment.DefaultAblationConfig()
@@ -211,6 +224,7 @@ func BenchmarkAblation(b *testing.B) {
 // BenchmarkMSweep regenerates the trace-size sweep (§IV-C observation 4):
 // the M crossover where recovery stops beating a whole-kernel scan.
 func BenchmarkMSweep(b *testing.B) {
+	b.ReportAllocs()
 	var res experiment.MSweepResult
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -227,6 +241,7 @@ func BenchmarkMSweep(b *testing.B) {
 // SGI flood against non-preemptive (SATIN's SCR_EL3.IRQ=0) vs preemptive
 // secure-world routing.
 func BenchmarkInterruptFlood(b *testing.B) {
+	b.ReportAllocs()
 	var res experiment.FloodResult
 	for i := 0; i < b.N; i++ {
 		cfg := experiment.DefaultFloodConfig()
@@ -245,6 +260,7 @@ func BenchmarkInterruptFlood(b *testing.B) {
 
 // BenchmarkSyncBypass regenerates the §VII-A/§VII-C layered-defense study.
 func BenchmarkSyncBypass(b *testing.B) {
+	b.ReportAllocs()
 	var res experiment.SyncBypassResult
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -260,6 +276,7 @@ func BenchmarkSyncBypass(b *testing.B) {
 
 // BenchmarkUserProber regenerates the §III-B1 user-level prober evaluation.
 func BenchmarkUserProber(b *testing.B) {
+	b.ReportAllocs()
 	var res experiment.UserProberResult
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -274,6 +291,7 @@ func BenchmarkUserProber(b *testing.B) {
 
 // BenchmarkKProber1Exposure regenerates the §III-C1 self-exposure study.
 func BenchmarkKProber1Exposure(b *testing.B) {
+	b.ReportAllocs()
 	var res experiment.KProber1ExposureResult
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -314,6 +332,65 @@ func BenchmarkFullKernelHash(b *testing.B) {
 			b.ReportMetric(cell.PerByte.Mean*11916240*1e3, "kernel-check-ms")
 		})
 	}
+}
+
+// BenchmarkSensitivitySweep measures the fault-injection sensitivity sweep
+// at a reduced but representative scale (2 magnitudes × 2 seeds, 4 full
+// scans each), run serially so the number tracks the simulator's single-run
+// hot path rather than worker-pool scheduling. BENCH_PR4.json records this
+// as the second headline wall-clock number.
+func BenchmarkSensitivitySweep(b *testing.B) {
+	b.ReportAllocs()
+	cfg := experiment.DefaultSensitivityConfig()
+	cfg.Magnitudes = []float64{0, 2}
+	cfg.Seeds = 2
+	cfg.Workers = 1
+	cfg.Detection.FullScans = 4
+	var res experiment.SensitivityResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiment.RunSensitivity(context.Background(), cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Points[0].Detection.Mean*100, "mag0-detection-%")
+	b.ReportMetric(res.Points[len(res.Points)-1].Detection.Mean*100, "mag2-detection-%")
+}
+
+// BenchmarkSteadyStateRounds measures the marginal cost of SATIN
+// introspection rounds once the scenario is booted and warm: each b.N
+// iteration advances an already-running scenario by 19 virtual seconds
+// (≈19 rounds at tp = 1 s). Boot, golden-table hashing, and the first two
+// full scans happen before the timer starts, so ns/op and allocs/op are the
+// steady-state per-span numbers — the quantity the incremental hash cache
+// and allocation-free scheduling target.
+func BenchmarkSteadyStateRounds(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Tgoal = 19 * time.Second
+	cfg.MaxRounds = 0
+	cfg.Seed = 3
+	sc, err := NewScenario(WithSeed(1), WithSATIN(cfg), WithObservability(false))
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm-up: two full scans.
+	sc.Run(40 * time.Second)
+	warm := len(sc.SATIN().Rounds())
+	if warm == 0 {
+		b.Fatal("no rounds completed during warm-up")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc.Run(19 * time.Second)
+	}
+	b.StopTimer()
+	rounds := len(sc.SATIN().Rounds()) - warm
+	if rounds == 0 {
+		b.Fatal("no rounds completed during measurement")
+	}
+	b.ReportMetric(float64(rounds)/float64(b.N), "rounds/op")
 }
 
 // BenchmarkScenario measures one full SATIN-vs-fast-evader run — the

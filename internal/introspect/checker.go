@@ -53,27 +53,47 @@ const SnapshotCaptureFraction = 0.5
 const DefaultChunkSize = 4096
 
 // Checker reads and hashes normal-world memory from the secure world.
+//
+// The wall-clock hot path is allocation-free in steady state: chunk walks
+// run through pooled run states instead of per-chunk closures, snapshot
+// captures recycle their buffers, and the incremental hash cache (on by
+// default; see SetHashCache) skips re-hashing chunks whose pages have not
+// been written since they were last folded. None of this moves a single
+// virtual-time instant: cached and naive checks are bit-identical.
 type Checker struct {
 	image *mem.Image
 	rng   *simclock.RNG
 	hash  HashKind
 	chunk int
 
+	// cache memoizes chunk hash transitions; nil when disabled via
+	// SetHashCache(false).
+	cache *hashCache
+	// free lists for the allocation-free hot path.
+	hashRuns    []*hashRun
+	captureRuns []*captureRun
+	bufs        [][]byte
+
 	// Observability (nil unless Observe was called; all nil-safe).
 	checks      *obs.Counter
 	bytesHashed *obs.Counter
 	bytesCopied *obs.Counter
 	snapshots   *obs.Counter
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
 }
 
 // Observe wires the checker's hot path into the metrics registry: bytes
 // hashed and snapshot-copied are counted per chunk, at the virtual instant
-// the checker touches them. reg may be nil.
+// the checker touches them (bytes_hashed counts bytes *covered*; a chunk
+// served from the hash cache still covers its bytes). reg may be nil.
 func (c *Checker) Observe(reg *obs.Registry) {
 	c.checks = reg.Counter("introspect.checks")
 	c.bytesHashed = reg.Counter("introspect.bytes_hashed")
 	c.bytesCopied = reg.Counter("introspect.bytes_copied")
 	c.snapshots = reg.Counter("introspect.snapshot_copies")
+	c.cacheHits = reg.Counter("introspect.cache_hits")
+	c.cacheMisses = reg.Counter("introspect.cache_misses")
 }
 
 // NewChecker builds a checker over the image. perf is the platform timing
@@ -102,11 +122,39 @@ func NewChecker(image *mem.Image, perf hw.PerfModel, seed uint64, hash HashKind,
 		rng:   simclock.NewRNG(seed, "introspect.checker"),
 		hash:  hash,
 		chunk: chunk,
+		cache: newHashCache(),
 	}, nil
 }
 
 // Hash reports which hash the checker uses.
 func (c *Checker) Hash() HashKind { return c.hash }
+
+// SetHashCache enables or disables the incremental hash cache. It is on by
+// default; disabling it is the escape hatch the golden byte-identity
+// regression uses to prove cached and naive runs agree. Re-enabling starts
+// from an empty cache. Results are identical either way — only wall-clock
+// time changes.
+func (c *Checker) SetHashCache(enabled bool) {
+	if !enabled {
+		c.cache = nil
+		return
+	}
+	if c.cache == nil {
+		c.cache = newHashCache()
+	}
+}
+
+// HashCacheEnabled reports whether the incremental hash cache is active.
+func (c *Checker) HashCacheEnabled() bool { return c.cache != nil }
+
+// CacheStats reports incremental-cache hits and misses since construction
+// (both zero when the cache is disabled).
+func (c *Checker) CacheStats() (hits, misses uint64) {
+	if c.cache == nil {
+		return 0, 0
+	}
+	return c.cache.hits, c.cache.misses
+}
 
 // Result is the outcome of one check.
 type Result struct {
@@ -150,72 +198,179 @@ func (c *Checker) Check(ctx *trustzone.Context, tech Technique, addr uint64, siz
 	case DirectHash:
 		// One per-byte rate per check, as the paper measures per run.
 		rate := rates.HashPerByte.Draw(c.rng)
-		c.runChunks(ctx, addr, size, rate, c.hash.seed(), func(sum uint64) {
+		r := c.getHashRun()
+		r.ctx, r.addr, r.remaining, r.rate = ctx, addr, size, rate
+		r.sum = c.hash.seed()
+		r.done = func(sum uint64) {
 			res.Sum = sum
 			res.Finished = ctx.Now()
 			done(res)
-		})
+		}
+		r.advance()
 	case SnapshotHash:
 		total := rates.SnapshotPerByte.Draw(c.rng)
 		captureRate := total * SnapshotCaptureFraction
 		analysis := secondsDuration(total * (1 - SnapshotCaptureFraction) * float64(size))
-		snapshot := make([]byte, 0, size)
 		res.BufferBytes = size
-		c.captureChunks(ctx, addr, size, captureRate, &snapshot, func() {
+		r := c.getCaptureRun()
+		r.ctx, r.addr, r.remaining, r.rate = ctx, addr, size, captureRate
+		r.buf = c.getBuf(size)
+		r.done = func(snapshot []byte) {
 			// Analysis of the frozen copy: one block of secure CPU time.
 			ctx.Elapse(analysis, func() {
 				res.Sum = c.hash.Sum(snapshot)
+				c.putBuf(snapshot)
 				res.Finished = ctx.Now()
 				done(res)
 			})
-		})
+		}
+		r.advance()
 	default:
 		return fmt.Errorf("introspect: unknown technique %v", tech)
 	}
 	return nil
 }
 
-// runChunks incrementally hashes live memory chunk by chunk.
-func (c *Checker) runChunks(ctx *trustzone.Context, addr uint64, remaining int, rate float64, sum uint64, done func(uint64)) {
-	if remaining == 0 {
+// hashRun is the pooled state of one in-flight DirectHash chunk walk. The
+// walk carries its state here instead of in per-chunk closures so a
+// steady-state round schedules its chunks without allocating: step is the
+// single func value handed to Elapse for every chunk.
+type hashRun struct {
+	c         *Checker
+	ctx       *trustzone.Context
+	addr      uint64
+	remaining int
+	rate      float64
+	sum       uint64
+	done      func(uint64)
+	step      func()
+}
+
+func (c *Checker) getHashRun() *hashRun {
+	if n := len(c.hashRuns); n > 0 {
+		r := c.hashRuns[n-1]
+		c.hashRuns = c.hashRuns[:n-1]
+		return r
+	}
+	r := &hashRun{c: c}
+	r.step = r.advance
+	return r
+}
+
+// advance folds the next chunk at the current virtual instant, then elapses
+// the chunk's secure CPU time. On completion the run is recycled before
+// done fires, so done may immediately start another check.
+func (r *hashRun) advance() {
+	c := r.c
+	if r.remaining == 0 {
+		done, sum := r.done, r.sum
+		r.ctx, r.done = nil, nil
+		c.hashRuns = append(c.hashRuns, r)
 		done(sum)
 		return
 	}
 	n := c.chunk
-	if n > remaining {
-		n = remaining
+	if n > r.remaining {
+		n = r.remaining
 	}
-	// Read the chunk at the instant the checker touches it.
-	view, err := c.image.Mem().View(addr, n)
+	r.sum = c.hashChunk(r.addr, n, r.sum)
+	c.bytesHashed.Add(int64(n))
+	d := secondsDuration(r.rate * float64(n))
+	r.addr += uint64(n)
+	r.remaining -= n
+	r.ctx.Elapse(d, r.step)
+}
+
+// hashChunk folds the n bytes at addr into h, consulting the incremental
+// cache first. Reads — cached or not — happen at the current virtual
+// instant, so racing writes are honored exactly as before.
+func (c *Checker) hashChunk(addr uint64, n int, h uint64) uint64 {
+	m := c.image.Mem()
+	if c.cache != nil {
+		if out, ok := c.cache.lookup(m, addr, n, h); ok {
+			c.cacheHits.Inc()
+			return out
+		}
+	}
+	view, err := m.View(addr, n)
 	if err != nil {
 		panic(fmt.Sprintf("introspect: validated range became unreadable: %v", err))
 	}
-	sum = c.hash.update(sum, view)
-	c.bytesHashed.Add(int64(n))
-	ctx.Elapse(secondsDuration(rate*float64(n)), func() {
-		c.runChunks(ctx, addr+uint64(n), remaining-n, rate, sum, done)
-	})
+	out := c.hash.update(h, view)
+	if c.cache != nil {
+		c.cache.store(m, addr, n, h, out)
+		c.cacheMisses.Inc()
+	}
+	return out
 }
 
-// captureChunks copies live memory chunk by chunk into *out.
-func (c *Checker) captureChunks(ctx *trustzone.Context, addr uint64, remaining int, rate float64, out *[]byte, done func()) {
-	if remaining == 0 {
-		done()
+// captureRun is the pooled state of one in-flight SnapshotHash capture
+// walk, the snapshot-technique analog of hashRun.
+type captureRun struct {
+	c         *Checker
+	ctx       *trustzone.Context
+	addr      uint64
+	remaining int
+	rate      float64
+	buf       []byte
+	done      func([]byte)
+	step      func()
+}
+
+func (c *Checker) getCaptureRun() *captureRun {
+	if n := len(c.captureRuns); n > 0 {
+		r := c.captureRuns[n-1]
+		c.captureRuns = c.captureRuns[:n-1]
+		return r
+	}
+	r := &captureRun{c: c}
+	r.step = r.advance
+	return r
+}
+
+// advance copies the next chunk into the capture buffer at the current
+// virtual instant, then elapses the chunk's copy time.
+func (r *captureRun) advance() {
+	c := r.c
+	if r.remaining == 0 {
+		done, buf := r.done, r.buf
+		r.ctx, r.done, r.buf = nil, nil, nil
+		c.captureRuns = append(c.captureRuns, r)
+		done(buf)
 		return
 	}
 	n := c.chunk
-	if n > remaining {
-		n = remaining
+	if n > r.remaining {
+		n = r.remaining
 	}
-	view, err := c.image.Mem().View(addr, n)
+	view, err := c.image.Mem().View(r.addr, n)
 	if err != nil {
 		panic(fmt.Sprintf("introspect: validated range became unreadable: %v", err))
 	}
-	*out = append(*out, view...)
+	r.buf = append(r.buf, view...)
 	c.bytesCopied.Add(int64(n))
-	ctx.Elapse(secondsDuration(rate*float64(n)), func() {
-		c.captureChunks(ctx, addr+uint64(n), remaining-n, rate, out, done)
-	})
+	d := secondsDuration(r.rate * float64(n))
+	r.addr += uint64(n)
+	r.remaining -= n
+	r.ctx.Elapse(d, r.step)
+}
+
+// getBuf returns a capture buffer with capacity >= n and length 0, reusing
+// a pooled one when possible.
+func (c *Checker) getBuf(n int) []byte {
+	for k := len(c.bufs) - 1; k >= 0; k-- {
+		if b := c.bufs[k]; cap(b) >= n {
+			c.bufs = append(c.bufs[:k], c.bufs[k+1:]...)
+			return b[:0]
+		}
+	}
+	return make([]byte, 0, n)
+}
+
+// putBuf returns a capture buffer to the pool once its snapshot has been
+// analyzed.
+func (c *Checker) putBuf(b []byte) {
+	c.bufs = append(c.bufs, b)
 }
 
 func secondsDuration(s float64) time.Duration {

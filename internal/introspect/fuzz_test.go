@@ -41,6 +41,34 @@ func FuzzHashIncremental(f *testing.F) {
 	})
 }
 
+// FuzzHashWordWide fuzzes the word-wide kernels against the byte-at-a-time
+// references from arbitrary states: the optimization must be bit-identical
+// for every (seed, data, offset) — offsets exercise tails of every residue
+// mod 8 and misaligned starts.
+func FuzzHashWordWide(f *testing.F) {
+	f.Add(uint64(Djb2Seed), []byte("the quick brown fox jumps over"), 0)
+	f.Add(uint64(FNV1aSeed), []byte{0xFF, 0x00, 0x80, 0x7F, 1, 2, 3, 4, 5}, 3)
+	f.Add(uint64(0), []byte{}, 0)
+	f.Add(^uint64(0), []byte("0123456789abcdef"), 7)
+	f.Fuzz(func(t *testing.T, h uint64, data []byte, off int) {
+		if off < 0 {
+			off = -off
+		}
+		if len(data) > 0 {
+			off %= len(data) + 1
+		} else {
+			off = 0
+		}
+		sub := data[off:]
+		if got, want := Djb2Update(h, sub), djb2UpdateRef(h, sub); got != want {
+			t.Fatalf("Djb2Update(h=%#x, len=%d) = %#x, ref %#x", h, len(sub), got, want)
+		}
+		if got, want := FNV1aUpdate(h, sub), fnv1aUpdateRef(h, sub); got != want {
+			t.Fatalf("FNV1aUpdate(h=%#x, len=%d) = %#x, ref %#x", h, len(sub), got, want)
+		}
+	})
+}
+
 // FuzzDjb2Sensitivity fuzzes that flipping any single byte changes the
 // digest — the property every integrity alarm in the system rests on.
 func FuzzDjb2Sensitivity(f *testing.F) {

@@ -6,14 +6,57 @@
 // checker that TZ-Evader defeats.
 package introspect
 
+import "encoding/binary"
+
 // Djb2Seed is the djb2 initial value ("hash = 5381").
 const Djb2Seed uint64 = 5381
+
+// Powers of the djb2 multiplier, precomputed so the word-wide kernel can
+// fold 8 bytes per iteration: applying h = h*33 + c eight times expands to
+// h*33^8 + c0*33^7 + c1*33^6 + … + c7, and every multiply below is
+// independent of the others, so the CPU pipelines them. All arithmetic is
+// mod 2^64 either way, which is what makes the expansion bit-identical to
+// the byte loop (proved exhaustively and by fuzzing in hash_test.go).
+const (
+	djb2p1 = 33
+	djb2p2 = djb2p1 * 33
+	djb2p3 = djb2p2 * 33
+	djb2p4 = djb2p3 * 33
+	djb2p5 = djb2p4 * 33
+	djb2p6 = djb2p5 * 33
+	djb2p7 = djb2p6 * 33
+	djb2p8 = djb2p7 * 33
+)
 
 // Djb2Update folds data into h with the classic djb2 step
 // (hash = hash*33 + c), the hash function the paper's prototype uses
 // (§IV-B1, citing Bernstein via the "Hash functions" page). The 64-bit
-// variant keeps collisions irrelevant at kernel scale.
+// variant keeps collisions irrelevant at kernel scale. The kernel processes
+// 8 bytes per iteration using the precomputed multiplier powers; the result
+// is bit-identical to djb2UpdateRef.
 func Djb2Update(h uint64, data []byte) uint64 {
+	for len(data) >= 8 {
+		w := binary.LittleEndian.Uint64(data)
+		h = h*djb2p8 +
+			uint64(byte(w))*djb2p7 +
+			uint64(byte(w>>8))*djb2p6 +
+			uint64(byte(w>>16))*djb2p5 +
+			uint64(byte(w>>24))*djb2p4 +
+			uint64(byte(w>>32))*djb2p3 +
+			uint64(byte(w>>40))*djb2p2 +
+			uint64(byte(w>>48))*djb2p1 +
+			uint64(byte(w>>56))
+		data = data[8:]
+	}
+	for _, c := range data {
+		h = h*33 + uint64(c)
+	}
+	return h
+}
+
+// djb2UpdateRef is the byte-at-a-time reference the word-wide kernel is
+// proved against. Tests only.
+func djb2UpdateRef(h uint64, data []byte) uint64 {
 	for _, c := range data {
 		h = h*33 + uint64(c)
 	}
@@ -35,8 +78,33 @@ const (
 // FNV1aSeed is the FNV-1a initial value.
 const FNV1aSeed = fnvOffset
 
-// FNV1aUpdate folds data into h with FNV-1a.
+// FNV1aUpdate folds data into h with FNV-1a. Unlike djb2, the xor-multiply
+// step does not distribute over a word, so the kernel loads 8 bytes at a
+// time and unrolls the eight dependent steps — same arithmetic, one bounds
+// check per word instead of per byte. Bit-identical to fnv1aUpdateRef.
 func FNV1aUpdate(h uint64, data []byte) uint64 {
+	for len(data) >= 8 {
+		w := binary.LittleEndian.Uint64(data)
+		h = (h ^ uint64(byte(w))) * fnvPrime
+		h = (h ^ uint64(byte(w>>8))) * fnvPrime
+		h = (h ^ uint64(byte(w>>16))) * fnvPrime
+		h = (h ^ uint64(byte(w>>24))) * fnvPrime
+		h = (h ^ uint64(byte(w>>32))) * fnvPrime
+		h = (h ^ uint64(byte(w>>40))) * fnvPrime
+		h = (h ^ uint64(byte(w>>48))) * fnvPrime
+		h = (h ^ uint64(byte(w>>56))) * fnvPrime
+		data = data[8:]
+	}
+	for _, c := range data {
+		h ^= uint64(c)
+		h *= fnvPrime
+	}
+	return h
+}
+
+// fnv1aUpdateRef is the byte-at-a-time reference the word-wide kernel is
+// proved against. Tests only.
+func fnv1aUpdateRef(h uint64, data []byte) uint64 {
 	for _, c := range data {
 		h ^= uint64(c)
 		h *= fnvPrime

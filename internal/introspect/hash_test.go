@@ -46,6 +46,49 @@ func TestHashIncrementalEqualsWhole(t *testing.T) {
 	}
 }
 
+// TestWordWideKernelsExhaustiveSmall proves the 8-byte kernels bit-identical
+// to the byte-at-a-time references on every length from 0 through 33 (both
+// sides of the word boundary, plus tails of every residue) with varied
+// contents and seeds, and on every possible single byte.
+func TestWordWideKernelsExhaustiveSmall(t *testing.T) {
+	seeds := []uint64{0, Djb2Seed, FNV1aSeed, ^uint64(0), 0x0123456789abcdef}
+	for n := 0; n <= 33; n++ {
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = byte(i*37 + 11)
+		}
+		for _, h := range seeds {
+			if got, want := Djb2Update(h, data), djb2UpdateRef(h, data); got != want {
+				t.Fatalf("Djb2Update(h=%#x, len=%d) = %#x, ref %#x", h, n, got, want)
+			}
+			if got, want := FNV1aUpdate(h, data), fnv1aUpdateRef(h, data); got != want {
+				t.Fatalf("FNV1aUpdate(h=%#x, len=%d) = %#x, ref %#x", h, n, got, want)
+			}
+		}
+	}
+	for b := 0; b < 256; b++ {
+		data := []byte{byte(b)}
+		if got, want := Djb2Update(Djb2Seed, data), djb2UpdateRef(Djb2Seed, data); got != want {
+			t.Fatalf("Djb2Update single byte %#x = %#x, ref %#x", b, got, want)
+		}
+		if got, want := FNV1aUpdate(FNV1aSeed, data), fnv1aUpdateRef(FNV1aSeed, data); got != want {
+			t.Fatalf("FNV1aUpdate single byte %#x = %#x, ref %#x", b, got, want)
+		}
+	}
+}
+
+// TestWordWideKernelsProperty: same bit-identity over arbitrary data and
+// seeds, including word-aligned interior slices.
+func TestWordWideKernelsProperty(t *testing.T) {
+	f := func(h uint64, data []byte) bool {
+		return Djb2Update(h, data) == djb2UpdateRef(h, data) &&
+			FNV1aUpdate(h, data) == fnv1aUpdateRef(h, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestHashDetectsSingleBitFlip(t *testing.T) {
 	data := make([]byte, 4096)
 	for i := range data {

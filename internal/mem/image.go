@@ -1,6 +1,7 @@
 package mem
 
 import (
+	"encoding/binary"
 	"fmt"
 )
 
@@ -65,9 +66,13 @@ func (im *Image) fill(seed uint64) {
 		return z ^ (z >> 31)
 	}
 	data := im.mem.data[:im.layout.TotalSize()]
-	for i := 0; i < len(data); i += 8 {
+	i := 0
+	for ; i+8 <= len(data); i += 8 {
+		binary.LittleEndian.PutUint64(data[i:], next())
+	}
+	if i < len(data) {
 		v := next()
-		for j := 0; j < 8 && i+j < len(data); j++ {
+		for j := 0; i+j < len(data); j++ {
 			data[i+j] = byte(v >> (8 * j))
 		}
 	}

@@ -446,3 +446,138 @@ func TestLayoutValidateCatchesDefects(t *testing.T) {
 		})
 	}
 }
+
+func TestPageGenerationsTrackWrites(t *testing.T) {
+	m, err := NewMemory(0x8000, 3*PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := uint64(0x8000)
+	if g := m.PageGen(base); g != 0 {
+		t.Fatalf("fresh page generation = %d, want 0", g)
+	}
+	// A write inside one page bumps that page only.
+	if err := m.Write(base+10, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if g := m.PageGen(base); g != 1 {
+		t.Fatalf("page 0 generation = %d, want 1", g)
+	}
+	if g := m.PageGen(base + PageSize); g != 0 {
+		t.Fatalf("untouched page 1 generation = %d, want 0", g)
+	}
+	// A straddling write bumps every page it touches, once each.
+	if err := m.Write(base+PageSize-2, make([]byte, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if g0, g1 := m.PageGen(base), m.PageGen(base+PageSize); g0 != 2 || g1 != 1 {
+		t.Fatalf("straddle generations = %d,%d, want 2,1", g0, g1)
+	}
+	// PutUint64 routes through Write and counts too.
+	if err := m.PutUint64(base+2*PageSize, 42); err != nil {
+		t.Fatal(err)
+	}
+	if g := m.PageGen(base + 2*PageSize); g != 1 {
+		t.Fatalf("page 2 generation after PutUint64 = %d, want 1", g)
+	}
+	// Zero-length writes bump nothing.
+	if err := m.Write(base, nil); err != nil {
+		t.Fatal(err)
+	}
+	if g := m.PageGen(base); g != 2 {
+		t.Fatalf("page 0 generation after empty write = %d, want 2", g)
+	}
+	// Out-of-range addresses report 0 rather than panicking.
+	if g := m.PageGen(base - 1); g != 0 {
+		t.Fatalf("below-base generation = %d, want 0", g)
+	}
+	if g := m.PageGen(base + 100*PageSize); g != 0 {
+		t.Fatalf("above-end generation = %d, want 0", g)
+	}
+}
+
+func TestGenSumAndGenerations(t *testing.T) {
+	m, err := NewMemory(0, 4*PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := m.GenSum(0, 4*PageSize); s != 0 {
+		t.Fatalf("fresh GenSum = %d, want 0", s)
+	}
+	if s := m.GenSum(0, 0); s != 0 {
+		t.Fatalf("empty-range GenSum = %d, want 0", s)
+	}
+	for i := 0; i < 3; i++ {
+		if err := m.Write(PageSize, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Write(3*PageSize, []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	// GenSum over all pages = 3 (page 1) + 1 (page 3).
+	if s := m.GenSum(0, 4*PageSize); s != 4 {
+		t.Fatalf("GenSum all = %d, want 4", s)
+	}
+	// A sub-range that misses page 3 sums only page 1's writes.
+	if s := m.GenSum(0, 2*PageSize); s != 3 {
+		t.Fatalf("GenSum pages 0-1 = %d, want 3", s)
+	}
+	// A one-byte range at the end of page 1 still sees its generation.
+	if s := m.GenSum(2*PageSize-1, 1); s != 3 {
+		t.Fatalf("GenSum last byte of page 1 = %d, want 3", s)
+	}
+	gens, err := m.Generations(0, 4*PageSize, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{0, 3, 0, 1}
+	if len(gens) != len(want) {
+		t.Fatalf("Generations returned %d pages, want %d", len(gens), len(want))
+	}
+	for i, g := range gens {
+		if g != want[i] {
+			t.Fatalf("Generations[%d] = %d, want %d", i, g, want[i])
+		}
+	}
+	// Reuses dst without reallocating when capacity suffices.
+	buf := make([]uint64, 0, 8)
+	got, err := m.Generations(0, 4*PageSize, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Error("Generations reallocated despite sufficient dst capacity")
+	}
+	if _, err := m.Generations(0, 5*PageSize, nil); err == nil {
+		t.Error("out-of-range Generations must error")
+	}
+}
+
+func TestSnapshotIntoMatchesSnapshot(t *testing.T) {
+	m, err := NewMemory(0x1000, 2*PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 300)
+	for i := range data {
+		data[i] = byte(i * 13)
+	}
+	if err := m.Write(0x1100, data); err != nil {
+		t.Fatal(err)
+	}
+	want, err := m.Snapshot(0x1100, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(data))
+	if err := m.SnapshotInto(0x1100, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, want) {
+		t.Error("SnapshotInto differs from Snapshot")
+	}
+	if err := m.SnapshotInto(0x1000+2*PageSize-1, buf); err == nil {
+		t.Error("out-of-range SnapshotInto must error")
+	}
+}

@@ -18,9 +18,19 @@ import (
 )
 
 // Memory is a contiguous byte-addressable physical memory region.
+//
+// Every mutation through Write (and the helpers built on it) bumps a
+// per-page (4 KiB) generation counter. Generations are the invalidation
+// substrate for anything that caches derived views of memory — the
+// introspection layer's incremental hash cache keys chunk digests on them —
+// and a reusable primitive for future diff-based features: two reads of a
+// page with the same generation are guaranteed byte-identical.
 type Memory struct {
 	base uint64
 	data []byte
+	// gens[p] counts writes that touched page p since boot. The boot-time
+	// fill happens before any observer exists, so it does not count.
+	gens []uint64
 }
 
 // NewMemory allocates a zeroed region of n bytes starting at physical
@@ -29,7 +39,11 @@ func NewMemory(base uint64, n int) (*Memory, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("mem: size %d must be positive", n)
 	}
-	return &Memory{base: base, data: make([]byte, n)}, nil
+	return &Memory{
+		base: base,
+		data: make([]byte, n),
+		gens: make([]uint64, (n+PageSize-1)/PageSize),
+	}, nil
 }
 
 // Base reports the first mapped address.
@@ -75,14 +89,67 @@ func (m *Memory) ByteAt(addr uint64) (byte, error) {
 	return m.data[off], nil
 }
 
-// Write copies data into memory starting at addr.
+// Write copies data into memory starting at addr and bumps the generation
+// of every page the write touches.
 func (m *Memory) Write(addr uint64, data []byte) error {
 	off, err := m.check(addr, len(data))
 	if err != nil {
 		return err
 	}
 	copy(m.data[off:], data)
+	if len(data) > 0 {
+		for p := off / PageSize; p <= (off+len(data)-1)/PageSize; p++ {
+			m.gens[p]++
+		}
+	}
 	return nil
+}
+
+// PageGen reports the generation of the page holding addr: how many writes
+// have touched it since boot. Addresses outside the region report 0.
+func (m *Memory) PageGen(addr uint64) uint64 {
+	if addr < m.base {
+		return 0
+	}
+	p := (addr - m.base) / PageSize
+	if p >= uint64(len(m.gens)) {
+		return 0
+	}
+	return m.gens[p]
+}
+
+// GenSum returns the sum of the generation counters of every page
+// overlapping [addr, addr+n). Because generations only ever increase, the
+// sum changes if and only if some overlapping page was written — a single
+// uint64 compare validates an arbitrary range. The range must be mapped
+// (callers validate once up front); n <= 0 sums to 0.
+func (m *Memory) GenSum(addr uint64, n int) uint64 {
+	if n <= 0 {
+		return 0
+	}
+	off := int(addr - m.base)
+	var sum uint64
+	for p := off / PageSize; p <= (off+n-1)/PageSize; p++ {
+		sum += m.gens[p]
+	}
+	return sum
+}
+
+// Generations appends the generation counters of every page overlapping
+// [addr, addr+n) to dst and returns the extended slice. Callers reuse dst
+// across queries to keep the read path allocation-free.
+func (m *Memory) Generations(addr uint64, n int, dst []uint64) ([]uint64, error) {
+	off, err := m.check(addr, n)
+	if err != nil {
+		return dst, err
+	}
+	if n == 0 {
+		return dst, nil
+	}
+	for p := off / PageSize; p <= (off+n-1)/PageSize; p++ {
+		dst = append(dst, m.gens[p])
+	}
+	return dst, nil
 }
 
 // View returns a read-only view of the n bytes at addr, aliasing the live
@@ -99,13 +166,17 @@ func (m *Memory) View(addr uint64, n int) ([]byte, error) {
 // Snapshot returns an independent copy of the n bytes at addr — the
 // "capture the snapshot" introspection technique of Table I.
 func (m *Memory) Snapshot(addr uint64, n int) ([]byte, error) {
-	v, err := m.View(addr, n)
-	if err != nil {
+	out := make([]byte, n)
+	if err := m.SnapshotInto(addr, out); err != nil {
 		return nil, err
 	}
-	out := make([]byte, n)
-	copy(out, v)
 	return out, nil
+}
+
+// SnapshotInto copies len(buf) bytes at addr into buf, the allocation-free
+// variant of Snapshot for callers that recycle capture buffers.
+func (m *Memory) SnapshotInto(addr uint64, buf []byte) error {
+	return m.Read(addr, buf)
 }
 
 // PutUint64 writes a 64-bit little-endian value (ARM is little-endian).

@@ -92,3 +92,66 @@ func TestMemoryWriteReadProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestGenerationInvalidationProperty is the contract the introspection
+// layer's hash cache is built on: for arbitrary write sequences, GenSum over
+// a range changes if and only if some write overlapped the range's pages —
+// and equal GenSums guarantee byte-identical contents.
+func TestGenerationInvalidationProperty(t *testing.T) {
+	const pages = 8
+	m, err := NewMemory(0x10000, pages*PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The observed range sits in the middle so writes can land on either side.
+	obsAddr := uint64(0x10000 + 2*PageSize + 100)
+	obsLen := 3*PageSize + 50
+	snapshot := func() []byte {
+		out := make([]byte, obsLen)
+		if err := m.Read(obsAddr, out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	prevSum := m.GenSum(obsAddr, obsLen)
+	prevBytes := snapshot()
+	f := func(off uint32, n uint16, fill byte) bool {
+		addr := 0x10000 + uint64(off)%uint64(pages*PageSize-1)
+		size := int(n)%4096 + 1
+		if !m.Contains(addr, size) {
+			size = int(0x10000 + uint64(pages*PageSize) - addr)
+		}
+		data := make([]byte, size)
+		for i := range data {
+			data[i] = fill ^ byte(i)
+		}
+		if err := m.Write(addr, data); err != nil {
+			return false
+		}
+		// Did the write overlap any page of the observed range?
+		obsFirst := (obsAddr - 0x10000) / PageSize
+		obsLast := (obsAddr - 0x10000 + uint64(obsLen) - 1) / PageSize
+		wFirst := (addr - 0x10000) / PageSize
+		wLast := (addr - 0x10000 + uint64(size) - 1) / PageSize
+		overlaps := wFirst <= obsLast && obsFirst <= wLast
+		sum := m.GenSum(obsAddr, obsLen)
+		if overlaps != (sum != prevSum) {
+			return false
+		}
+		bytes := snapshot()
+		if sum == prevSum {
+			// Unchanged sum must mean unchanged bytes (the cache soundness
+			// direction; the converse may not hold and need not).
+			for i := range bytes {
+				if bytes[i] != prevBytes[i] {
+					return false
+				}
+			}
+		}
+		prevSum, prevBytes = sum, bytes
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -344,3 +344,126 @@ func TestDistDrawProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestScheduleNoHandleOrdering(t *testing.T) {
+	// Schedule/ScheduleAfter interleave with At/After in strict (time, seq)
+	// order: the no-handle fast path must not perturb determinism.
+	e := NewEngine()
+	var got []int
+	e.Schedule(20, "c", func() { got = append(got, 3) })
+	e.At(10, "a", func() { got = append(got, 1) })
+	e.ScheduleAfter(10, "b", func() { got = append(got, 2) }) // same instant as "a", scheduled later
+	e.ScheduleAfter(30, "d", func() { got = append(got, 4) })
+	e.Run()
+	want := []int{1, 2, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fire order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestHandleSemanticsUnderRecycling(t *testing.T) {
+	// Event structs are recycled after firing. A Handle taken before the fire
+	// must keep reporting its own event's fate even when the struct now hosts
+	// a different event.
+	e := NewEngine()
+	fired := map[string]bool{}
+	h1 := e.At(10, "first", func() { fired["first"] = true })
+	e.Run()
+	if !fired["first"] {
+		t.Fatal("first event never fired")
+	}
+	// The recycled struct now hosts "second".
+	h2 := e.At(20, "second", func() { fired["second"] = true })
+	// Canceling the stale handle must not withdraw the new occupant.
+	h1.Cancel()
+	if h1.Canceled() {
+		t.Error("cancel after fire must be a no-op")
+	}
+	if h1.When() != 10 {
+		t.Errorf("stale handle When = %v, want its own instant 10", h1.When())
+	}
+	e.Run()
+	if !fired["second"] {
+		t.Error("stale-handle Cancel withdrew a recycled event")
+	}
+	if h2.Canceled() {
+		t.Error("live handle reports canceled")
+	}
+	if h2.When() != 20 {
+		t.Errorf("h2.When = %v, want 20", h2.When())
+	}
+}
+
+func TestCancelChurnKeepsQueueBounded(t *testing.T) {
+	// The rearm pattern (schedule far out, cancel, reschedule) used to leave
+	// every canceled event in the heap until its instant passed. With
+	// compaction the pending count stays proportional to the live events.
+	e := NewEngine()
+	fires := 0
+	e.Schedule(1_000_000, "anchor", func() { fires++ })
+	for i := 0; i < 10_000; i++ {
+		h := e.At(Time(500_000+i), "churn", func() { t.Error("canceled event fired") })
+		h.Cancel()
+		if p := e.Pending(); p > 2*compactMinCanceled+2 {
+			t.Fatalf("after %d cancels, %d events pending; compaction not bounding the heap", i+1, p)
+		}
+	}
+	e.Run()
+	if fires != 1 {
+		t.Errorf("anchor fired %d times, want 1", fires)
+	}
+	if e.Pending() != 0 {
+		t.Errorf("%d events pending after drain", e.Pending())
+	}
+}
+
+func TestCompactionPreservesFireOrder(t *testing.T) {
+	// Interleave live and canceled events so compaction triggers mid-build,
+	// then verify the survivors still fire in exact (time, seq) order.
+	e := NewEngine()
+	var got []Time
+	for i := 0; i < 500; i++ {
+		when := Time((i*7919)%1000 + 1) // scrambled instants
+		if i%3 == 0 {
+			e.At(when, "live", func() { got = append(got, e.Now()) })
+		} else {
+			e.At(when, "doomed", func() { t.Error("canceled event fired") }).Cancel()
+		}
+	}
+	e.Run()
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("events fired out of order: %v after %v", got[i], got[i-1])
+		}
+	}
+	if len(got) != 167 {
+		t.Errorf("fired %d live events, want 167", len(got))
+	}
+}
+
+func TestSteadyStateSchedulingDoesNotAllocate(t *testing.T) {
+	e := NewEngine()
+	var tick func()
+	n := 0
+	tick = func() {
+		if n++; n < 1000 {
+			e.ScheduleAfter(10, "tick", tick)
+		}
+	}
+	e.ScheduleAfter(10, "tick", tick)
+	allocs := testing.AllocsPerRun(1, func() {
+		n = 0
+		e.ScheduleAfter(10, "tick", tick)
+		e.Run()
+	})
+	// The free list makes the periodic-event steady state allocation-free;
+	// allow a fraction for the run's warm-up.
+	if allocs > 5 {
+		t.Errorf("steady-state run allocated %.0f times for 1000 events", allocs)
+	}
+}

@@ -1,9 +1,13 @@
 package simclock
 
-// event is a single scheduled callback.
+// event is a single scheduled callback. Event structs are owned by the
+// engine and recycled through a free list once they fire or are discarded;
+// gen counts reuses so stale Handles (see clock.go) can detect that their
+// event has moved on.
 type event struct {
 	when     Time
 	seq      uint64
+	gen      uint64
 	name     string
 	fn       func()
 	canceled bool
@@ -39,6 +43,14 @@ func (q *eventQueue) push(ev *event) {
 	q.up(ev.index)
 }
 
+// peek returns the earliest event without removing it, or nil if empty.
+func (q *eventQueue) peek() *event {
+	if len(q.items) == 0 {
+		return nil
+	}
+	return q.items[0]
+}
+
 // pop removes and returns the earliest event, or nil if the queue is empty.
 func (q *eventQueue) pop() *event {
 	if len(q.items) == 0 {
@@ -56,16 +68,30 @@ func (q *eventQueue) pop() *event {
 	return top
 }
 
-// peek returns the earliest non-canceled event without removing it, lazily
-// discarding canceled events it encounters at the top.
-func (q *eventQueue) peek() *event {
-	for len(q.items) > 0 && q.items[0].canceled {
-		q.pop()
+// compact removes every canceled event from the heap in one pass, handing
+// each to recycle, then re-establishes the heap property. Firing order is
+// unaffected: canceled events would never fire, and the survivors' pop
+// order is fully determined by the (when, seq) comparator regardless of
+// internal array layout.
+func (q *eventQueue) compact(recycle func(*event)) {
+	kept := q.items[:0]
+	for _, ev := range q.items {
+		if ev.canceled {
+			recycle(ev)
+			continue
+		}
+		kept = append(kept, ev)
 	}
-	if len(q.items) == 0 {
-		return nil
+	for i := len(kept); i < len(q.items); i++ {
+		q.items[i] = nil
 	}
-	return q.items[0]
+	q.items = kept
+	for i, ev := range q.items {
+		ev.index = i
+	}
+	for i := len(q.items)/2 - 1; i >= 0; i-- {
+		q.down(i)
+	}
 }
 
 func (q *eventQueue) up(i int) {

@@ -92,6 +92,9 @@ type (
 	OS = richos.OS
 	// Monitor is the EL3 secure monitor.
 	Monitor = trustzone.Monitor
+	// Checker is the secure-world memory checker both SATIN and the
+	// baseline hash through.
+	Checker = introspect.Checker
 	// Baseline is the pre-SATIN periodic full-kernel checker.
 	Baseline = introspect.Baseline
 	// BaselineConfig tunes it.
@@ -306,6 +309,7 @@ type options struct {
 	routing       trustzone.RoutingMode
 	floodRate     float64
 	noObs         bool
+	noHashCache   bool
 	faults        faultinject.Plan
 }
 
@@ -374,6 +378,17 @@ func WithObservability(enabled bool) Option {
 	return func(o *options) { o.noObs = !enabled }
 }
 
+// WithHashCache enables or disables the checker's incremental hash cache.
+// It is enabled by default and never changes results — cached and uncached
+// checks return bit-identical sums at identical virtual instants (the cache
+// is validated by per-page write generations at the moment each chunk would
+// have been read). Disabling it forces every chunk to be re-hashed, which is
+// only useful for measuring the cache's speedup or cross-checking its
+// transparency, as the golden regression tests do.
+func WithHashCache(enabled bool) Option {
+	return func(o *options) { o.noHashCache = !enabled }
+}
+
 // WithFlood starts the §V-B SGI interrupt flood at boot, at the given
 // per-core rate (interrupts/second).
 func WithFlood(rate float64) Option {
@@ -433,6 +448,7 @@ func NewScenario(opts ...Option) (*Scenario, error) {
 	if err != nil {
 		return nil, err
 	}
+	checker.SetHashCache(!o.noHashCache)
 	sc := &Scenario{
 		seed:     o.seed,
 		engine:   engine,
@@ -575,6 +591,10 @@ func (s *Scenario) OS() *OS { return s.os }
 
 // Monitor returns the secure monitor.
 func (s *Scenario) Monitor() *Monitor { return s.monitor }
+
+// Checker returns the secure-world memory checker, for inspecting the
+// incremental hash cache (CacheStats, HashCacheEnabled) and the hash kind.
+func (s *Scenario) Checker() *Checker { return s.checker }
 
 // SATIN returns the SATIN service, or nil if not installed.
 func (s *Scenario) SATIN() *SATIN { return s.satin }

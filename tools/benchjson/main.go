@@ -1,0 +1,166 @@
+// Command benchjson merges two `go test -bench` outputs — a committed
+// baseline and a fresh run — into a machine-readable benchmark artifact
+// (BENCH_*.json). It exists so performance claims in this repository are
+// reproducible numbers, not prose: the baseline text is checked in next to
+// the goldens, and re-running `make bench-json` regenerates the artifact
+// with the current tree's numbers and the derived speedups.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed benchmark result.
+type Sample struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Extra holds custom b.ReportMetric values (unit -> value).
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Entry pairs baseline and current samples for one benchmark.
+type Entry struct {
+	Name     string  `json:"name"`
+	Baseline *Sample `json:"baseline,omitempty"`
+	Current  *Sample `json:"current,omitempty"`
+	// SpeedupNs is baseline ns/op divided by current ns/op.
+	SpeedupNs float64 `json:"speedup_ns_per_op,omitempty"`
+	// AllocsReductionPct is the percentage drop in allocs/op vs baseline.
+	AllocsReductionPct float64 `json:"allocs_reduction_pct,omitempty"`
+}
+
+// Artifact is the emitted JSON document.
+type Artifact struct {
+	Tool        string  `json:"tool"`
+	GoVersion   string  `json:"go_version"`
+	GOOS        string  `json:"goos"`
+	GOARCH      string  `json:"goarch"`
+	Description string  `json:"description"`
+	Benchmarks  []Entry `json:"benchmarks"`
+}
+
+// parseBench extracts benchmark samples from `go test -bench` output. Lines
+// that are not benchmark results are ignored. The per-GOMAXPROCS suffix
+// (Benchmark-8) is stripped so names compare across machines.
+func parseBench(path string) (map[string]*Sample, []string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	out := make(map[string]*Sample)
+	var order []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		s := &Sample{}
+		// fields[1] is the iteration count; the rest are value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s: bad value %q for %s", path, fields[i], name)
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				s.NsPerOp = v
+			case "B/op":
+				s.BytesPerOp = v
+			case "allocs/op":
+				s.AllocsPerOp = v
+			case "MB/s":
+				// throughput is derivable from ns/op; skip
+			default:
+				if s.Extra == nil {
+					s.Extra = make(map[string]float64)
+				}
+				s.Extra[unit] = v
+			}
+		}
+		if _, seen := out[name]; !seen {
+			order = append(order, name)
+		}
+		out[name] = s // last sample wins if -count > 1
+	}
+	return out, order, sc.Err()
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "", "committed `go test -bench` output to compare against")
+	currentPath := flag.String("current", "", "fresh `go test -bench` output")
+	outPath := flag.String("out", "", "output JSON path (default stdout)")
+	desc := flag.String("desc", "", "one-line description embedded in the artifact")
+	flag.Parse()
+	if *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -current is required")
+		os.Exit(2)
+	}
+	current, order, err := parseBench(*currentPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(current) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines in", *currentPath)
+		os.Exit(1)
+	}
+	baseline := map[string]*Sample{}
+	if *baselinePath != "" {
+		baseline, _, err = parseBench(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
+	art := Artifact{
+		Tool:        "tools/benchjson",
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		Description: *desc,
+	}
+	for _, name := range order {
+		e := Entry{Name: name, Current: current[name]}
+		if b, ok := baseline[name]; ok {
+			e.Baseline = b
+			if e.Current.NsPerOp > 0 {
+				e.SpeedupNs = b.NsPerOp / e.Current.NsPerOp
+			}
+			if b.AllocsPerOp > 0 {
+				e.AllocsReductionPct = 100 * (1 - e.Current.AllocsPerOp/b.AllocsPerOp)
+			}
+		}
+		art.Benchmarks = append(art.Benchmarks, e)
+	}
+	buf, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *outPath == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*outPath, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
