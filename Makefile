@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race determinism sweep-check trace-check sensitivity-smoke docs-check cover bench bench-json bench-smoke profile ci
+.PHONY: all build vet test race determinism sweep-check trace-check profile-smoke sensitivity-smoke docs-check cover bench bench-json bench-smoke profile ci
 
 all: build test
 
@@ -40,6 +40,19 @@ trace-check:
 	$(GO) run ./cmd/satin-sim -scans 1 -tp 1s -trace-out /tmp/trace.jsonl > /dev/null
 	$(GO) run ./cmd/satin-sim -lint-trace /tmp/trace.jsonl
 
+# Profiler smoke: run with the span profiler attached, emit every derived
+# artifact (JSONL trace, Chrome/Perfetto trace, attribution table), lint
+# both trace formats, and require a self-diff to report zero divergence.
+profile-smoke:
+	$(GO) run ./cmd/satin-sim -scans 1 -tp 1s \
+		-trace-out /tmp/profile_smoke.jsonl \
+		-chrome-trace /tmp/profile_smoke_chrome.json \
+		-profile-out /tmp/profile_smoke_attribution.txt > /dev/null
+	$(GO) run ./cmd/satin-sim -lint-trace /tmp/profile_smoke.jsonl
+	$(GO) run ./cmd/satin-sim -lint-chrome /tmp/profile_smoke_chrome.json
+	$(GO) run ./tools/tracediff /tmp/profile_smoke.jsonl /tmp/profile_smoke.jsonl
+	@echo "profiler artifacts validate; self-diff has zero divergence"
+
 # Fault-injection sensitivity smoke: a reduced sweep (3 magnitudes,
 # 2 seeds, 4 full scans) must complete and still show detection degrading
 # from 100% at magnitude 0 — the shape assertions live in
@@ -73,6 +86,16 @@ bench-json:
 		-desc "hot-path overhaul: incremental hash cache + word-wide kernels + allocation-free scheduling vs pre-overhaul baseline" \
 		-out BENCH_PR4.json
 	@echo "wrote BENCH_PR4.json"
+	# BENCH_PR5.json: the span profiler's attached overhead. Baseline is the
+	# detection benchmark with the profiler detached
+	# (testdata/bench_baseline_pr5.txt); current is the same workload with a
+	# profiler attached, renamed so benchjson pairs the two rows.
+	$(GO) test -run '^$$' -bench 'BenchmarkDetectionProfiled$$' -benchtime 5x -count 1 . \
+		| sed 's/BenchmarkDetectionProfiled/BenchmarkDetection/' | tee /tmp/bench_current_pr5.txt
+	$(GO) run ./tools/benchjson -baseline testdata/bench_baseline_pr5.txt -current /tmp/bench_current_pr5.txt \
+		-desc "span profiler attached vs detached on the detection experiment (block span storage; detached profiler is 0 allocs/op by AllocsPerRun lock)" \
+		-out BENCH_PR5.json
+	@echo "wrote BENCH_PR5.json"
 
 # Quick non-blocking benchmark smoke for CI: one short iteration of every
 # benchmark, checking they still run — not their numbers.

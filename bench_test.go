@@ -177,6 +177,35 @@ func BenchmarkDetection(b *testing.B) {
 	b.ReportMetric(res.MeanFullScanTime.Seconds(), "full-scan-s")
 }
 
+// BenchmarkDetectionProfiled is BenchmarkDetection with the causal span
+// profiler attached — the attached-overhead half of the PR 5 bench guard
+// (make bench-json diffs it against the committed profiler-off baseline;
+// the target is ≤10% ns/op overhead). It reports the same metrics so the
+// two runs pair by name after the sed rename in the Makefile.
+func BenchmarkDetectionProfiled(b *testing.B) {
+	b.ReportAllocs()
+	var res experiment.DetectionResult
+	for i := 0; i < b.N; i++ {
+		cfg := experiment.DefaultDetectionConfig()
+		cfg.Seed = uint64(i + 1)
+		cfg.Profile = true
+		var err error
+		res, err = experiment.RunDetection(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Profile == nil || res.Profile.Rounds != res.Rounds {
+			b.Fatalf("profiled run lost spans: %+v", res.Profile)
+		}
+	}
+	b.ReportMetric(float64(res.Rounds), "rounds")
+	b.ReportMetric(float64(res.Detections), "detections")
+	b.ReportMetric(float64(res.FalseNegatives), "prober-FN")
+	b.ReportMetric(float64(res.FalsePositives), "prober-FP")
+	b.ReportMetric(res.MeanAttackedAreaGap.Seconds(), "area14-gap-s")
+	b.ReportMetric(res.MeanFullScanTime.Seconds(), "full-scan-s")
+}
+
 // BenchmarkFig7Overhead regenerates Figure 7: per-benchmark normalized
 // degradation under SATIN, 1-task and 6-task.
 func BenchmarkFig7Overhead(b *testing.B) {
@@ -427,6 +456,17 @@ func BenchmarkScenario(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			runOnce(b)
+		}
+	})
+	// The span profiler rides on the observability layer; this variant
+	// shows its marginal cost over observability-on. Detached (the two
+	// variants above) it costs zero — every SetProfiler target holds a nil
+	// handle and each emit is one nil check (locked by the profile
+	// package's AllocsPerRun test).
+	b.Run("profiling-on", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			runOnce(b, WithProfiling(true))
 		}
 	})
 }

@@ -80,6 +80,7 @@ func runWith(args []string, out, errOut io.Writer) error {
 	workers := fs.Int("workers", 0, "worker goroutines for multi-seed sweeps (0 = GOMAXPROCS)")
 	progress := fs.Bool("progress", false, "stream per-trial sweep progress to stderr")
 	metricsOut := fs.String("metrics-out", "", "export every sweep's per-seed samples to this CSV file (needs -seeds > 1)")
+	profileOut := fs.String("profile-out", "", "run the profiled detection sweep and write the merged per-core span attribution table to this file")
 
 	steps := allSteps(quick, seeds, workers)
 	// Every experiment name is also a boolean shorthand flag:
@@ -117,7 +118,14 @@ func runWith(args []string, out, errOut io.Writer) error {
 			want[name] = true
 		}
 	}
-	selected := func(name string) bool { return len(want) == 0 || want[name] }
+	// With -profile-out and no experiment named, the profiled sweep IS the
+	// run: don't drag the full suite along.
+	selected := func(name string) bool {
+		if len(want) == 0 {
+			return *profileOut == ""
+		}
+		return want[name]
+	}
 
 	ran := 0
 	var sweeps []*runner.Sweep
@@ -147,6 +155,12 @@ func runWith(args []string, out, errOut io.Writer) error {
 			sweeps = append(sweeps, sw)
 		} else if err := st.fn(out, *seed); err != nil {
 			return fmt.Errorf("%s: %w", st.name, err)
+		}
+		ran++
+	}
+	if *profileOut != "" {
+		if err := writeProfileSweep(out, *profileOut, *seed, *seeds, *workers, *quick); err != nil {
+			return err
 		}
 		ran++
 	}
@@ -189,6 +203,34 @@ func writeSweepCSV(path string, sweeps []*runner.Sweep) error {
 			return fmt.Errorf("writing metrics file: %w", err)
 		}
 	}
+	return nil
+}
+
+// writeProfileSweep runs the §VI-B1 detection experiment with the span
+// profiler attached for every seed, renders the per-seed metric
+// distributions, and writes the seed-merged per-core attribution table to
+// path. The merge is in seed order — byte-identical for any -workers value.
+func writeProfileSweep(out io.Writer, path string, seed uint64, seeds, workers int, quick bool) error {
+	cfg := experiment.DefaultDetectionConfig()
+	cfg.Seed = seed
+	if quick {
+		cfg.FullScans = 2
+	}
+	sw, merged, err := experiment.RunDetectionProfileSweep(context.Background(), cfg, seeds, workers, nil)
+	if err != nil {
+		return err
+	}
+	section(out, fmt.Sprintf("Profiled detection sweep — span attribution merged over %d seed(s)", seeds))
+	fmt.Fprint(out, sw.Render())
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("creating profile file: %w", err)
+	}
+	defer f.Close()
+	if _, err := io.WriteString(f, merged.Render()); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\nprofile: merged attribution for %d seed(s) written to %s\n", seeds, path)
 	return nil
 }
 

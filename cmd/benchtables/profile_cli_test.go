@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunProfileOutWritesMergedAttribution: -profile-out runs the profiled
+// detection sweep alone (no full suite) and writes the merged table.
+func TestRunProfileOutWritesMergedAttribution(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "profile.txt")
+	var out strings.Builder
+	if err := run([]string{"-quick", "-seeds", "2", "-profile-out", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "Profiled detection sweep") {
+		t.Errorf("missing profiled sweep section:\n%s", got)
+	}
+	if strings.Contains(got, "Table I") {
+		t.Errorf("-profile-out alone must not run the full suite:\n%s", got)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Per-core virtual-time attribution (2 seed(s)") {
+		t.Errorf("merged attribution missing or wrong seed count:\n%s", data)
+	}
+}
+
+// TestRunProfileOutDeterministicAcrossWorkers: the written table must be
+// byte-identical for 1 worker and 4.
+func TestRunProfileOutDeterministicAcrossWorkers(t *testing.T) {
+	dir := t.TempDir()
+	render := func(workers string) string {
+		path := filepath.Join(dir, "p"+workers+".txt")
+		var out strings.Builder
+		if err := run([]string{"-quick", "-seeds", "3", "-workers", workers, "-profile-out", path}, &out); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	if one, four := render("1"), render("4"); one != four {
+		t.Fatalf("merged attribution differs across worker counts:\n--- 1 ---\n%s--- 4 ---\n%s", one, four)
+	}
+}
+
+// TestRunProfileOutComposesWithSelection: naming an experiment alongside
+// -profile-out runs both.
+func TestRunProfileOutComposesWithSelection(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "profile.txt")
+	var out strings.Builder
+	if err := run([]string{"-quick", "-recover", "-profile-out", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "Tns_recover") || !strings.Contains(got, "Profiled detection sweep") {
+		t.Errorf("expected both the named experiment and the profiled sweep:\n%s", got)
+	}
+}

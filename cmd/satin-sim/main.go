@@ -14,6 +14,10 @@
 //	satin-sim -lint-trace run.jsonl             # validate a streamed JSONL trace
 //	satin-sim -faults "scale:2"                 # fault-injected run (grammar in EXPERIMENTS.md)
 //	satin-sim -faults "hotplug:core=1,off=30s,on=200s;jitter:0.1"
+//	satin-sim -chrome-trace spans.json          # causal span profile for Perfetto / chrome://tracing
+//	satin-sim -profile-out profile.txt          # per-core virtual-time attribution table
+//	satin-sim -diff a.jsonl b.jsonl             # align two trace exports, report divergence
+//	satin-sim -lint-chrome spans.json           # validate a Chrome trace_event JSON file
 package main
 
 import (
@@ -49,6 +53,11 @@ func run(args []string, out io.Writer) error {
 	traceOut := fs.String("trace-out", "", "stream events live to this file as they happen (.csv for CSV, else JSONL)")
 	metricsOut := fs.String("metrics-out", "", "write the end-of-run metrics snapshot to this file (.csv for CSV, else text)")
 	lintTrace := fs.String("lint-trace", "", "validate a streamed JSONL trace file and exit")
+	chromeTrace := fs.String("chrome-trace", "", "write a Chrome/Perfetto trace_event JSON span profile to this file (attaches the profiler)")
+	profileOut := fs.String("profile-out", "", "write the per-core virtual-time attribution table to this file (attaches the profiler)")
+	diff := fs.String("diff", "", "diff this JSONL trace against the trace given as positional argument, then exit")
+	diffBudget := fs.Duration("diff-budget", 0, "largest per-span timing divergence -diff tolerates (0 = exact)")
+	lintChrome := fs.String("lint-chrome", "", "validate a Chrome trace_event JSON file and exit")
 	routing := fs.String("routing", "nonpreemptive", "NS interrupt routing: nonpreemptive | preemptive")
 	flood := fs.Float64("flood", 0, "SGI flood rate per core (interrupts/s); 0 disables")
 	guard := fs.String("guard", "off", "synchronous guard: off | on | bypassed")
@@ -65,8 +74,30 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "trace ok: %d events in %s\n", events, *lintTrace)
 		return nil
 	}
+	if *lintChrome != "" {
+		f, err := os.Open(*lintChrome)
+		if err != nil {
+			return fmt.Errorf("opening chrome trace: %w", err)
+		}
+		defer f.Close()
+		n, err := satin.ValidateChromeTrace(f)
+		if err != nil {
+			return fmt.Errorf("chrome trace %s: %w", *lintChrome, err)
+		}
+		fmt.Fprintf(out, "chrome trace ok: %d events in %s\n", n, *lintChrome)
+		return nil
+	}
+	if *diff != "" {
+		if fs.NArg() != 1 {
+			return fmt.Errorf("-diff needs exactly one positional trace file to compare against, got %d", fs.NArg())
+		}
+		return diffTraceFiles(out, *diff, fs.Arg(0), *diffBudget)
+	}
 
 	opts := []satin.Option{satin.WithSeed(*seed)}
+	if *chromeTrace != "" || *profileOut != "" {
+		opts = append(opts, satin.WithProfiling(true))
+	}
 	if *faults != "" {
 		plan, err := satin.ParseFaultPlan(*faults)
 		if err != nil {
@@ -212,6 +243,30 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "trace: %d events streamed to %s\n", sink.Events(), *traceOut)
 	}
+	if p := sc.Profiler(); p != nil {
+		if *chromeTrace != "" {
+			f, err := os.Create(*chromeTrace)
+			if err != nil {
+				return fmt.Errorf("creating chrome trace file: %w", err)
+			}
+			defer f.Close()
+			if err := p.WriteChromeTrace(f, rep.Elapsed); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "chrome trace: %d spans written to %s\n", p.SpanCount(), *chromeTrace)
+		}
+		if *profileOut != "" {
+			f, err := os.Create(*profileOut)
+			if err != nil {
+				return fmt.Errorf("creating profile file: %w", err)
+			}
+			defer f.Close()
+			if _, err := io.WriteString(f, p.Summary(rep.Elapsed).Render()); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "profile: %d spans attributed to %s\n", p.SpanCount(), *profileOut)
+		}
+	}
 	if *metricsOut != "" {
 		f, err := os.Create(*metricsOut)
 		if err != nil {
@@ -251,17 +306,48 @@ func run(args []string, out io.Writer) error {
 // lintTraceFile validates a streamed JSONL trace and reports the event
 // count — the CI smoke check for the export path.
 func lintTraceFile(path string) (int, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return 0, fmt.Errorf("opening trace: %w", err)
-	}
-	defer f.Close()
-	events, err := satin.ReadTraceJSONL(f)
+	events, err := readTraceFile(path)
 	if err != nil {
 		return 0, err
 	}
 	if len(events) == 0 {
 		return 0, fmt.Errorf("trace %s contains no events", path)
 	}
+	if err := satin.CheckTraceOrdered(events); err != nil {
+		return 0, fmt.Errorf("trace %s: %w", path, err)
+	}
 	return len(events), nil
+}
+
+// readTraceFile loads a streamed JSONL trace export.
+func readTraceFile(path string) ([]satin.TimelineEvent, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("opening trace: %w", err)
+	}
+	defer f.Close()
+	events, err := satin.ReadTraceJSONL(f)
+	if err != nil {
+		return nil, fmt.Errorf("trace %s: %w", path, err)
+	}
+	return events, nil
+}
+
+// diffTraceFiles aligns two JSONL trace exports and prints the divergence
+// report; a divergence beyond budget is an error (non-zero exit).
+func diffTraceFiles(out io.Writer, pathA, pathB string, budget time.Duration) error {
+	a, err := readTraceFile(pathA)
+	if err != nil {
+		return err
+	}
+	b, err := readTraceFile(pathB)
+	if err != nil {
+		return err
+	}
+	rep := satin.DiffTraces(a, b)
+	fmt.Fprint(out, rep.Render(budget))
+	if !rep.WithinBudget(budget) {
+		return fmt.Errorf("traces %s and %s diverge beyond budget %v", pathA, pathB, budget)
+	}
+	return nil
 }

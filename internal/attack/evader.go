@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"satin/internal/obs"
+	"satin/internal/profile"
 	"satin/internal/richos"
 	"satin/internal/simclock"
 	"satin/internal/trace"
@@ -227,9 +228,19 @@ type Evader struct {
 	clearedAt []simclock.Time
 	events    []Event
 	obs       evaderObs
+	// prof receives evader spans on the dedicated evader track (nil unless
+	// SetProfiler was called). One track for all threads: hide and
+	// reinstall may run on different cores, but the windows themselves are
+	// globally sequential, so they nest there.
+	prof *profile.Profiler
 
 	maxStaleness time.Duration
 }
+
+// SetProfiler attaches the causal span profiler: every hide reaction opens
+// an evasion-window span (closed when the trace is reinstalled) containing
+// hide and reinstall child spans. Passing nil detaches.
+func (e *Evader) SetProfiler(p *profile.Profiler) { e.prof = p }
 
 // Observe wires the evader into the observability layer: every log entry
 // is published to bus and counted in reg. Either argument may be nil.
@@ -360,6 +371,7 @@ func (p *evaderProgram) Next(tc *richos.ThreadContext) richos.Step {
 			panic(fmt.Sprintf("attack: hide failed: %v", err))
 		}
 		e.state = EvaderHidden
+		e.prof.End(profile.SpanEvaderHide, p.myCore, now.Duration())
 		e.log(now, EventHidden, -1)
 	case phaseFinishReinstall:
 		p.phase = phaseProbe
@@ -369,6 +381,8 @@ func (p *evaderProgram) Next(tc *richos.ThreadContext) richos.Step {
 			panic(fmt.Sprintf("attack: reinstall failed: %v", err))
 		}
 		e.state = EvaderAttacking
+		e.prof.End(profile.SpanEvaderReinstall, p.myCore, now.Duration())
+		e.prof.End(profile.SpanEvaderWindow, p.myCore, now.Duration())
 		e.log(now, EventReinstalled, -1)
 	}
 
@@ -426,6 +440,8 @@ func (p *evaderProgram) Next(tc *richos.ThreadContext) richos.Step {
 			e.state = EvaderHiding
 			e.busyCore = p.myCore
 			p.phase = phaseFinishHide
+			e.prof.Begin(profile.SpanEvaderWindow, p.myCore, -1, now.Duration(), "")
+			e.prof.Begin(profile.SpanEvaderHide, p.myCore, -1, now.Duration(), "")
 			return richos.Compute(e.os.Platform().Perf().RecoverTime(coreType, e.rootkit.TraceSize(), e.rng))
 		}
 	case EvaderHidden:
@@ -433,6 +449,7 @@ func (p *evaderProgram) Next(tc *richos.ThreadContext) richos.Step {
 			e.state = EvaderReinstalling
 			e.busyCore = p.myCore
 			p.phase = phaseFinishReinstall
+			e.prof.Begin(profile.SpanEvaderReinstall, p.myCore, -1, now.Duration(), "")
 			return richos.Compute(e.os.Platform().Perf().RecoverTime(coreType, e.rootkit.TraceSize(), e.rng))
 		}
 	}

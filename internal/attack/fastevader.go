@@ -7,6 +7,7 @@ import (
 	"satin/internal/hw"
 	"satin/internal/mem"
 	"satin/internal/obs"
+	"satin/internal/profile"
 	"satin/internal/simclock"
 )
 
@@ -42,7 +43,15 @@ type FastEvader struct {
 	obs         evaderObs
 	pending     map[int]*simclock.Handle // detection events per core
 	started     bool
+	// prof receives evader spans on the dedicated evader track (nil unless
+	// SetProfiler was called; every emit is nil-safe).
+	prof *profile.Profiler
 }
+
+// SetProfiler attaches the causal span profiler: every freeze reaction
+// opens an evasion-window span (closed when the trace is reinstalled)
+// containing hide and reinstall child spans. Passing nil detaches.
+func (f *FastEvader) SetProfiler(p *profile.Profiler) { f.prof = p }
 
 // Observe wires the evader into the observability layer: every log entry
 // is published to bus and counted in reg. Either argument may be nil.
@@ -176,12 +185,16 @@ func (f *FastEvader) detect(id int) {
 // restored.
 func (f *FastEvader) beginHide() {
 	f.state = EvaderHiding
+	now := f.platform.Engine().Now().Duration()
+	f.prof.Begin(profile.SpanEvaderWindow, -1, -1, now, "")
+	f.prof.Begin(profile.SpanEvaderHide, -1, -1, now, "")
 	recover := f.platform.Perf().RecoverTime(f.cleaningCoreType(), f.rootkit.TraceSize(), f.rng)
 	f.platform.Engine().After(recover, "fast-evader-hide", func() {
 		if err := f.rootkit.Hide(f.platform.Engine().Now()); err != nil {
 			panic(fmt.Sprintf("attack: fast hide failed: %v", err))
 		}
 		f.state = EvaderHidden
+		f.prof.End(profile.SpanEvaderHide, -1, f.platform.Engine().Now().Duration())
 		f.log(f.platform.Engine().Now(), EventHidden, -1)
 		// The introspection may already have finished (short rounds):
 		// the comparers see every core alive, so re-arm right away.
@@ -204,6 +217,7 @@ func (f *FastEvader) maybeReinstall() {
 		return
 	}
 	f.state = EvaderReinstalling
+	f.prof.Begin(profile.SpanEvaderReinstall, -1, -1, f.platform.Engine().Now().Duration(), "")
 	recover := f.platform.Perf().RecoverTime(f.cleaningCoreType(), f.rootkit.TraceSize(), f.rng)
 	f.platform.Engine().After(recover, "fast-evader-reinstall", func() {
 		if f.state != EvaderReinstalling {
@@ -212,6 +226,9 @@ func (f *FastEvader) maybeReinstall() {
 		if err := f.rootkit.Install(f.platform.Engine().Now()); err != nil {
 			panic(fmt.Sprintf("attack: fast reinstall failed: %v", err))
 		}
+		now := f.platform.Engine().Now().Duration()
+		f.prof.End(profile.SpanEvaderReinstall, -1, now)
+		f.prof.End(profile.SpanEvaderWindow, -1, now)
 		f.log(f.platform.Engine().Now(), EventReinstalled, -1)
 		// A fresh suspicion may have arrived mid-reinstall: hide again
 		// immediately rather than attacking into a running check.

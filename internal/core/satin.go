@@ -8,6 +8,7 @@ import (
 	"satin/internal/introspect"
 	"satin/internal/mem"
 	"satin/internal/obs"
+	"satin/internal/profile"
 	"satin/internal/simclock"
 	"satin/internal/trace"
 	"satin/internal/trustzone"
@@ -86,6 +87,10 @@ type SATIN struct {
 	areaHists  []*obs.Histogram
 	queueDepth *obs.Gauge
 	rerouteCtr *obs.Counter
+	// prof receives per-round spans, nested inside the monitor's
+	// world-switch span on the same core track (nil unless SetProfiler was
+	// called; every emit is nil-safe).
+	prof *profile.Profiler
 }
 
 // RoundBuckets returns histogram bounds (ns) for per-round check durations:
@@ -156,6 +161,11 @@ func (s *SATIN) Observe(bus *obs.Bus, reg *obs.Registry) {
 	s.rerouteCtr = reg.Counter("satin.rerouted_rounds")
 }
 
+// SetProfiler attaches the causal span profiler: each round becomes a span
+// from area pick to verdict, carrying the area index, nested inside the
+// world switch that hosts it. Passing nil detaches.
+func (s *SATIN) SetProfiler(p *profile.Profiler) { s.prof = p }
+
 // Start performs the trusted-boot initialization: install SATIN as the
 // secure service, build the wake-up queue, and program every
 // participating core's secure timer with its first wake time.
@@ -222,7 +232,7 @@ func (s *SATIN) OnSecureTimer(ctx *trustzone.Context) {
 		ctx.Exit()
 		return
 	}
-	s.runRound(ctx, func(ctx *trustzone.Context) {
+	s.runRound(ctx, "", func(ctx *trustzone.Context) {
 		// §V-C/§V-D: take the next wake time from the queue and restart
 		// this core's own timer; then return to the normal world.
 		if !s.budgetExhausted() {
@@ -246,11 +256,13 @@ func (s *SATIN) OnSecureTimer(ctx *trustzone.Context) {
 // runRound performs one introspection round inside the secure context: pick
 // a random unchecked area, hash it, record the verdict, then hand the
 // context to after (which re-arms a timer or schedules the next re-routed
-// wake, and exits the secure world).
-func (s *SATIN) runRound(ctx *trustzone.Context, after func(*trustzone.Context)) {
+// wake, and exits the secure world). detail annotates the round's profiler
+// span ("" for an ordinary timer-driven round).
+func (s *SATIN) runRound(ctx *trustzone.Context, detail string, after func(*trustzone.Context)) {
 	areaIdx := s.areaSet.Pick()
 	area := s.areas[areaIdx]
 	roundIdx := len(s.rounds)
+	s.prof.Begin(profile.SpanRound, ctx.Core().ID(), areaIdx, ctx.Now().Duration(), detail)
 	err := s.checker.Check(ctx, s.cfg.Technique, area.Addr, area.Size, func(res introspect.Result) {
 		round := Round{
 			Index:    roundIdx,
@@ -262,6 +274,7 @@ func (s *SATIN) runRound(ctx *trustzone.Context, after func(*trustzone.Context))
 			Clean:    res.Sum == s.golden[areaIdx],
 		}
 		s.rounds = append(s.rounds, round)
+		s.prof.End(profile.SpanRound, round.CoreID, res.Finished.Duration())
 		s.roundCtr.Inc()
 		elapsed := int64(round.Elapsed())
 		s.roundHist.Observe(elapsed)
@@ -379,8 +392,15 @@ func (s *SATIN) coverOrphan(owner int) {
 	s.reroutes++
 	s.rerouteCtr.Inc()
 	s.bus.Publish(trace.Event{At: engine.Now().Duration(), Kind: trace.KindFault, Core: cover, Area: -1, Detail: fmt.Sprintf("satin: rerouted round for slot %d", owner)})
+	// The span detail ties the rerouted round back to the fault that caused
+	// it; built only when a profiler is attached so the detached path stays
+	// allocation-free.
+	var spanDetail string
+	if s.prof.Attached() {
+		spanDetail = fmt.Sprintf("rerouted slot %d", owner)
+	}
 	err := s.monitor.RequestSecure(cover, func(ctx *trustzone.Context) {
-		s.runRound(ctx, func(ctx *trustzone.Context) {
+		s.runRound(ctx, spanDetail, func(ctx *trustzone.Context) {
 			// Keep covering while the slot's own core stays offline.
 			if !s.platform.Core(s.partCores[owner]).Online() {
 				s.scheduleOrphan(owner)

@@ -7,6 +7,8 @@ import (
 	"satin/internal/attack"
 	"satin/internal/core"
 	"satin/internal/faultinject"
+	"satin/internal/obs"
+	"satin/internal/profile"
 	"satin/internal/stats"
 )
 
@@ -24,6 +26,10 @@ type DetectionConfig struct {
 	// Faults is the perturbation plan installed over the rig; the zero
 	// plan reproduces the paper's unperturbed run exactly.
 	Faults faultinject.Plan
+	// Profile attaches the causal span profiler to the rig and fills
+	// DetectionResult.Profile. The profiler only observes — the run's
+	// trace, rounds, and verdicts are byte-identical either way.
+	Profile bool
 }
 
 // DefaultDetectionConfig returns the paper's §VI-B1 parameters.
@@ -58,6 +64,9 @@ type DetectionResult struct {
 	// MeanFullScanTime is the average duration of one complete kernel
 	// pass (paper: ≈152 s).
 	MeanFullScanTime time.Duration
+	// Profile is the run's span attribution, present only when
+	// DetectionConfig.Profile was set.
+	Profile *profile.Summary
 }
 
 // Render prints the paper-vs-measured summary.
@@ -102,6 +111,24 @@ func RunDetection(cfg DetectionConfig) (DetectionResult, error) {
 	if err != nil {
 		return DetectionResult{}, err
 	}
+	// The rig path has no observability wiring of its own; when profiling is
+	// requested, hang a private bus off the components so the profiler sees
+	// the alarm/reinstall instants alongside the spans. The profiler only
+	// subscribes, so the run itself is unchanged.
+	var prof *profile.Profiler
+	var bus *obs.Bus
+	if cfg.Profile {
+		bus = obs.NewBus()
+		prof = profile.NewProfiler(rig.Plat.NumCores())
+		bus.Subscribe(prof.OnEvent)
+		rig.Monitor.Observe(bus, nil)
+		satin.Observe(bus, nil)
+		evader.Observe(bus, nil)
+		rig.Monitor.SetProfiler(prof)
+		rig.Checker.SetProfiler(prof)
+		satin.SetProfiler(prof)
+		evader.SetProfiler(prof)
+	}
 	if err := evader.Start(); err != nil {
 		return DetectionResult{}, err
 	}
@@ -110,13 +137,17 @@ func RunDetection(cfg DetectionConfig) (DetectionResult, error) {
 	}
 	// Perturbations compose over the assembled rig; the empty plan installs
 	// nothing and leaves the run byte-identical.
-	if _, err := faultinject.Install(cfg.Faults, rig.Plat, rig.Monitor, cfg.Seed+8, nil, nil); err != nil {
+	if _, err := faultinject.Install(cfg.Faults, rig.Plat, rig.Monitor, cfg.Seed+8, bus, nil); err != nil {
 		return DetectionResult{}, err
 	}
 	rig.Engine.Run()
 
 	rounds := satin.Rounds()
 	result := DetectionResult{Rounds: len(rounds)}
+	if prof.Attached() {
+		s := prof.Summary(rig.Engine.Now().Duration())
+		result.Profile = &s
+	}
 
 	attacked := satin.AreaRounds(14)
 	result.AttackedAreaChecks = len(attacked)

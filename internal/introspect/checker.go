@@ -7,6 +7,7 @@ import (
 	"satin/internal/hw"
 	"satin/internal/mem"
 	"satin/internal/obs"
+	"satin/internal/profile"
 	"satin/internal/simclock"
 	"satin/internal/trustzone"
 )
@@ -81,7 +82,17 @@ type Checker struct {
 	snapshots   *obs.Counter
 	cacheHits   *obs.Counter
 	cacheMisses *obs.Counter
+	// prof receives one completed span per chunk walked (nil unless
+	// SetProfiler was called). The chunk's area is inherited from the
+	// enclosing round span, so the checker never needs to know it.
+	prof *profile.Profiler
 }
+
+// SetProfiler attaches the causal span profiler: every chunk the checker
+// walks — hash fold or snapshot copy — becomes a completed span covering
+// the chunk's virtual read-plus-elapse interval. Passing nil detaches; the
+// detached hot path pays one nil check per chunk.
+func (c *Checker) SetProfiler(p *profile.Profiler) { c.prof = p }
 
 // Observe wires the checker's hot path into the metrics registry: bytes
 // hashed and snapshot-copied are counted per chunk, at the virtual instant
@@ -276,6 +287,10 @@ func (r *hashRun) advance() {
 	r.sum = c.hashChunk(r.addr, n, r.sum)
 	c.bytesHashed.Add(int64(n))
 	d := secondsDuration(r.rate * float64(n))
+	if c.prof != nil {
+		at := r.ctx.Now().Duration()
+		c.prof.Complete(profile.SpanHashChunk, r.ctx.Core().ID(), -1, at, at+d)
+	}
 	r.addr += uint64(n)
 	r.remaining -= n
 	r.ctx.Elapse(d, r.step)
@@ -350,6 +365,10 @@ func (r *captureRun) advance() {
 	r.buf = append(r.buf, view...)
 	c.bytesCopied.Add(int64(n))
 	d := secondsDuration(r.rate * float64(n))
+	if c.prof != nil {
+		at := r.ctx.Now().Duration()
+		c.prof.Complete(profile.SpanSnapshotChunk, r.ctx.Core().ID(), -1, at, at+d)
+	}
 	r.addr += uint64(n)
 	r.remaining -= n
 	r.ctx.Elapse(d, r.step)

@@ -27,9 +27,20 @@ type subscriber struct {
 
 // Bus fans published trace.Events out to subscribers. The zero value and
 // nil are both usable publishers (events go nowhere).
+//
+// Publish is re-entrancy safe: a sink may Subscribe or Unsubscribe (itself
+// or a peer) while a publish is in flight. A subscriber removed mid-publish
+// is not called again for the current event; a subscriber added mid-publish
+// first sees the next event.
 type Bus struct {
 	subs   []subscriber
 	nextID int
+	// publishing counts in-flight Publish frames (sinks can publish
+	// recursively); while non-zero, Unsubscribe tombstones instead of
+	// splicing so the iteration indices stay stable.
+	publishing int
+	// dirty records that at least one tombstone awaits compaction.
+	dirty bool
 }
 
 // NewBus returns an empty bus.
@@ -45,12 +56,20 @@ func (b *Bus) Subscribe(fn SinkFunc) int {
 
 // Unsubscribe removes the subscriber with the given token. Unknown tokens
 // are a no-op. The relative order of the remaining subscribers is kept.
+// During an in-flight Publish the entry is tombstoned (so the iteration's
+// indices stay valid) and compacted away when the outermost publish ends.
 func (b *Bus) Unsubscribe(id int) {
 	for i, s := range b.subs {
-		if s.id == id {
-			b.subs = append(b.subs[:i], b.subs[i+1:]...)
-			return
+		if s.id != id || s.fn == nil {
+			continue
 		}
+		if b.publishing > 0 {
+			b.subs[i].fn = nil
+			b.dirty = true
+		} else {
+			b.subs = append(b.subs[:i], b.subs[i+1:]...)
+		}
+		return
 	}
 }
 
@@ -59,16 +78,42 @@ func (b *Bus) Subscribers() int {
 	if b == nil {
 		return 0
 	}
-	return len(b.subs)
+	n := 0
+	for _, s := range b.subs {
+		if s.fn != nil {
+			n++
+		}
+	}
+	return n
 }
 
 // Publish delivers e to every subscriber in subscription order. It is safe
 // on a nil bus and allocates nothing when no sink is attached.
+//
+// The subscriber list is index-guarded: only entries present when the
+// publish started are delivered to (a Subscribe from inside a sink takes
+// effect from the next event), and entries tombstoned by a mid-publish
+// Unsubscribe are skipped without disturbing their neighbours.
 func (b *Bus) Publish(e trace.Event) {
 	if b == nil || len(b.subs) == 0 {
 		return
 	}
-	for _, s := range b.subs {
-		s.fn(e)
+	b.publishing++
+	n := len(b.subs)
+	for i := 0; i < n; i++ {
+		if fn := b.subs[i].fn; fn != nil {
+			fn(e)
+		}
+	}
+	b.publishing--
+	if b.publishing == 0 && b.dirty {
+		live := b.subs[:0]
+		for _, s := range b.subs {
+			if s.fn != nil {
+				live = append(live, s)
+			}
+		}
+		b.subs = live
+		b.dirty = false
 	}
 }

@@ -1,0 +1,213 @@
+package profile
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+
+	"satin/internal/trace"
+)
+
+// chrome.go emits the span tree in the Chrome trace_event JSON format
+// (the JSON Array Format with "traceEvents", which ui.perfetto.dev and
+// chrome://tracing both load). Mapping:
+//
+//   - pid <core>      = one process per core, named "Core N"
+//   - pid cores       = the evader's own process, named "TZ-Evader"
+//   - tid 0 / tid 1   = the normal / secure world track inside a core
+//   - "X" events      = spans (ts/dur in microseconds of virtual time)
+//   - "i" events      = bus instants (alarms, suspects, faults, ...)
+//   - "M" events      = process_name / thread_name metadata
+//
+// The file is written by hand (no maps, fixed field order, fixed float
+// formatting) so an export is byte-identical across runs and platforms.
+
+const (
+	tidNormal = 0
+	tidSecure = 1
+)
+
+// usec renders a virtual instant as trace_event microseconds with fixed
+// millinanosecond precision ("1947618.933").
+func usec(d time.Duration) string {
+	return strconv.FormatFloat(float64(d)/float64(time.Microsecond), 'f', 3, 64)
+}
+
+func jsonString(s string) string {
+	b, _ := json.Marshal(s)
+	return string(b)
+}
+
+// WriteChromeTrace writes the run's spans and instants as trace_event
+// JSON. Still-open spans are clamped to elapsed. Safe on a nil profiler
+// (writes an empty but valid trace).
+func (p *Profiler) WriteChromeTrace(w io.Writer, elapsed time.Duration) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\"traceEvents\":[\n")
+	first := true
+	emit := func(line string) {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		bw.WriteString(line)
+	}
+
+	cores := 0
+	if p != nil {
+		cores = p.cores
+	}
+	for c := 0; c < cores; c++ {
+		emit(fmt.Sprintf(`{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":"Core %d"}}`, c, c))
+		emit(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":"normal"}}`, c, tidNormal))
+		emit(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":"secure"}}`, c, tidSecure))
+	}
+	if p != nil {
+		ev := p.evaderTrack()
+		emit(fmt.Sprintf(`{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":"TZ-Evader"}}`, ev))
+		emit(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":%d,"tid":0,"args":{"name":"evader"}}`, ev))
+	}
+
+	if p != nil {
+		for _, sp := range p.Spans() {
+			pid := sp.Core
+			tid := tidSecure
+			if t := p.trackFor(sp.Kind, sp.Core); t == p.evaderTrack() {
+				pid, tid = p.evaderTrack(), tidNormal
+			}
+			dur := sp.Duration(elapsed)
+			line := fmt.Sprintf(`{"name":%s,"cat":"span","ph":"X","ts":%s,"dur":%s,"pid":%d,"tid":%d,"args":{"area":%d`,
+				jsonString(sp.Kind.String()), usec(sp.Begin), usec(dur), pid, tid, sp.Area)
+			if sp.Detail != "" {
+				line += `,"detail":` + jsonString(sp.Detail)
+			}
+			if sp.End == OpenEnd {
+				line += `,"clamped":true`
+			}
+			line += "}}"
+			emit(line)
+		}
+		for _, e := range p.instants {
+			pid := e.Core
+			tid := tidNormal
+			if pid < 0 || pid >= p.cores {
+				pid = p.evaderTrack()
+			}
+			line := fmt.Sprintf(`{"name":%s,"cat":"event","ph":"i","s":"t","ts":%s,"pid":%d,"tid":%d,"args":{"area":%d`,
+				jsonString(string(e.Kind)), usec(e.At), pid, tid, e.Area)
+			if e.Detail != "" {
+				line += `,"detail":` + jsonString(e.Detail)
+			}
+			line += "}}"
+			emit(line)
+		}
+	}
+
+	bw.WriteString("\n],\"displayTimeUnit\":\"ms\"}\n")
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("profile: writing chrome trace: %w", err)
+	}
+	return nil
+}
+
+// chromeEvent mirrors the trace_event fields ValidateChromeTrace checks.
+type chromeEvent struct {
+	Name string   `json:"name"`
+	Ph   string   `json:"ph"`
+	Ts   *float64 `json:"ts"`
+	Dur  *float64 `json:"dur"`
+	Pid  *int     `json:"pid"`
+	Tid  *int     `json:"tid"`
+}
+
+type chromeFile struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+// ValidateChromeTrace parses r as trace_event JSON and checks the
+// invariants Perfetto's importer relies on: the traceEvents array exists,
+// every event has a name and a known phase, "X" events carry ts/dur/pid/
+// tid with non-negative values, and the complete events on each (pid, tid)
+// track nest properly — a span overlaps another only by full containment.
+// It returns the number of events checked.
+func ValidateChromeTrace(r io.Reader) (int, error) {
+	var f chromeFile
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&f); err != nil {
+		return 0, fmt.Errorf("profile: chrome trace is not valid JSON: %w", err)
+	}
+	if f.TraceEvents == nil {
+		return 0, fmt.Errorf("profile: chrome trace has no traceEvents array")
+	}
+	type interval struct{ begin, end float64 }
+	tracks := map[[2]int][]interval{}
+	var trackKeys [][2]int
+	for i, e := range f.TraceEvents {
+		if e.Name == "" {
+			return 0, fmt.Errorf("profile: event %d has no name", i)
+		}
+		switch e.Ph {
+		case "M":
+			continue
+		case "i", "I":
+			if e.Ts == nil || *e.Ts < 0 {
+				return 0, fmt.Errorf("profile: instant event %d (%s) lacks a non-negative ts", i, e.Name)
+			}
+		case "X":
+			if e.Ts == nil || e.Dur == nil || e.Pid == nil || e.Tid == nil {
+				return 0, fmt.Errorf("profile: complete event %d (%s) must carry ts, dur, pid, tid", i, e.Name)
+			}
+			if *e.Ts < 0 || *e.Dur < 0 {
+				return 0, fmt.Errorf("profile: complete event %d (%s) has negative ts or dur", i, e.Name)
+			}
+			k := [2]int{*e.Pid, *e.Tid}
+			if _, ok := tracks[k]; !ok {
+				trackKeys = append(trackKeys, k)
+			}
+			tracks[k] = append(tracks[k], interval{*e.Ts, *e.Ts + *e.Dur})
+		default:
+			return 0, fmt.Errorf("profile: event %d (%s) has unsupported phase %q", i, e.Name, e.Ph)
+		}
+	}
+	// Nesting check per track: sort by (begin asc, end desc) and run a
+	// stack of enclosing intervals. eps absorbs the ns→µs float rounding.
+	const eps = 0.002
+	for _, k := range trackKeys {
+		iv := tracks[k]
+		sort.Slice(iv, func(i, j int) bool {
+			if iv[i].begin != iv[j].begin {
+				return iv[i].begin < iv[j].begin
+			}
+			return iv[i].end > iv[j].end
+		})
+		var stack []interval
+		for _, cur := range iv {
+			for len(stack) > 0 && stack[len(stack)-1].end <= cur.begin+eps {
+				stack = stack[:len(stack)-1]
+			}
+			if len(stack) > 0 && cur.end > stack[len(stack)-1].end+eps {
+				return 0, fmt.Errorf("profile: track pid=%d tid=%d: span [%f,%f] partially overlaps [%f,%f]",
+					k[0], k[1], cur.begin, cur.end, stack[len(stack)-1].begin, stack[len(stack)-1].end)
+			}
+			stack = append(stack, cur)
+		}
+	}
+	return len(f.TraceEvents), nil
+}
+
+// instantKinds documents which bus kinds the exporter forwards as "i"
+// events; used by tests to assert coverage.
+var instantKinds = func() []trace.Kind {
+	var out []trace.Kind
+	for _, k := range trace.Kinds() {
+		if k == trace.KindWorldEnter || k == trace.KindRound {
+			continue
+		}
+		out = append(out, k)
+	}
+	return out
+}()

@@ -1,0 +1,383 @@
+// Package profile is the causal span layer over the simulation's virtual
+// time: typed intervals (world switches, secure dispatches, introspection
+// rounds, per-chunk hash walks, evader freeze→reinstall windows) with
+// parent/child causality links, assembled deterministically as the run
+// executes.
+//
+// The paper's argument is a timing race — the evader's recovery window
+// against the checker's scan latency — and flat point events cannot show
+// where inside a round that race is won or lost. Spans can: each one is an
+// interval on a track (one secure track per core, one track for the
+// evader), nested by causality (world-switch ⊃ secure-dispatch ⊃ round ⊃
+// hash chunks; evader window ⊃ hide/reinstall), and carried entirely in
+// integer nanoseconds of virtual time so every view derived from them is
+// byte-identical across runs and worker counts.
+//
+// The profiler follows the repository's nil-handle discipline: every method
+// returns immediately on a nil *Profiler, so components wired with
+// SetProfiler pay nothing when no profiler is attached (locked by
+// AllocsPerRun tests). Attached, it additionally subscribes to the obs.Bus
+// to fold the existing point events in as instants — it never publishes,
+// so attaching a profiler cannot change a run's event stream or goldens.
+package profile
+
+import (
+	"time"
+
+	"satin/internal/obs"
+	"satin/internal/trace"
+)
+
+// SpanKind classifies a span.
+type SpanKind uint8
+
+// Span kinds, in causal nesting order.
+const (
+	// SpanWorldSwitch covers a full secure-world excursion on one core:
+	// from the SMC/timer request through re-entry into the normal world.
+	SpanWorldSwitch SpanKind = iota
+	// SpanSecureDispatch is the entry half of a world switch: request to
+	// payload dispatch (context save, monitor transit, injected latency).
+	SpanSecureDispatch
+	// SpanRound is one introspection round: area pick through verdict.
+	SpanRound
+	// SpanHashChunk is one chunk of a hashing walk inside a round.
+	SpanHashChunk
+	// SpanSnapshotChunk is one chunk of a snapshot capture inside a round.
+	SpanSnapshotChunk
+	// SpanEvaderWindow is a full evader evasion window: the reaction to a
+	// secure entry (freeze detection) through trace reinstallation.
+	SpanEvaderWindow
+	// SpanEvaderHide covers the evader's cleanup: freeze reaction until
+	// the rootkit trace is hidden.
+	SpanEvaderHide
+	// SpanEvaderReinstall covers the evader's recovery: decision to
+	// reinstall until the trace is back.
+	SpanEvaderReinstall
+
+	numSpanKinds
+)
+
+var spanKindNames = [numSpanKinds]string{
+	SpanWorldSwitch:     "world-switch",
+	SpanSecureDispatch:  "secure-dispatch",
+	SpanRound:           "round",
+	SpanHashChunk:       "hash-chunk",
+	SpanSnapshotChunk:   "snapshot-chunk",
+	SpanEvaderWindow:    "evader-window",
+	SpanEvaderHide:      "evader-hide",
+	SpanEvaderReinstall: "evader-reinstall",
+}
+
+// String names the kind.
+func (k SpanKind) String() string {
+	if int(k) < len(spanKindNames) {
+		return spanKindNames[k]
+	}
+	return "unknown"
+}
+
+// OpenEnd marks a span whose End has not been recorded yet. Summaries and
+// exports clamp such spans to the run's elapsed time.
+const OpenEnd = time.Duration(-1)
+
+// Span is one typed interval of virtual time.
+type Span struct {
+	// ID is the span's index in the profiler's span list.
+	ID int32
+	// Parent is the enclosing span's ID, or -1 for a root span.
+	Parent int32
+	// Kind classifies the span.
+	Kind SpanKind
+	// Core is the core the span ran on, or -1 for the evader track.
+	Core int
+	// Area is the introspection area involved, or -1.
+	Area int
+	// Begin and End are virtual instants since boot. End is OpenEnd while
+	// the span is open.
+	Begin, End time.Duration
+	// Detail is a free-form annotation (switch reason, reroute note).
+	Detail string
+}
+
+// Duration is the span's length, clamping open spans to elapsed.
+func (s Span) Duration(elapsed time.Duration) time.Duration {
+	end := s.End
+	if end == OpenEnd || end > elapsed {
+		end = elapsed
+	}
+	if end < s.Begin {
+		return 0
+	}
+	return end - s.Begin
+}
+
+// Spans live in fixed-size blocks so recording one never moves the ones
+// before it — a long detection run records tens of thousands of chunk
+// spans, and slice-growth copies were the profiler's whole attached
+// overhead.
+const (
+	spanBlockShift = 13
+	spanBlockSize  = 1 << spanBlockShift // 8192 spans (512 KiB) per block
+	spanBlockMask  = spanBlockSize - 1
+)
+
+// Profiler collects spans and bus instants for one run. Construct with
+// NewProfiler; a nil Profiler is a valid zero-cost handle on which every
+// method is a no-op.
+//
+// Track discipline: monitor/round/chunk spans live on the owning core's
+// secure track; evader spans live on one dedicated evader track (a thread
+// evader's hide and reinstall may run on different cores, but the windows
+// themselves are globally sequential, so they nest on a single track).
+type Profiler struct {
+	cores  int
+	blocks [][]Span  // fixed-size span blocks, append-only
+	count  int32     // total spans recorded
+	flat   []Span    // lazy flattened view handed out by Spans()
+	stacks [][]int32 // per track: open span IDs, innermost last
+	// instants are the bus point events folded in for export (all kinds
+	// except world-enter and round, which the spans subsume).
+	instants []trace.Event
+
+	// Live-derived quantities, updated as spans close.
+	maxRound   time.Duration
+	minWindow  time.Duration
+	hasWindow  bool
+	lastActive time.Duration // last instant the rootkit trace was present
+	windows    []time.Duration
+	latencies  []time.Duration
+
+	// Optional registry handles (nil unless Observe was called).
+	detLatHist *obs.Histogram
+	windowHist *obs.Histogram
+	marginG    *obs.Gauge
+}
+
+// NewProfiler returns a profiler for a platform with the given core count.
+func NewProfiler(cores int) *Profiler {
+	if cores < 1 {
+		cores = 1
+	}
+	return &Profiler{
+		cores:  cores,
+		stacks: make([][]int32, cores+1), // +1: the evader track
+	}
+}
+
+// Attached reports whether a profiler is present. Safe on nil.
+func (p *Profiler) Attached() bool { return p != nil }
+
+// evaderTrack is the index of the dedicated evader track.
+func (p *Profiler) evaderTrack() int { return p.cores }
+
+// appendSpan records s in block storage, assigning its ID.
+func (p *Profiler) appendSpan(s Span) int32 {
+	s.ID = p.count
+	b := int(s.ID) >> spanBlockShift
+	if b == len(p.blocks) {
+		p.blocks = append(p.blocks, make([]Span, 0, spanBlockSize))
+	}
+	p.blocks[b] = append(p.blocks[b], s)
+	p.count++
+	p.flat = nil
+	return s.ID
+}
+
+// spanAt returns the stored span with the given ID; the pointer stays valid
+// for the profiler's lifetime (blocks never reallocate).
+func (p *Profiler) spanAt(id int32) *Span {
+	return &p.blocks[id>>spanBlockShift][id&spanBlockMask]
+}
+
+func (p *Profiler) trackFor(kind SpanKind, core int) int {
+	switch kind {
+	case SpanEvaderWindow, SpanEvaderHide, SpanEvaderReinstall:
+		return p.evaderTrack()
+	}
+	if core < 0 || core >= p.cores {
+		return p.evaderTrack()
+	}
+	return core
+}
+
+// Begin opens a span at virtual instant `at`. The parent is the innermost
+// open span on the same track. detail must not force an allocation on the
+// caller's hot path — pass constants or strings built only when a profiler
+// is attached.
+func (p *Profiler) Begin(kind SpanKind, core, area int, at time.Duration, detail string) {
+	if p == nil {
+		return
+	}
+	t := p.trackFor(kind, core)
+	parent := int32(-1)
+	if n := len(p.stacks[t]); n > 0 {
+		parent = p.stacks[t][n-1]
+	}
+	id := p.appendSpan(Span{
+		Parent: parent, Kind: kind, Core: core, Area: area,
+		Begin: at, End: OpenEnd, Detail: detail,
+	})
+	p.stacks[t] = append(p.stacks[t], id)
+}
+
+// End closes the innermost open span of the given kind on the kind's track
+// at virtual instant `at`. Unmatched Ends are ignored.
+func (p *Profiler) End(kind SpanKind, core int, at time.Duration) {
+	if p == nil {
+		return
+	}
+	t := p.trackFor(kind, core)
+	st := p.stacks[t]
+	for i := len(st) - 1; i >= 0; i-- {
+		sp := p.spanAt(st[i])
+		if sp.Kind != kind {
+			continue
+		}
+		sp.End = at
+		p.stacks[t] = append(st[:i], st[i+1:]...)
+		p.flat = nil
+		p.onClose(*sp)
+		return
+	}
+}
+
+// Complete records a span whose duration is already known (the checker
+// schedules each chunk's virtual cost up front). The parent is the
+// innermost open span on the track; a negative area inherits the enclosing
+// round's area, which is how per-area chunk attribution works without the
+// checker knowing which area it is walking.
+func (p *Profiler) Complete(kind SpanKind, core, area int, begin, end time.Duration) {
+	if p == nil {
+		return
+	}
+	t := p.trackFor(kind, core)
+	parent := int32(-1)
+	if n := len(p.stacks[t]); n > 0 {
+		parent = p.stacks[t][n-1]
+	}
+	if area < 0 && parent >= 0 {
+		area = p.spanAt(parent).Area
+	}
+	id := p.appendSpan(Span{
+		Parent: parent, Kind: kind, Core: core, Area: area,
+		Begin: begin, End: end,
+	})
+	p.onClose(*p.spanAt(id))
+}
+
+// onClose maintains the live race-margin view and the window/latency pools.
+func (p *Profiler) onClose(s Span) {
+	d := s.End - s.Begin
+	switch s.Kind {
+	case SpanRound:
+		if d > p.maxRound {
+			p.maxRound = d
+		}
+		p.updateMargin()
+	case SpanEvaderWindow:
+		if !p.hasWindow || d < p.minWindow {
+			p.minWindow = d
+			p.hasWindow = true
+		}
+		p.windows = append(p.windows, d)
+		p.windowHist.Observe(int64(d))
+		p.updateMargin()
+	}
+}
+
+// updateMargin refreshes the live race-margin gauge: the narrowest evasion
+// window seen so far minus the widest introspection round. A positive
+// margin means every observed freeze→reinstall cycle out-lasted the
+// longest round — the evader is exposed for whole checks at a time; a
+// negative margin means the evader has demonstrated a recovery faster than
+// the slowest scan, i.e. the race of Eq. 1/2 is genuinely open.
+func (p *Profiler) updateMargin() {
+	if p.marginG == nil || !p.hasWindow || p.maxRound == 0 {
+		return
+	}
+	p.marginG.Set(int64(p.minWindow - p.maxRound))
+}
+
+// OnEvent is the bus subscription: it folds published point events in as
+// instants for export and derives detection latency (alarm minus the last
+// instant the rootkit trace became present). Safe on nil, so it can be
+// subscribed unconditionally.
+func (p *Profiler) OnEvent(e trace.Event) {
+	if p == nil {
+		return
+	}
+	switch e.Kind {
+	case trace.KindWorldEnter, trace.KindRound:
+		// Subsumed by SpanWorldSwitch / SpanRound.
+		return
+	case trace.KindReinstalled:
+		p.lastActive = e.At
+	case trace.KindAlarm:
+		lat := e.At - p.lastActive
+		p.latencies = append(p.latencies, lat)
+		p.detLatHist.Observe(int64(lat))
+	}
+	p.instants = append(p.instants, e)
+}
+
+// Histogram bucket bounds (ns). Evasion windows live in the tens of
+// milliseconds (Tns_recover draws); detection latencies in the seconds-to-
+// minutes range (rounds until the dirty area is scheduled).
+var (
+	windowBounds = []int64{
+		int64(5 * time.Millisecond), int64(10 * time.Millisecond),
+		int64(20 * time.Millisecond), int64(50 * time.Millisecond),
+		int64(100 * time.Millisecond), int64(200 * time.Millisecond),
+		int64(500 * time.Millisecond),
+	}
+	latencyBounds = []int64{
+		int64(1 * time.Second), int64(4 * time.Second),
+		int64(16 * time.Second), int64(64 * time.Second),
+		int64(128 * time.Second), int64(256 * time.Second),
+	}
+)
+
+// Observe registers the profiler's derived metrics on reg:
+// profile.detection_latency_ns and profile.evasion_window_ns histograms,
+// and the live profile.race_margin_ns gauge. Nil-safe on both sides.
+func (p *Profiler) Observe(reg *obs.Registry) {
+	if p == nil {
+		return
+	}
+	p.detLatHist = reg.Histogram("profile.detection_latency_ns", latencyBounds)
+	p.windowHist = reg.Histogram("profile.evasion_window_ns", windowBounds)
+	p.marginG = reg.Gauge("profile.race_margin_ns")
+}
+
+// Spans returns the recorded spans in creation order, flattened lazily from
+// block storage. The slice is cached between calls — callers must not
+// mutate it.
+func (p *Profiler) Spans() []Span {
+	if p == nil {
+		return nil
+	}
+	if p.flat == nil && p.count > 0 {
+		p.flat = make([]Span, 0, p.count)
+		for _, blk := range p.blocks {
+			p.flat = append(p.flat, blk...)
+		}
+	}
+	return p.flat
+}
+
+// SpanCount reports how many spans were recorded. Safe on nil.
+func (p *Profiler) SpanCount() int {
+	if p == nil {
+		return 0
+	}
+	return int(p.count)
+}
+
+// Instants returns the folded-in bus point events, in publish order.
+func (p *Profiler) Instants() []trace.Event {
+	if p == nil {
+		return nil
+	}
+	return p.instants
+}

@@ -1,0 +1,208 @@
+package profile
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"satin/internal/stats"
+)
+
+// Residency is one core's virtual-time attribution. The three buckets
+// partition elapsed time exactly: Normal + Scan + Switch == Elapsed, in
+// integer nanoseconds, for every core.
+type Residency struct {
+	Core int
+	// Normal is time outside any secure excursion.
+	Normal time.Duration
+	// Scan is time inside introspection rounds (the useful secure work).
+	Scan time.Duration
+	// Switch is secure-excursion time not spent scanning: context
+	// save/restore, monitor transit, injected latency, dormant entries.
+	Switch time.Duration
+}
+
+// Summary is the derived profile of one run (or, after Merge, of a sweep).
+// Every field is computed from integer virtual-time spans, so rendering a
+// Summary is byte-identical across runs and worker counts.
+type Summary struct {
+	// Seeds counts the runs merged into this summary (1 for a single run).
+	Seeds int
+	// Elapsed is the total virtual time covered (summed across seeds).
+	Elapsed time.Duration
+	// Cores holds per-core attribution, index == core ID.
+	Cores []Residency
+
+	// Span counts.
+	WorldSwitches int
+	Rounds        int
+	Chunks        int
+
+	// Windows are the evader freeze→reinstall windows, in close order
+	// (concatenated seed-by-seed after Merge).
+	Windows []time.Duration
+	// Latencies are the detection latencies (alarm minus last instant the
+	// rootkit trace became present), in alarm order.
+	Latencies []time.Duration
+
+	// MaxRound and MinWindow feed the race margin. HasWindow guards
+	// MinWindow's zero value.
+	MaxRound  time.Duration
+	MinWindow time.Duration
+	HasWindow bool
+}
+
+// RaceMargin is MinWindow - MaxRound: positive when every observed evasion
+// window out-lasted the longest round, negative when the evader has
+// demonstrated a recovery faster than the slowest scan. ok is false when
+// either side is missing (no windows or no rounds closed).
+func (s Summary) RaceMargin() (margin time.Duration, ok bool) {
+	if !s.HasWindow || s.MaxRound == 0 {
+		return 0, false
+	}
+	return s.MinWindow - s.MaxRound, true
+}
+
+// Summary derives the attribution view at the given elapsed virtual time,
+// clamping any still-open spans to it.
+func (p *Profiler) Summary(elapsed time.Duration) Summary {
+	s := Summary{Seeds: 1, Elapsed: elapsed}
+	if p == nil {
+		return s
+	}
+	s.Cores = make([]Residency, p.cores)
+	excursion := make([]time.Duration, p.cores)
+	scan := make([]time.Duration, p.cores)
+	for _, sp := range p.Spans() {
+		d := sp.Duration(elapsed)
+		switch sp.Kind {
+		case SpanWorldSwitch:
+			s.WorldSwitches++
+			if sp.Core >= 0 && sp.Core < p.cores {
+				excursion[sp.Core] += d
+			}
+		case SpanRound:
+			s.Rounds++
+			if sp.Core >= 0 && sp.Core < p.cores {
+				scan[sp.Core] += d
+			}
+		case SpanHashChunk, SpanSnapshotChunk:
+			s.Chunks++
+		}
+	}
+	for c := 0; c < p.cores; c++ {
+		r := &s.Cores[c]
+		r.Core = c
+		r.Scan = scan[c]
+		r.Switch = excursion[c] - scan[c]
+		if r.Switch < 0 {
+			// A round outlived its excursion can only mean a clamping
+			// artifact at run end; fold the difference into Scan.
+			r.Scan = excursion[c]
+			r.Switch = 0
+		}
+		r.Normal = elapsed - excursion[c]
+	}
+	s.Windows = append([]time.Duration(nil), p.windows...)
+	s.Latencies = append([]time.Duration(nil), p.latencies...)
+	s.MaxRound = p.maxRound
+	s.MinWindow = p.minWindow
+	s.HasWindow = p.hasWindow
+	return s
+}
+
+// Merge folds per-seed summaries into one, preserving seed order: elapsed
+// and residencies sum, window/latency pools concatenate, the race margin
+// takes the tightest window against the widest round. Merging is pure
+// slice iteration, so a merged summary is byte-identical no matter how
+// many workers produced the inputs — the inputs themselves are collected
+// into a seed-indexed slice by the sweep drivers.
+func Merge(sums []Summary) Summary {
+	var m Summary
+	for _, s := range sums {
+		m.Seeds += s.Seeds
+		m.Elapsed += s.Elapsed
+		for len(m.Cores) < len(s.Cores) {
+			m.Cores = append(m.Cores, Residency{Core: len(m.Cores)})
+		}
+		for i, r := range s.Cores {
+			m.Cores[i].Normal += r.Normal
+			m.Cores[i].Scan += r.Scan
+			m.Cores[i].Switch += r.Switch
+		}
+		m.WorldSwitches += s.WorldSwitches
+		m.Rounds += s.Rounds
+		m.Chunks += s.Chunks
+		m.Windows = append(m.Windows, s.Windows...)
+		m.Latencies = append(m.Latencies, s.Latencies...)
+		if s.MaxRound > m.MaxRound {
+			m.MaxRound = s.MaxRound
+		}
+		if s.HasWindow && (!m.HasWindow || s.MinWindow < m.MinWindow) {
+			m.MinWindow = s.MinWindow
+			m.HasWindow = true
+		}
+	}
+	return m
+}
+
+func pct(part, whole time.Duration) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return float64(part) / float64(whole) * 100
+}
+
+func distLine(name string, xs []time.Duration, unit time.Duration, suffix string) string {
+	if len(xs) == 0 {
+		return fmt.Sprintf("%s: none observed\n", name)
+	}
+	f := make([]float64, len(xs))
+	for i, x := range xs {
+		f[i] = float64(x) / float64(unit)
+	}
+	d := stats.NewDist(f)
+	return fmt.Sprintf("%s: n=%d min=%.3f p50=%.3f p90=%.3f max=%.3f mean=%.3f %s\n",
+		name, d.N, d.Min, d.P50, d.P90, d.Max, d.Mean, suffix)
+}
+
+// Render writes the attribution table plus the histogram-style summaries.
+func (s Summary) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Per-core virtual-time attribution (%d seed(s), %v elapsed virtual time):\n", s.Seeds, s.Elapsed)
+	t := stats.NewTable("core", "normal%", "scan%", "switch%", "scan", "switch")
+	for _, r := range s.Cores {
+		total := r.Normal + r.Scan + r.Switch
+		t.AddRow(
+			fmt.Sprintf("%d", r.Core),
+			fmt.Sprintf("%.3f", pct(r.Normal, total)),
+			fmt.Sprintf("%.3f", pct(r.Scan, total)),
+			fmt.Sprintf("%.3f", pct(r.Switch, total)),
+			r.Scan.String(),
+			r.Switch.String(),
+		)
+	}
+	sb.WriteString(t.String())
+	fmt.Fprintf(&sb, "world-switches=%d rounds=%d chunks=%d\n", s.WorldSwitches, s.Rounds, s.Chunks)
+	sb.WriteString(distLine("evasion window", s.Windows, time.Millisecond, "ms"))
+	sb.WriteString(distLine("detection latency", s.Latencies, time.Second, "s"))
+	if margin, ok := s.RaceMargin(); ok {
+		fmt.Fprintf(&sb, "race margin (min window - max round): %v\n", margin)
+	} else {
+		sb.WriteString("race margin: not observable (need both a closed round and an evasion window)\n")
+	}
+	return sb.String()
+}
+
+// ResidencyCheck verifies the attribution invariant: for every core,
+// Normal + Scan + Switch must equal Elapsed exactly (integer ns). A
+// non-nil error names the first violating core. Seeds > 1 compares against
+// the summed elapsed.
+func (s Summary) ResidencyCheck() error {
+	for _, r := range s.Cores {
+		if got := r.Normal + r.Scan + r.Switch; got != s.Elapsed {
+			return fmt.Errorf("profile: core %d residency sums to %v, elapsed is %v", r.Core, got, s.Elapsed)
+		}
+	}
+	return nil
+}

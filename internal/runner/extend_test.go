@@ -1,0 +1,24 @@
+package runner
+
+import "testing"
+
+// TestMetricsExtend: Extend concatenates in order and leaves the receiver's
+// samples first — the contract the profiled sweep relies on to keep its
+// add-on attribution block after the base detection metrics.
+func TestMetricsExtend(t *testing.T) {
+	base := Metrics{}.Add("a", 1).Add("b", 2)
+	extra := Metrics{}.Add("c", 3)
+	got := base.Extend(extra)
+	want := []Sample{{"a", 1}, {"b", 2}, {"c", 3}}
+	if len(got) != len(want) {
+		t.Fatalf("Extend produced %d samples, want %d", len(got), len(want))
+	}
+	for i, s := range want {
+		if got[i] != s {
+			t.Fatalf("sample %d = %+v, want %+v", i, got[i], s)
+		}
+	}
+	if empty := Metrics(nil).Extend(nil); len(empty) != 0 {
+		t.Fatalf("nil.Extend(nil) = %v, want empty", empty)
+	}
+}

@@ -28,6 +28,13 @@ func (m Metrics) Add(name string, value float64) Metrics {
 	return append(m, Sample{Name: name, Value: value})
 }
 
+// Extend appends every sample of other, preserving order. It lets an
+// experiment compose its base metrics with an optional add-on block (e.g.
+// profiler attribution) without disturbing the report order of either.
+func (m Metrics) Extend(other Metrics) Metrics {
+	return append(m, other...)
+}
+
 // Failure records a trial that returned an error or panicked.
 type Failure struct {
 	Seed uint64

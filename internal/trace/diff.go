@@ -1,0 +1,249 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// diff.go aligns two exported event streams and reports where and by how
+// much they diverge. This is the regression gate for perf work: a change
+// that is supposed to only make the simulator faster must leave the virtual
+// timeline untouched, so diffing its trace export against a golden run must
+// come back identical. A change to the timing model shows up here as
+// per-span latency deltas that either fit an explicit budget or fail.
+
+// GroupKey identifies an alignment group: events are matched occurrence by
+// occurrence within the same (kind, core, area) stream.
+type GroupKey struct {
+	Kind Kind
+	Core int
+	Area int
+}
+
+func (k GroupKey) String() string {
+	return fmt.Sprintf("%s/core=%d/area=%d", k.Kind, k.Core, k.Area)
+}
+
+// GroupDelta summarizes the timestamp deltas of one aligned group.
+type GroupDelta struct {
+	Key GroupKey
+	// CountA and CountB are the occurrence counts in each stream.
+	CountA, CountB int
+	// Matched is min(CountA, CountB): the occurrences compared pairwise.
+	Matched int
+	// MaxAbs is the largest |At(b) - At(a)| over matched occurrences.
+	MaxAbs time.Duration
+	// SumAbs accumulates |At(b) - At(a)| over matched occurrences.
+	SumAbs time.Duration
+	// DetailMismatches counts matched occurrences whose Detail differs.
+	DetailMismatches int
+}
+
+// MeanAbs is the mean absolute timestamp delta over matched occurrences.
+func (g GroupDelta) MeanAbs() time.Duration {
+	if g.Matched == 0 {
+		return 0
+	}
+	return g.SumAbs / time.Duration(g.Matched)
+}
+
+// Divergence pinpoints the first structural difference between two streams.
+type Divergence struct {
+	// Index is the position (in stream order) of the first event whose
+	// (kind, core, area, detail) differs between the streams, or the length
+	// of the shorter stream when one is a prefix of the other.
+	Index int
+	// A and B are the events at Index (zero Event if past the end).
+	A, B Event
+	// Reason is a one-line human explanation.
+	Reason string
+}
+
+// DiffReport is the outcome of aligning two event streams.
+type DiffReport struct {
+	// EventsA and EventsB are the stream lengths.
+	EventsA, EventsB int
+	// Groups holds one entry per (kind, core, area) seen in either stream,
+	// sorted by descending MaxAbs then by key for determinism.
+	Groups []GroupDelta
+	// Structural is non-nil when the streams differ in more than timing:
+	// different event sequences, counts, or details.
+	Structural *Divergence
+	// MaxAbs is the largest matched timestamp delta across all groups.
+	MaxAbs time.Duration
+}
+
+// Identical reports byte-level agreement: same sequences, same instants.
+func (r DiffReport) Identical() bool {
+	return r.Structural == nil && r.MaxAbs == 0
+}
+
+// WithinBudget reports whether the streams align structurally and every
+// matched timestamp delta fits the budget. A zero budget demands identical
+// virtual timing.
+func (r DiffReport) WithinBudget(budget time.Duration) bool {
+	return r.Structural == nil && r.MaxAbs <= budget
+}
+
+func eventShape(e Event) string {
+	return fmt.Sprintf("%s core=%d area=%d %q", e.Kind, e.Core, e.Area, e.Detail)
+}
+
+// Diff aligns streams a and b by (kind, core, area), pairing the i-th
+// occurrence in each group, and reports per-group latency deltas plus the
+// first structural divergence, if any. Inputs are compared in the order
+// given (an export is already in publish order; callers diffing unordered
+// collections should sort first).
+func Diff(a, b []Event) DiffReport {
+	rep := DiffReport{EventsA: len(a), EventsB: len(b)}
+
+	// First structural divergence: the first position where the streams
+	// disagree on anything but the timestamp.
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i].Kind != b[i].Kind || a[i].Core != b[i].Core || a[i].Area != b[i].Area {
+			rep.Structural = &Divergence{
+				Index: i, A: a[i], B: b[i],
+				Reason: fmt.Sprintf("event %d differs: %s vs %s", i, eventShape(a[i]), eventShape(b[i])),
+			}
+			break
+		}
+		if a[i].Detail != b[i].Detail {
+			rep.Structural = &Divergence{
+				Index: i, A: a[i], B: b[i],
+				Reason: fmt.Sprintf("event %d detail differs: %q vs %q (%s)", i, a[i].Detail, b[i].Detail, GroupKey{a[i].Kind, a[i].Core, a[i].Area}),
+			}
+			break
+		}
+	}
+	if rep.Structural == nil && len(a) != len(b) {
+		d := &Divergence{Index: n}
+		if len(a) > len(b) {
+			d.A = a[n]
+			d.Reason = fmt.Sprintf("stream A has %d extra event(s), first: %s", len(a)-len(b), eventShape(a[n]))
+		} else {
+			d.B = b[n]
+			d.Reason = fmt.Sprintf("stream B has %d extra event(s), first: %s", len(b)-len(a), eventShape(b[n]))
+		}
+		rep.Structural = d
+	}
+
+	// Per-group occurrence alignment. Keys are collected in first-seen
+	// order, then the report is sorted for a deterministic rendering.
+	type grouped struct {
+		ats []time.Duration
+		det []string
+	}
+	idx := map[GroupKey]int{}
+	var keys []GroupKey
+	ga := map[GroupKey]*grouped{}
+	gb := map[GroupKey]*grouped{}
+	collect := func(events []Event, into map[GroupKey]*grouped) {
+		for _, e := range events {
+			k := GroupKey{e.Kind, e.Core, e.Area}
+			if _, ok := idx[k]; !ok {
+				idx[k] = len(keys)
+				keys = append(keys, k)
+			}
+			g := into[k]
+			if g == nil {
+				g = &grouped{}
+				into[k] = g
+			}
+			g.ats = append(g.ats, e.At)
+			g.det = append(g.det, e.Detail)
+		}
+	}
+	collect(a, ga)
+	collect(b, gb)
+
+	for _, k := range keys {
+		da, db := ga[k], gb[k]
+		if da == nil {
+			da = &grouped{}
+		}
+		if db == nil {
+			db = &grouped{}
+		}
+		gd := GroupDelta{Key: k, CountA: len(da.ats), CountB: len(db.ats)}
+		gd.Matched = gd.CountA
+		if gd.CountB < gd.Matched {
+			gd.Matched = gd.CountB
+		}
+		for i := 0; i < gd.Matched; i++ {
+			d := db.ats[i] - da.ats[i]
+			if d < 0 {
+				d = -d
+			}
+			gd.SumAbs += d
+			if d > gd.MaxAbs {
+				gd.MaxAbs = d
+			}
+			if da.det[i] != db.det[i] {
+				gd.DetailMismatches++
+			}
+		}
+		if gd.MaxAbs > rep.MaxAbs {
+			rep.MaxAbs = gd.MaxAbs
+		}
+		rep.Groups = append(rep.Groups, gd)
+	}
+	sort.Slice(rep.Groups, func(i, j int) bool {
+		gi, gj := rep.Groups[i], rep.Groups[j]
+		if gi.MaxAbs != gj.MaxAbs {
+			return gi.MaxAbs > gj.MaxAbs
+		}
+		if gi.Key.Kind != gj.Key.Kind {
+			return gi.Key.Kind < gj.Key.Kind
+		}
+		if gi.Key.Core != gj.Key.Core {
+			return gi.Key.Core < gj.Key.Core
+		}
+		return gi.Key.Area < gj.Key.Area
+	})
+	return rep
+}
+
+// Render writes a human-readable report. budget is the tolerance the
+// verdict line is judged against.
+func (r DiffReport) Render(budget time.Duration) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "trace diff: %d events vs %d events, %d alignment group(s)\n",
+		r.EventsA, r.EventsB, len(r.Groups))
+	if r.Identical() {
+		sb.WriteString("streams are identical: zero divergence\n")
+	}
+	if r.Structural != nil {
+		fmt.Fprintf(&sb, "first divergence: %s\n", r.Structural.Reason)
+	}
+	shown := 0
+	for _, g := range r.Groups {
+		if g.MaxAbs == 0 && g.CountA == g.CountB && g.DetailMismatches == 0 {
+			continue
+		}
+		if shown == 0 {
+			sb.WriteString("diverging groups (by max |delta|):\n")
+		}
+		if shown >= 10 {
+			sb.WriteString("  ...\n")
+			break
+		}
+		fmt.Fprintf(&sb, "  %-40s n=%d/%d max=%v mean=%v", g.Key, g.CountA, g.CountB, g.MaxAbs, g.MeanAbs())
+		if g.DetailMismatches > 0 {
+			fmt.Fprintf(&sb, " detail-mismatches=%d", g.DetailMismatches)
+		}
+		sb.WriteByte('\n')
+		shown++
+	}
+	if r.WithinBudget(budget) {
+		fmt.Fprintf(&sb, "PASS (max delta %v within budget %v)\n", r.MaxAbs, budget)
+	} else {
+		fmt.Fprintf(&sb, "FAIL (max delta %v, budget %v)\n", r.MaxAbs, budget)
+	}
+	return sb.String()
+}

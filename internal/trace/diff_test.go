@@ -1,0 +1,136 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func ev(at time.Duration, kind Kind, core, area int, detail string) Event {
+	return Event{At: at, Kind: kind, Core: core, Area: area, Detail: detail}
+}
+
+// TestDiffIdentical: a stream diffed against itself is zero divergence.
+func TestDiffIdentical(t *testing.T) {
+	events := []Event{
+		ev(1*time.Second, KindWorldEnter, 0, -1, "secure-timer"),
+		ev(2*time.Second, KindRound, 0, 14, "clean"),
+		ev(3*time.Second, KindAlarm, -1, 14, ""),
+	}
+	rep := Diff(events, events)
+	if !rep.Identical() {
+		t.Fatalf("self-diff not identical: %+v", rep)
+	}
+	if !rep.WithinBudget(0) {
+		t.Fatal("self-diff out of zero budget")
+	}
+	if !strings.Contains(rep.Render(0), "zero divergence") {
+		t.Fatalf("render missing zero-divergence line:\n%s", rep.Render(0))
+	}
+}
+
+// TestDiffTimingDeltas: shifted timestamps with identical structure are a
+// timing-only divergence — within a generous budget, beyond a tight one.
+func TestDiffTimingDeltas(t *testing.T) {
+	a := []Event{
+		ev(1*time.Second, KindRound, 0, 3, ""),
+		ev(2*time.Second, KindRound, 0, 3, ""),
+		ev(5*time.Second, KindRound, 1, 4, ""),
+	}
+	b := []Event{
+		ev(1*time.Second+2*time.Millisecond, KindRound, 0, 3, ""),
+		ev(2*time.Second+5*time.Millisecond, KindRound, 0, 3, ""),
+		ev(5*time.Second, KindRound, 1, 4, ""),
+	}
+	rep := Diff(a, b)
+	if rep.Structural != nil {
+		t.Fatalf("pure timing shift reported as structural: %s", rep.Structural.Reason)
+	}
+	if rep.MaxAbs != 5*time.Millisecond {
+		t.Fatalf("MaxAbs = %v, want 5ms", rep.MaxAbs)
+	}
+	g := rep.Groups[0]
+	if g.Key != (GroupKey{KindRound, 0, 3}) || g.Matched != 2 {
+		t.Fatalf("top group = %+v, want round/core=0/area=3 with 2 matches", g)
+	}
+	if g.MeanAbs() != 3500*time.Microsecond {
+		t.Fatalf("MeanAbs = %v, want 3.5ms", g.MeanAbs())
+	}
+	if rep.WithinBudget(time.Millisecond) {
+		t.Fatal("5ms delta passed a 1ms budget")
+	}
+	if !rep.WithinBudget(5 * time.Millisecond) {
+		t.Fatal("5ms delta failed a 5ms budget")
+	}
+}
+
+// TestDiffStructural: a different event shape at position i is pinned as the
+// first divergence and fails any budget.
+func TestDiffStructural(t *testing.T) {
+	a := []Event{
+		ev(1*time.Second, KindRound, 0, 3, ""),
+		ev(2*time.Second, KindAlarm, -1, 3, ""),
+	}
+	b := []Event{
+		ev(1*time.Second, KindRound, 0, 3, ""),
+		ev(2*time.Second, KindAlarm, -1, 9, ""),
+	}
+	rep := Diff(a, b)
+	if rep.Structural == nil || rep.Structural.Index != 1 {
+		t.Fatalf("structural divergence not found at index 1: %+v", rep.Structural)
+	}
+	if rep.WithinBudget(time.Hour) {
+		t.Fatal("structural divergence passed a huge budget")
+	}
+}
+
+// TestDiffDetailMismatch: same (kind, core, area) but different detail is
+// structural — the payloads differ, not just the timing.
+func TestDiffDetailMismatch(t *testing.T) {
+	a := []Event{ev(1*time.Second, KindRound, 0, 3, "clean")}
+	b := []Event{ev(1*time.Second, KindRound, 0, 3, "dirty")}
+	rep := Diff(a, b)
+	if rep.Structural == nil {
+		t.Fatal("detail mismatch not reported as structural")
+	}
+	if !strings.Contains(rep.Structural.Reason, "detail differs") {
+		t.Fatalf("reason = %q", rep.Structural.Reason)
+	}
+}
+
+// TestDiffExtraEvents: a truncated stream is structural, pointing at the
+// first unmatched event.
+func TestDiffExtraEvents(t *testing.T) {
+	a := []Event{
+		ev(1*time.Second, KindRound, 0, 3, ""),
+		ev(2*time.Second, KindRound, 0, 4, ""),
+	}
+	rep := Diff(a, a[:1])
+	if rep.Structural == nil || rep.Structural.Index != 1 {
+		t.Fatalf("extra-event divergence = %+v, want index 1", rep.Structural)
+	}
+	if !strings.Contains(rep.Structural.Reason, "stream A has 1 extra event(s)") {
+		t.Fatalf("reason = %q", rep.Structural.Reason)
+	}
+	// The group view still counts both sides.
+	for _, g := range rep.Groups {
+		if g.Key == (GroupKey{KindRound, 0, 4}) && (g.CountA != 1 || g.CountB != 0) {
+			t.Fatalf("group counts = %d/%d, want 1/0", g.CountA, g.CountB)
+		}
+	}
+}
+
+// TestDiffRenderDeterministic: two renders of the same diff are identical
+// (group ordering is fully tie-broken).
+func TestDiffRenderDeterministic(t *testing.T) {
+	var a, b []Event
+	for i := 0; i < 20; i++ {
+		a = append(a, ev(time.Duration(i)*time.Second, KindRound, i%3, i%5, ""))
+		b = append(b, ev(time.Duration(i)*time.Second+time.Duration(i)*time.Millisecond, KindRound, i%3, i%5, ""))
+	}
+	r1 := Diff(a, b).Render(0)
+	r2 := Diff(a, b).Render(0)
+	if r1 != r2 {
+		t.Fatal("diff render not deterministic")
+	}
+}

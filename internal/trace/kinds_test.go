@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestKindsComplete: Kinds() must enumerate every declared kind exactly
+// once — it is the source of the String() pad width and of the profiler's
+// instant filter, so a kind missing here silently misaligns both.
+func TestKindsComplete(t *testing.T) {
+	want := []Kind{
+		KindWorldEnter, KindRound, KindAlarm, KindSuspect, KindHidden,
+		KindCoreBack, KindReinstalled, KindGuardDeny, KindFault,
+	}
+	got := Kinds()
+	if len(got) != len(want) {
+		t.Fatalf("Kinds() has %d entries, want %d", len(got), len(want))
+	}
+	seen := map[Kind]bool{}
+	for i, k := range got {
+		if k != want[i] {
+			t.Errorf("Kinds()[%d] = %q, want %q (declaration order)", i, k, want[i])
+		}
+		if seen[k] {
+			t.Errorf("Kinds() repeats %q", k)
+		}
+		seen[k] = true
+	}
+}
+
+// TestKindPadDerived: the pad is the longest kind name plus one column of
+// breathing room — today that is len("reinstalled")+1 == 12, which keeps
+// the checked-in goldens stable. A longer kind added later widens every
+// line together instead of breaking alignment for just that kind.
+func TestKindPadDerived(t *testing.T) {
+	longest := 0
+	for _, k := range Kinds() {
+		if len(k) > longest {
+			longest = len(k)
+		}
+	}
+	if kindPad != longest+1 {
+		t.Fatalf("kindPad = %d, want longest kind (%d) + 1", kindPad, longest)
+	}
+	if kindPad != 12 {
+		t.Fatalf("kindPad = %d, want 12 — widening it drifts every checked-in golden; regenerate them deliberately", kindPad)
+	}
+}
+
+// TestEventStringAlignment: every kind renders at the same column width, so
+// timeline text stays a grid whatever mix of kinds a run emits.
+func TestEventStringAlignment(t *testing.T) {
+	var widths []int
+	for _, k := range Kinds() {
+		e := Event{At: 3 * time.Second, Kind: k, Core: 1, Area: 2}
+		s := e.String()
+		// The kind column ends where the padded field does; measure up to
+		// the first space run following the kind name.
+		idx := strings.Index(s, string(k))
+		if idx < 0 {
+			t.Fatalf("String() for %q does not contain the kind: %q", k, s)
+		}
+		rest := s[idx:]
+		pad := len(rest) - len(strings.TrimLeft(rest[len(k):], " ")) // kind + trailing spaces
+		widths = append(widths, idx+pad)
+	}
+	for i := 1; i < len(widths); i++ {
+		if widths[i] != widths[0] {
+			t.Fatalf("kind column width varies: %v (kinds %v)", widths, Kinds())
+		}
+	}
+}
+
+// TestCheckOrdered: non-decreasing passes; the first regression is named
+// with both positions.
+func TestCheckOrdered(t *testing.T) {
+	ok := []Event{
+		{At: 1 * time.Second, Kind: KindRound},
+		{At: 1 * time.Second, Kind: KindAlarm}, // ties are fine
+		{At: 2 * time.Second, Kind: KindRound},
+	}
+	if err := CheckOrdered(ok); err != nil {
+		t.Fatalf("ordered stream rejected: %v", err)
+	}
+	if err := CheckOrdered(nil); err != nil {
+		t.Fatalf("empty stream rejected: %v", err)
+	}
+	bad := []Event{
+		{At: 1 * time.Second, Kind: KindRound},
+		{At: 3 * time.Second, Kind: KindRound},
+		{At: 2 * time.Second, Kind: KindAlarm},
+	}
+	err := CheckOrdered(bad)
+	if err == nil {
+		t.Fatal("out-of-order stream accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "2") || !strings.Contains(msg, fmt.Sprint(2*time.Second)) {
+		t.Fatalf("error does not name the offending position/time: %q", msg)
+	}
+}

@@ -35,6 +35,30 @@ const (
 	KindFault Kind = "fault"
 )
 
+// Kinds lists every event kind, in declaration order. New kinds must be
+// added here: the timeline column width is derived from this set, and the
+// exhaustiveness is what keeps rendered timelines column-stable.
+func Kinds() []Kind {
+	return []Kind{
+		KindWorldEnter, KindRound, KindAlarm, KindSuspect, KindHidden,
+		KindCoreBack, KindReinstalled, KindGuardDeny, KindFault,
+	}
+}
+
+// kindPad is the column width the Kind field is left-padded to: the longest
+// kind plus one space of separation. Derived, not hard-coded, so adding a
+// longer kind widens every line instead of silently breaking alignment.
+// (Widening it changes the rendered timelines — regenerate the goldens.)
+var kindPad = func() int {
+	w := 0
+	for _, k := range Kinds() {
+		if len(k) > w {
+			w = len(k)
+		}
+	}
+	return w + 1
+}()
+
 // Event is one timeline entry.
 type Event struct {
 	// At is the virtual instant, as a duration since boot.
@@ -52,7 +76,7 @@ type Event struct {
 // String renders one line.
 func (e Event) String() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "[%12v] %-12s", e.At.Truncate(time.Microsecond), e.Kind)
+	fmt.Fprintf(&sb, "[%12v] %-*s", e.At.Truncate(time.Microsecond), kindPad, string(e.Kind))
 	if e.Core >= 0 {
 		fmt.Fprintf(&sb, " core=%d", e.Core)
 	}
@@ -143,6 +167,19 @@ func (t *Timeline) WriteText(w io.Writer) error {
 	for _, e := range t.Events() {
 		if _, err := fmt.Fprintln(w, e.String()); err != nil {
 			return fmt.Errorf("trace: writing text: %w", err)
+		}
+	}
+	return nil
+}
+
+// CheckOrdered verifies that the events' timestamps are non-decreasing, as
+// every stream exported by a live run must be (the bus publishes in engine
+// dispatch order). It returns an error naming the first out-of-order pair.
+func CheckOrdered(events []Event) error {
+	for i := 1; i < len(events); i++ {
+		if events[i].At < events[i-1].At {
+			return fmt.Errorf("trace: event %d (%s at %v) precedes event %d (%s at %v): stream is out of order",
+				i, events[i].Kind, events[i].At, i-1, events[i-1].Kind, events[i-1].At)
 		}
 	}
 	return nil

@@ -18,6 +18,7 @@ import (
 
 	"satin/internal/hw"
 	"satin/internal/obs"
+	"satin/internal/profile"
 	"satin/internal/simclock"
 	"satin/internal/trace"
 )
@@ -133,6 +134,9 @@ type Monitor struct {
 	entries   *obs.Counter
 	enterHist *obs.Histogram
 	exitHist  *obs.Histogram
+	// prof receives world-switch and secure-dispatch spans (nil unless
+	// SetProfiler was called; every emit is nil-safe).
+	prof *profile.Profiler
 
 	routing        RoutingMode
 	preemptionCost simclock.Dist
@@ -191,6 +195,13 @@ func (m *Monitor) Observe(bus *obs.Bus, reg *obs.Registry) {
 	m.enterHist = reg.Histogram("monitor.switch_enter_ns", SwitchBuckets())
 	m.exitHist = reg.Histogram("monitor.switch_exit_ns", SwitchBuckets())
 }
+
+// SetProfiler attaches the causal span profiler. Each world entry opens a
+// world-switch span (request → normal-world re-entry) containing a
+// secure-dispatch span (request → payload start) on the core's secure
+// track. Passing nil detaches; a detached monitor emits nothing and pays
+// only a nil check per entry.
+func (m *Monitor) SetProfiler(p *profile.Profiler) { m.prof = p }
 
 // SetRouting configures the non-secure interrupt routing (§II-B). In
 // Preemptive mode, an NS interrupt hitting a secure core is delivered
@@ -288,6 +299,8 @@ func (m *Monitor) SetSwitchPerturb(fn func(coreID int, base time.Duration) time.
 func (m *Monitor) enter(coreID int, reason EntryReason, fn func(ctx *Context)) {
 	m.inSecure[coreID] = true
 	requested := m.platform.Engine().Now()
+	m.prof.Begin(profile.SpanWorldSwitch, coreID, -1, requested.Duration(), reason.String())
+	m.prof.Begin(profile.SpanSecureDispatch, coreID, -1, requested.Duration(), "")
 	switchCost := m.platform.Perf().SwitchTime(m.rng)
 	m.platform.Engine().ScheduleAfter(switchCost, m.entryNames[coreID], func() {
 		core := m.platform.Core(coreID)
@@ -302,6 +315,7 @@ func (m *Monitor) enter(coreID int, reason EntryReason, fn func(ctx *Context)) {
 				Entered:   m.platform.Engine().Now(),
 			}
 			m.switches = append(m.switches, rec)
+			m.prof.End(profile.SpanSecureDispatch, coreID, rec.Entered.Duration())
 			m.entries.Inc()
 			m.enterHist.Observe(int64(rec.SwitchTime()))
 			m.bus.Publish(trace.Event{
@@ -335,6 +349,7 @@ func (m *Monitor) exit(coreID int) {
 	m.platform.Engine().ScheduleAfter(switchCost, m.exitNames[coreID], func() {
 		m.inSecure[coreID] = false
 		m.platform.Core(coreID).SetWorld(hw.NormalWorld)
+		m.prof.End(profile.SpanWorldSwitch, coreID, m.platform.Engine().Now().Duration())
 		if m.timerPending[coreID] {
 			// A secure timer fire was held while the core ran an SMC
 			// payload; with IRQs unmasked again it traps straight back in.

@@ -36,6 +36,7 @@ import (
 	"satin/internal/introspect"
 	"satin/internal/mem"
 	"satin/internal/obs"
+	"satin/internal/profile"
 	"satin/internal/richos"
 	"satin/internal/runner"
 	"satin/internal/simclock"
@@ -200,6 +201,45 @@ func NewStreamSink(w io.Writer, format ExportFormat) (*StreamSink, error) {
 	return obs.NewStreamSink(w, format)
 }
 
+// Re-exported profiling types. WithProfiling(true) attaches a causal span
+// profiler: world switches, secure dispatches, introspection rounds,
+// per-chunk hash walks, and evader evasion windows become typed intervals
+// of virtual time with parent/child causality links, assembled
+// deterministically as the run executes. The profiler never publishes to
+// the bus, so attaching it cannot change a run's event stream; detached
+// (the default), the emit points cost one nil check each.
+type (
+	// Profiler is the span collector; Scenario.Profiler returns it.
+	Profiler = profile.Profiler
+	// ProfileSpan is one typed interval of virtual time.
+	ProfileSpan = profile.Span
+	// ProfileSpanKind classifies a span.
+	ProfileSpanKind = profile.SpanKind
+	// ProfileSummary is the derived per-core attribution view; summaries
+	// from sweep seeds merge deterministically via MergeProfiles.
+	ProfileSummary = profile.Summary
+	// TraceDiffReport is the outcome of aligning two trace exports.
+	TraceDiffReport = trace.DiffReport
+)
+
+// MergeProfiles folds per-seed profile summaries into one, in the order
+// given (pass them seed-ordered for deterministic output).
+func MergeProfiles(sums []ProfileSummary) ProfileSummary { return profile.Merge(sums) }
+
+// DiffTraces aligns two exported event streams by (kind, core, area) and
+// reports first divergence plus per-group latency deltas — the regression
+// gate behind `satin-sim -diff` and tools/tracediff.
+func DiffTraces(a, b []TimelineEvent) TraceDiffReport { return trace.Diff(a, b) }
+
+// CheckTraceOrdered verifies a stream's timestamps are non-decreasing, as
+// any live export must be; `satin-sim -lint-trace` applies it after parsing.
+func CheckTraceOrdered(events []TimelineEvent) error { return trace.CheckOrdered(events) }
+
+// ValidateChromeTrace parses r as Chrome trace_event JSON and checks the
+// invariants Perfetto's importer relies on (structure, required fields,
+// per-track span nesting). It returns the number of events checked.
+func ValidateChromeTrace(r io.Reader) (int, error) { return profile.ValidateChromeTrace(r) }
+
 // ReadTraceJSONL parses a JSONL event stream written by a StreamSink —
 // the validation half of the export, used by `satin-sim -lint-trace` and
 // the CI smoke check.
@@ -282,6 +322,7 @@ type Scenario struct {
 	bus      *obs.Bus
 	reg      *obs.Registry
 	timeline *trace.Timeline
+	prof     *profile.Profiler
 }
 
 // Option configures a Scenario.
@@ -310,6 +351,7 @@ type options struct {
 	floodRate     float64
 	noObs         bool
 	noHashCache   bool
+	profiling     bool
 	faults        faultinject.Plan
 }
 
@@ -376,6 +418,17 @@ func WithRouting(mode RoutingMode) Option {
 // returns an empty snapshot.
 func WithObservability(enabled bool) Option {
 	return func(o *options) { o.noObs = !enabled }
+}
+
+// WithProfiling attaches the causal span profiler to every component in
+// the scenario (monitor, checker, SATIN, evader). It is off by default —
+// the detached emit points cost one nil check each, so profiling is purely
+// opt-in. Attaching it never changes the run: spans are assembled on the
+// side and the profiler only *subscribes* to the bus (for instants and
+// detection latency), never publishes. Retrieve results via
+// Scenario.Profiler().
+func WithProfiling(enabled bool) Option {
+	return func(o *options) { o.profiling = enabled }
 }
 
 // WithHashCache enables or disables the checker's incremental hash cache.
@@ -562,6 +615,28 @@ func NewScenario(opts ...Option) (*Scenario, error) {
 		}
 		sc.injector = inj
 	}
+	// Profiling attaches last, over the fully assembled testbed: every
+	// component gets the same handle, and the profiler subscribes to the bus
+	// (never publishes), so the event stream and goldens are untouched.
+	if o.profiling {
+		p := profile.NewProfiler(plat.NumCores())
+		p.Observe(sc.reg)
+		if sc.bus != nil {
+			sc.bus.Subscribe(p.OnEvent)
+		}
+		sc.monitor.SetProfiler(p)
+		sc.checker.SetProfiler(p)
+		if sc.satin != nil {
+			sc.satin.SetProfiler(p)
+		}
+		if sc.fastEvader != nil {
+			sc.fastEvader.SetProfiler(p)
+		}
+		if sc.evader != nil {
+			sc.evader.SetProfiler(p)
+		}
+		sc.prof = p
+	}
 	return sc, nil
 }
 
@@ -620,6 +695,11 @@ func (s *Scenario) Flood() *InterruptFlood { return s.flood }
 // Faults returns the installed fault injector, or nil when the scenario was
 // built without a fault plan (or with an empty one).
 func (s *Scenario) Faults() *FaultInjector { return s.injector }
+
+// Profiler returns the causal span profiler, or nil when the scenario was
+// built without WithProfiling(true). A nil Profiler is still a valid
+// zero-cost handle: every method on it is a no-op.
+func (s *Scenario) Profiler() *Profiler { return s.prof }
 
 // Bus returns the live event bus, or nil when the scenario was built with
 // WithObservability(false). Subscribe before driving the scenario to stream

@@ -1,0 +1,67 @@
+// Command tracediff aligns two streamed JSONL trace exports and reports
+// their divergence: the first structural mismatch (event kind/core/area out
+// of order or missing) and per-(kind, core, area) timing deltas. Exit code
+// is 0 when the traces agree within the budget, 1 otherwise — so CI can
+// assert "this run reproduces that run" in one line.
+//
+// Usage:
+//
+//	tracediff a.jsonl b.jsonl              # exact comparison
+//	tracediff -budget 1ms a.jsonl b.jsonl  # tolerate up to 1ms of skew per span
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"satin"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "tracediff: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tracediff", flag.ContinueOnError)
+	fs.SetOutput(out)
+	budget := fs.Duration("budget", 0, "largest per-span timing divergence tolerated (0 = exact)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("need exactly two trace files, got %d", fs.NArg())
+	}
+	a, err := readTrace(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	b, err := readTrace(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	rep := satin.DiffTraces(a, b)
+	fmt.Fprint(out, rep.Render(*budget))
+	if !rep.WithinBudget(*budget) {
+		return fmt.Errorf("traces %s and %s diverge beyond budget %v", fs.Arg(0), fs.Arg(1), *budget)
+	}
+	return nil
+}
+
+// readTrace loads one JSONL trace export.
+func readTrace(path string) ([]satin.TimelineEvent, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("opening trace: %w", err)
+	}
+	defer f.Close()
+	events, err := satin.ReadTraceJSONL(f)
+	if err != nil {
+		return nil, fmt.Errorf("trace %s: %w", path, err)
+	}
+	return events, nil
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTrace(t *testing.T, dir, name, body string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const traceA = `{"at_ns":1000,"kind":"round","core":0,"area":1}
+{"at_ns":2000,"kind":"round","core":0,"area":2}
+`
+
+// traceShifted is traceA with the second event 500ns late.
+const traceShifted = `{"at_ns":1000,"kind":"round","core":0,"area":1}
+{"at_ns":2500,"kind":"round","core":0,"area":2}
+`
+
+func TestTracediffIdentical(t *testing.T) {
+	dir := t.TempDir()
+	a := writeTrace(t, dir, "a.jsonl", traceA)
+	var out strings.Builder
+	if err := run([]string{a, a}, &out); err != nil {
+		t.Fatalf("self-diff failed: %v", err)
+	}
+	if !strings.Contains(out.String(), "zero divergence") {
+		t.Errorf("missing zero-divergence line:\n%s", out.String())
+	}
+}
+
+func TestTracediffBudget(t *testing.T) {
+	dir := t.TempDir()
+	a := writeTrace(t, dir, "a.jsonl", traceA)
+	b := writeTrace(t, dir, "b.jsonl", traceShifted)
+
+	var out strings.Builder
+	if err := run([]string{a, b}, &out); err == nil {
+		t.Fatal("500ns shift passed a zero budget")
+	}
+	out.Reset()
+	if err := run([]string{"-budget", "1us", a, b}, &out); err != nil {
+		t.Fatalf("500ns shift failed a 1µs budget: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "PASS") {
+		t.Errorf("missing PASS verdict:\n%s", out.String())
+	}
+}
+
+func TestTracediffUsageErrors(t *testing.T) {
+	dir := t.TempDir()
+	a := writeTrace(t, dir, "a.jsonl", traceA)
+	var out strings.Builder
+	if err := run([]string{a}, &out); err == nil {
+		t.Fatal("one file accepted")
+	}
+	if err := run([]string{a, filepath.Join(dir, "missing.jsonl")}, &out); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
