@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race determinism sweep-check trace-check profile-smoke sensitivity-smoke docs-check cover bench bench-json bench-smoke profile ci
+.PHONY: all build vet test race determinism sweep-check trace-check profile-smoke sensitivity-smoke spec-corpus-check spec-fuzz-smoke docs-check cover bench bench-json bench-smoke profile ci
 
 all: build test
 
@@ -60,6 +60,36 @@ profile-smoke:
 sensitivity-smoke:
 	$(GO) run ./cmd/benchtables -only=sensitivity -seeds 2 -quick
 
+# Conformance corpus through the binary: every manifest row's spec must
+# reproduce its committed golden byte for byte via satin-sim -spec, and
+# every committed spec must already be canonical (-dump-spec is the
+# identity on it). The same contract runs in-process in spec_corpus_test.go;
+# this target is the CLI-level proof.
+spec-corpus-check:
+	$(GO) build -o /tmp/satin-sim ./cmd/satin-sim
+	@set -e; while read -r spec kind golden; do \
+		case "$$spec" in ''|'#'*) continue;; esac; \
+		case "$$kind" in \
+			jsonl) out=/tmp/spec_corpus_out.jsonl; /tmp/satin-sim -spec $$spec -trace-out $$out > /dev/null;; \
+			csv) out=/tmp/spec_corpus_out.csv; /tmp/satin-sim -spec $$spec -trace-out $$out > /dev/null;; \
+			timeline) out=/tmp/spec_corpus_out.txt; /tmp/satin-sim -spec $$spec -timeline $$out > /dev/null;; \
+			*) echo "unknown export kind $$kind in corpus.manifest"; exit 1;; \
+		esac; \
+		cmp $$out $$golden || { echo "$$spec ($$kind) drifted from $$golden"; exit 1; }; \
+		echo "$$spec ($$kind) == $$golden"; \
+	done < testdata/specs/corpus.manifest
+	@set -e; for spec in testdata/specs/*.json; do \
+		/tmp/satin-sim -spec $$spec -dump-spec > /tmp/spec_canonical.json; \
+		cmp /tmp/spec_canonical.json $$spec || { echo "$$spec is not canonical; regenerate with: satin-sim -spec $$spec -dump-spec"; exit 1; }; \
+	done
+	@echo "spec corpus reproduces every golden; all committed specs are canonical"
+
+# Short fuzz run over the spec parser: any input that parses and validates
+# must canonicalize and build a scenario without panicking. The committed
+# corpus seeds the fuzzer.
+spec-fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz 'FuzzParseSpec$$' -fuzztime 20s ./internal/spec
+
 # Every internal package must open with a '// Package <name>' doc comment
 # so `go doc` gives a real answer at each layer.
 docs-check:
@@ -110,4 +140,4 @@ profile:
 		-cpuprofile /tmp/satin_cpu.prof -memprofile /tmp/satin_mem.prof -o /tmp/satin.test .
 	@echo "inspect with: $(GO) tool pprof /tmp/satin.test /tmp/satin_cpu.prof"
 
-ci: vet build test race determinism docs-check
+ci: vet build test race determinism spec-corpus-check docs-check

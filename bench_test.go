@@ -333,13 +333,6 @@ func BenchmarkKProber1Exposure(b *testing.B) {
 	b.ReportMetric(float64(res.Passes), "passes")
 }
 
-func boolMetric(v bool) float64 {
-	if v {
-		return 1
-	}
-	return 0
-}
-
 // BenchmarkFullKernelHash measures the raw simulated cost drivers: one
 // whole-kernel direct-hash check per core type (the ≈80 ms / ≈127 ms the
 // race analysis builds on), as wall-clock work for the simulator.

@@ -31,6 +31,13 @@
 // `experiment,metric,seed,value` CSV rows.
 //
 //	benchtables -detection -seeds 32 -progress -metrics-out detection.csv
+//
+// Spec sweeps: -spec FILE runs a scenario spec file (see EXPERIMENTS.md
+// "Spec files") as its own sweep instead of the built-in experiments: the
+// template is instantiated at seeds -seed..-seed+N-1 and each instantiation
+// runs through the same trial the satin-sim -spec path uses.
+//
+//	benchtables -spec testdata/specs/clean.json -seeds 8 -metrics-out clean.csv
 package main
 
 import (
@@ -43,6 +50,7 @@ import (
 	"strings"
 	"time"
 
+	"satin"
 	"satin/internal/experiment"
 	"satin/internal/runner"
 )
@@ -81,6 +89,7 @@ func runWith(args []string, out, errOut io.Writer) error {
 	progress := fs.Bool("progress", false, "stream per-trial sweep progress to stderr")
 	metricsOut := fs.String("metrics-out", "", "export every sweep's per-seed samples to this CSV file (needs -seeds > 1)")
 	profileOut := fs.String("profile-out", "", "run the profiled detection sweep and write the merged per-core span attribution table to this file")
+	specFile := fs.String("spec", "", "sweep this scenario spec file across -seeds seeds instead of a built-in experiment")
 
 	steps := allSteps(quick, seeds, workers)
 	// Every experiment name is also a boolean shorthand flag:
@@ -118,11 +127,11 @@ func runWith(args []string, out, errOut io.Writer) error {
 			want[name] = true
 		}
 	}
-	// With -profile-out and no experiment named, the profiled sweep IS the
+	// With -profile-out or -spec and no experiment named, that sweep IS the
 	// run: don't drag the full suite along.
 	selected := func(name string) bool {
 		if len(want) == 0 {
-			return *profileOut == ""
+			return *profileOut == "" && *specFile == ""
 		}
 		return want[name]
 	}
@@ -156,6 +165,16 @@ func runWith(args []string, out, errOut io.Writer) error {
 		} else if err := st.fn(out, *seed); err != nil {
 			return fmt.Errorf("%s: %w", st.name, err)
 		}
+		ran++
+	}
+	if *specFile != "" {
+		sw, err := runSpecFileSweep(*specFile, *seed, *seeds, *workers, *progress, errOut)
+		if err != nil {
+			return err
+		}
+		section(out, fmt.Sprintf("Spec sweep — %s (%s, %d seed(s))", sw.Name, *specFile, *seeds))
+		fmt.Fprint(out, sw.Render())
+		sweeps = append(sweeps, sw)
 		ran++
 	}
 	if *profileOut != "" {
@@ -204,6 +223,37 @@ func writeSweepCSV(path string, sweeps []*runner.Sweep) error {
 		}
 	}
 	return nil
+}
+
+// runSpecFileSweep sweeps the spec template in path across seeds
+// seed..seed+seeds-1 with the facade's canonical trial — the same builder
+// and metric reduction satin-sim -spec uses, so per-seed samples line up
+// with single runs of the instantiated specs.
+func runSpecFileSweep(path string, seed uint64, seeds, workers int, progress bool, errOut io.Writer) (*runner.Sweep, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading spec: %w", err)
+	}
+	tmpl, err := satin.ParseSpec(data)
+	if err != nil {
+		return nil, fmt.Errorf("spec %s: %w", path, err)
+	}
+	var observer runner.Progress
+	if progress {
+		observer = func(done, total, index int, elapsed time.Duration, trialErr error) {
+			status := "ok"
+			if trialErr != nil {
+				status = "FAILED: " + trialErr.Error()
+			}
+			fmt.Fprintf(errOut, "spec: %d/%d seed %d in %v %s\n",
+				done, total, seed+uint64(index), elapsed.Truncate(time.Millisecond), status)
+		}
+	}
+	sw, err := experiment.RunSpecSweep(context.Background(), tmpl, seed, seeds, workers, observer, satin.RunSpecTrial)
+	if err != nil {
+		return nil, fmt.Errorf("spec %s: %w", path, err)
+	}
+	return sw, nil
 }
 
 // writeProfileSweep runs the §VI-B1 detection experiment with the span

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSpecSweepRunsAlone: -spec with no experiment named runs only the spec
+// sweep and its samples reach -metrics-out.
+func TestSpecSweepRunsAlone(t *testing.T) {
+	csvPath := filepath.Join(t.TempDir(), "clean.csv")
+	specPath := filepath.Join("..", "..", "testdata", "specs", "clean.json")
+	var out strings.Builder
+	if err := run([]string{"-spec", specPath, "-seeds", "2", "-metrics-out", csvPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "Spec sweep — clean") {
+		t.Errorf("missing spec sweep section:\n%s", got)
+	}
+	if strings.Contains(got, "Table I") {
+		t.Errorf("-spec also ran built-in experiments:\n%s", got)
+	}
+	data, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"full scans", "detected"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("metrics CSV missing %q rows:\n%s", want, data)
+		}
+	}
+}
+
+// TestSpecSweepDeterministic: the rendered sweep is byte-identical across
+// worker counts.
+func TestSpecSweepDeterministic(t *testing.T) {
+	specPath := filepath.Join("..", "..", "testdata", "specs", "clean.json")
+	render := func(workers string) string {
+		var out strings.Builder
+		if err := run([]string{"-spec", specPath, "-seeds", "3", "-workers", workers}, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	if a, b := render("1"), render("3"); a != b {
+		t.Errorf("-workers changes spec sweep output:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestSpecSweepBadFile: unreadable and invalid templates fail with
+// file-scoped errors.
+func TestSpecSweepBadFile(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-spec", filepath.Join(t.TempDir(), "missing.json")}, &out); err == nil {
+		t.Error("missing spec file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"version": 1, "evader": {"kind": "ghost"}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-spec", bad}, &out)
+	if err == nil || !strings.Contains(err.Error(), bad) {
+		t.Errorf("invalid template error %v should name the file", err)
+	}
+}

@@ -18,6 +18,15 @@
 //	satin-sim -profile-out profile.txt          # per-core virtual-time attribution table
 //	satin-sim -diff a.jsonl b.jsonl             # align two trace exports, report divergence
 //	satin-sim -lint-chrome spans.json           # validate a Chrome trace_event JSON file
+//	satin-sim -spec scenario.json               # run a declarative scenario spec file
+//	satin-sim -scans 1 -dump-spec               # print the flags' effective spec, don't run
+//
+// A spec file is the whole scenario (seed, defense, evader, faults, run
+// horizon — see EXPERIMENTS.md "Spec files"), so scenario-shaping flags
+// cannot be combined with -spec; export flags (-trace-out, -timeline, ...)
+// can. Every flag invocation is internally synthesized into the same spec
+// form — -dump-spec prints it, and running the printed file reproduces the
+// flag run byte for byte.
 package main
 
 import (
@@ -41,6 +50,8 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("satin-sim", flag.ContinueOnError)
 	fs.SetOutput(out)
+	specPath := fs.String("spec", "", `run the scenario described by this JSON spec file (see EXPERIMENTS.md "Spec files")`)
+	dumpSpec := fs.Bool("dump-spec", false, "print the effective canonical scenario spec as JSON and exit without running")
 	seed := fs.Uint64("seed", 1, "root seed")
 	defense := fs.String("defense", "satin", "defense: satin | baseline | none")
 	evader := fs.String("evader", "fast", "attacker: fast | thread | none")
@@ -94,76 +105,60 @@ func run(args []string, out io.Writer) error {
 		return diffTraceFiles(out, *diff, fs.Arg(0), *diffBudget)
 	}
 
-	opts := []satin.Option{satin.WithSeed(*seed)}
-	if *chromeTrace != "" || *profileOut != "" {
-		opts = append(opts, satin.WithProfiling(true))
+	// The flags are a synthesis layer: both modes produce a scenario spec,
+	// and everything downstream (build, drive, exports) runs off the spec.
+	var s satin.ScenarioSpec
+	if *specPath != "" {
+		if set := scenarioFlagsSet(fs); len(set) > 0 {
+			return fmt.Errorf("-%s cannot be combined with -spec (the spec file describes the scenario; use -dump-spec to inspect it)", set[0])
+		}
+		data, err := os.ReadFile(*specPath)
+		if err != nil {
+			return fmt.Errorf("reading spec: %w", err)
+		}
+		if s, err = satin.ParseSpec(data); err != nil {
+			return fmt.Errorf("spec %s: %w", *specPath, err)
+		}
+	} else {
+		var err error
+		if s, err = specFromFlags(*seed, *defense, *evader, *tp, *scans, *rounds, *threshold, *routing, *guard, *faults, *flood); err != nil {
+			return err
+		}
 	}
-	if *faults != "" {
-		plan, err := satin.ParseFaultPlan(*faults)
+	// Export flags compose with either mode, overriding the spec's own
+	// export section entry by entry.
+	applyExportFlags(&s, *timeline, *traceOut, *metricsOut, *chromeTrace, *profileOut)
+	s, err := satin.CanonicalizeSpec(s)
+	if err != nil {
+		if *specPath != "" {
+			return fmt.Errorf("spec %s: %w", *specPath, err)
+		}
+		return err
+	}
+	if *dumpSpec {
+		b, err := satin.MarshalSpec(s)
 		if err != nil {
 			return err
 		}
-		opts = append(opts, satin.WithFaultPlan(plan))
+		_, err = out.Write(b)
+		return err
 	}
-	switch *routing {
-	case "nonpreemptive":
-	case "preemptive":
-		opts = append(opts, satin.WithRouting(satin.Preemptive))
-	default:
-		return fmt.Errorf("unknown routing %q", *routing)
-	}
-	if *flood > 0 {
-		opts = append(opts, satin.WithFlood(*flood))
-	}
-	switch *guard {
-	case "off":
-	case "on":
-		opts = append(opts, satin.WithSyncGuard(false))
-	case "bypassed":
-		opts = append(opts, satin.WithSyncGuard(true))
-	default:
-		return fmt.Errorf("unknown guard %q", *guard)
-	}
-	switch *evader {
-	case "fast":
-		opts = append(opts, satin.WithFastEvader(0, *threshold))
-	case "thread":
-		opts = append(opts, satin.WithThreadEvader(*threshold))
-	case "none":
-	default:
-		return fmt.Errorf("unknown evader %q", *evader)
-	}
-	switch *defense {
-	case "satin":
-		cfg := satin.DefaultConfig()
-		cfg.Tgoal = 19 * *tp
-		cfg.MaxRounds = *scans * 19
-		cfg.Seed = *seed + 2
-		opts = append(opts, satin.WithSATIN(cfg))
-	case "baseline":
-		opts = append(opts, satin.WithBaseline(satin.BaselineConfig{
-			Period:          *tp,
-			RandomizePeriod: true,
-			Selection:       satin.RandomCore,
-			Technique:       satin.DirectHash,
-			MaxRounds:       *rounds,
-		}))
-	case "none":
-	default:
-		return fmt.Errorf("unknown defense %q", *defense)
+	var exp satin.SpecExport
+	if s.Export != nil {
+		exp = *s.Export
 	}
 
-	sc, err := satin.NewScenario(opts...)
+	sc, err := satin.FromSpec(s)
 	if err != nil {
 		return err
 	}
 	var sink *satin.StreamSink
-	if *traceOut != "" {
+	if exp.Trace != "" {
 		format := satin.ExportJSONL
-		if strings.HasSuffix(*traceOut, ".csv") {
+		if strings.HasSuffix(exp.Trace, ".csv") {
 			format = satin.ExportCSV
 		}
-		f, err := os.Create(*traceOut)
+		f, err := os.Create(exp.Trace)
 		if err != nil {
 			return fmt.Errorf("creating trace file: %w", err)
 		}
@@ -187,25 +182,7 @@ func run(args []string, out io.Writer) error {
 				r.Elapsed().Truncate(time.Microsecond), verdict)
 		})
 	}
-	if *defense == "none" && *evader == "none" {
-		return fmt.Errorf("nothing to simulate: pick a defense or an evader")
-	}
-	switch {
-	case *defense == "none":
-		// Attack-only runs have no natural end; watch for a minute.
-		sc.Run(time.Minute)
-	case *evader == "thread" || *flood > 0:
-		// Thread-level evaders and floods schedule events forever, so the
-		// queue never drains; run a horizon generous enough for every
-		// randomized round to land.
-		n := *scans * 19
-		if *defense == "baseline" {
-			n = *rounds
-		}
-		sc.Run(time.Duration(n+7) * 2 * *tp)
-	default:
-		sc.RunToCompletion()
-	}
+	satin.DriveSpec(sc, s)
 
 	// The summary renders from the scenario's own end-of-run Report; only
 	// per-alarm details and thread-evader staleness need the component
@@ -241,11 +218,11 @@ func run(args []string, out io.Writer) error {
 		if err := sink.Flush(); err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "trace: %d events streamed to %s\n", sink.Events(), *traceOut)
+		fmt.Fprintf(out, "trace: %d events streamed to %s\n", sink.Events(), exp.Trace)
 	}
 	if p := sc.Profiler(); p != nil {
-		if *chromeTrace != "" {
-			f, err := os.Create(*chromeTrace)
+		if exp.ChromeTrace != "" {
+			f, err := os.Create(exp.ChromeTrace)
 			if err != nil {
 				return fmt.Errorf("creating chrome trace file: %w", err)
 			}
@@ -253,10 +230,10 @@ func run(args []string, out io.Writer) error {
 			if err := p.WriteChromeTrace(f, rep.Elapsed); err != nil {
 				return err
 			}
-			fmt.Fprintf(out, "chrome trace: %d spans written to %s\n", p.SpanCount(), *chromeTrace)
+			fmt.Fprintf(out, "chrome trace: %d spans written to %s\n", p.SpanCount(), exp.ChromeTrace)
 		}
-		if *profileOut != "" {
-			f, err := os.Create(*profileOut)
+		if exp.Profile != "" {
+			f, err := os.Create(exp.Profile)
 			if err != nil {
 				return fmt.Errorf("creating profile file: %w", err)
 			}
@@ -264,16 +241,16 @@ func run(args []string, out io.Writer) error {
 			if _, err := io.WriteString(f, p.Summary(rep.Elapsed).Render()); err != nil {
 				return err
 			}
-			fmt.Fprintf(out, "profile: %d spans attributed to %s\n", p.SpanCount(), *profileOut)
+			fmt.Fprintf(out, "profile: %d spans attributed to %s\n", p.SpanCount(), exp.Profile)
 		}
 	}
-	if *metricsOut != "" {
-		f, err := os.Create(*metricsOut)
+	if exp.Metrics != "" {
+		f, err := os.Create(exp.Metrics)
 		if err != nil {
 			return fmt.Errorf("creating metrics file: %w", err)
 		}
 		defer f.Close()
-		if strings.HasSuffix(*metricsOut, ".csv") {
+		if strings.HasSuffix(exp.Metrics, ".csv") {
 			err = rep.Metrics.WriteCSV(f)
 		} else {
 			_, err = io.WriteString(f, rep.Metrics.String())
@@ -281,16 +258,16 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "metrics: %d metrics written to %s\n", len(rep.Metrics.Rows), *metricsOut)
+		fmt.Fprintf(out, "metrics: %d metrics written to %s\n", len(rep.Metrics.Rows), exp.Metrics)
 	}
-	if *timeline != "" {
-		f, err := os.Create(*timeline)
+	if exp.Timeline != "" {
+		f, err := os.Create(exp.Timeline)
 		if err != nil {
 			return fmt.Errorf("creating timeline file: %w", err)
 		}
 		defer f.Close()
 		tl := sc.Timeline()
-		if strings.HasSuffix(*timeline, ".json") {
+		if strings.HasSuffix(exp.Timeline, ".json") {
 			err = tl.WriteJSON(f)
 		} else {
 			err = tl.WriteText(f)
@@ -298,9 +275,126 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "timeline: %d events written to %s\n", tl.Len(), *timeline)
+		fmt.Fprintf(out, "timeline: %d events written to %s\n", tl.Len(), exp.Timeline)
 	}
 	return nil
+}
+
+// scenarioFlagNames are the flags that describe the scenario itself — in
+// -spec mode the file is the single source of truth, so setting any of them
+// alongside -spec is an error. Export and output flags stay composable.
+var scenarioFlagNames = map[string]bool{
+	"seed": true, "defense": true, "evader": true, "tp": true, "scans": true,
+	"rounds": true, "threshold": true, "routing": true, "flood": true,
+	"guard": true, "faults": true,
+}
+
+// scenarioFlagsSet lists the scenario flags explicitly set on the command
+// line, in visit order.
+func scenarioFlagsSet(fs *flag.FlagSet) []string {
+	var set []string
+	fs.Visit(func(f *flag.Flag) {
+		if scenarioFlagNames[f.Name] {
+			set = append(set, f.Name)
+		}
+	})
+	return set
+}
+
+// specFromFlags synthesizes a scenario spec from the classic flag surface —
+// the same scenario those flags have always built, now expressed as the
+// declarative artifact (`-dump-spec` prints it). The SATIN section follows
+// the historical conventions: Tgoal = 19·tp, MaxRounds = scans·19, and the
+// defense seed left at zero so it derives from the root seed (root+2).
+func specFromFlags(seed uint64, defense, evader string, tp time.Duration, scans, rounds int, threshold time.Duration, routing, guard, faults string, flood float64) (satin.ScenarioSpec, error) {
+	s := satin.ScenarioSpec{Version: satin.ScenarioSpecVersion, Seed: seed, Faults: faults}
+	switch routing {
+	case "nonpreemptive", "preemptive":
+		s.Routing = routing
+	default:
+		return s, fmt.Errorf("unknown routing %q", routing)
+	}
+	switch guard {
+	case "off", "on", "bypassed":
+		s.Guard = guard
+	default:
+		return s, fmt.Errorf("unknown guard %q", guard)
+	}
+	if flood != 0 {
+		s.Workload = &satin.SpecWorkload{FloodRate: flood}
+	}
+	switch evader {
+	case "fast", "thread":
+		s.Evader = satin.SpecEvader{Kind: evader, Threshold: satin.SpecDuration(threshold)}
+	case "none":
+		s.Evader = satin.SpecEvader{Kind: "none"}
+	default:
+		return s, fmt.Errorf("unknown evader %q", evader)
+	}
+	switch defense {
+	case "satin":
+		s.Defense = satin.SpecDefense{Kind: "satin", SATIN: &satin.SpecSATINConfig{
+			Tgoal:     satin.SpecDuration(19 * tp),
+			MaxRounds: scans * 19,
+		}}
+	case "baseline":
+		s.Defense = satin.SpecDefense{Kind: "baseline", Baseline: &satin.SpecBaselineConfig{
+			Period:          satin.SpecDuration(tp),
+			RandomizePeriod: true,
+			Selection:       "random",
+			Technique:       "direct",
+			MaxRounds:       rounds,
+		}}
+	case "none":
+		s.Defense = satin.SpecDefense{Kind: "none"}
+	default:
+		return s, fmt.Errorf("unknown defense %q", defense)
+	}
+	switch {
+	case defense == "none" && evader == "none":
+		return s, fmt.Errorf("nothing to simulate: pick a defense or an evader")
+	case defense == "none":
+		// Attack-only runs have no natural end; watch for a minute.
+		s.Run = satin.SpecRun{For: satin.SpecDuration(time.Minute)}
+	case evader == "thread" || flood > 0:
+		// Thread-level evaders and floods schedule events forever, so the
+		// queue never drains; run a horizon generous enough for every
+		// randomized round to land.
+		n := scans * 19
+		if defense == "baseline" {
+			n = rounds
+		}
+		s.Run = satin.SpecRun{For: satin.SpecDuration(time.Duration(n+7) * 2 * tp)}
+	default:
+		s.Run = satin.SpecRun{ToCompletion: true}
+	}
+	return s, nil
+}
+
+// applyExportFlags merges the export flags over the spec's export section;
+// a set flag wins over the spec entry for the same artifact.
+func applyExportFlags(s *satin.ScenarioSpec, timeline, trace, metrics, chromeTrace, profile string) {
+	if timeline == "" && trace == "" && metrics == "" && chromeTrace == "" && profile == "" {
+		return
+	}
+	if s.Export == nil {
+		s.Export = &satin.SpecExport{}
+	}
+	if timeline != "" {
+		s.Export.Timeline = timeline
+	}
+	if trace != "" {
+		s.Export.Trace = trace
+	}
+	if metrics != "" {
+		s.Export.Metrics = metrics
+	}
+	if chromeTrace != "" {
+		s.Export.ChromeTrace = chromeTrace
+	}
+	if profile != "" {
+		s.Export.Profile = profile
+	}
 }
 
 // lintTraceFile validates a streamed JSONL trace and reports the event

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"satin"
+)
+
+// TestSpecReproducesGolden: running the committed clean spec through the
+// CLI reproduces the flag path's golden trace byte for byte.
+func TestSpecReproducesGolden(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "trace.jsonl")
+	var out strings.Builder
+	args := []string{"-spec", filepath.Join("..", "..", "testdata", "specs", "clean.json"), "-trace-out", trace}
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("..", "..", "testdata", "trace_seed1.jsonl.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("spec-driven trace drifted from golden (%d bytes vs %d)", len(got), len(want))
+	}
+}
+
+// TestDumpSpecRoundTrips: -dump-spec output for a flag invocation parses
+// and canonicalizes back to itself, so flags are now just spec synthesis.
+func TestDumpSpecRoundTrips(t *testing.T) {
+	for _, args := range [][]string{
+		{"-scans", "1", "-tp", "1s"},
+		{"-defense", "baseline", "-rounds", "3", "-tp", "1s", "-evader", "thread", "-threshold", "2ms"},
+		{"-seed", "9", "-faults", "jitter:0.05;irq:p=0.05,delay=100us", "-guard", "on", "-routing", "preemptive"},
+		{"-defense", "none", "-evader", "fast", "-flood", "1000"},
+	} {
+		t.Run(strings.Join(args, " "), func(t *testing.T) {
+			var out strings.Builder
+			if err := run(append(args, "-dump-spec"), &out); err != nil {
+				t.Fatal(err)
+			}
+			dumped := []byte(out.String())
+			s, err := satin.ParseSpec(dumped)
+			if err != nil {
+				t.Fatalf("dumped spec does not parse: %v\n%s", err, dumped)
+			}
+			c, err := satin.CanonicalizeSpec(s)
+			if err != nil {
+				t.Fatalf("dumped spec does not canonicalize: %v\n%s", err, dumped)
+			}
+			if !reflect.DeepEqual(s, c) {
+				t.Errorf("dumped spec is not canonical:\ndumped:    %+v\ncanonical: %+v", s, c)
+			}
+			again, err := satin.MarshalSpec(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(dumped, again) {
+				t.Errorf("-dump-spec output is not a Marshal fixed point:\n%s\nvs\n%s", dumped, again)
+			}
+		})
+	}
+}
+
+// TestSpecRejectsScenarioFlags: scenario-shaping flags cannot be combined
+// with -spec (the spec file is the single source of truth).
+func TestSpecRejectsScenarioFlags(t *testing.T) {
+	specFile := filepath.Join("..", "..", "testdata", "specs", "clean.json")
+	for _, extra := range [][]string{
+		{"-seed", "2"},
+		{"-defense", "baseline"},
+		{"-tp", "1s"},
+		{"-faults", "jitter:0.1"},
+	} {
+		var out strings.Builder
+		err := run(append([]string{"-spec", specFile}, extra...), &out)
+		if err == nil || !strings.Contains(err.Error(), "cannot be combined with -spec") {
+			t.Errorf("%v with -spec: err = %v, want combination rejection", extra, err)
+		}
+	}
+}
+
+// TestSpecAllowsExportFlags: export destinations are not scenario shape, so
+// they may be layered over a spec from the command line.
+func TestSpecAllowsExportFlags(t *testing.T) {
+	tl := filepath.Join(t.TempDir(), "tl.txt")
+	var out strings.Builder
+	args := []string{"-spec", filepath.Join("..", "..", "testdata", "specs", "clean.json"), "-timeline", tl}
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	if data, err := os.ReadFile(tl); err != nil || len(data) == 0 {
+		t.Errorf("timeline export over spec failed (err %v, %d bytes)", err, len(data))
+	}
+}
+
+// TestSpecBadFile: unreadable and invalid spec files produce file-scoped
+// errors rather than partial runs.
+func TestSpecBadFile(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-spec", filepath.Join(t.TempDir(), "missing.json")}, &out); err == nil {
+		t.Error("missing spec file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"version": 1, "defense": {"kind": "warp"}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-spec", bad}, &out)
+	if err == nil || !strings.Contains(err.Error(), bad) {
+		t.Errorf("invalid spec error %v should name the file", err)
+	}
+}

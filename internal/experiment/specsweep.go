@@ -1,0 +1,41 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+
+	"satin/internal/runner"
+	"satin/internal/spec"
+)
+
+// SpecTrial builds and drives the scenario one instantiated spec describes
+// and reduces the run to sweep metrics. The facade provides the canonical
+// implementation (satin.RunSpecTrial); it is injected rather than imported
+// because the root package's own tests import this package, so experiment
+// must never import satin.
+type SpecTrial func(spec.Spec) (runner.Metrics, error)
+
+// RunSpecSweep sweeps a spec template across seeds baseSeed..baseSeed+seeds-1:
+// each trial runs spec.Instantiate(template, seed) — the root seed replaced,
+// every other field carried verbatim (a zero defense seed keeps deriving from
+// the root, an explicit one stays pinned) — and the per-seed metrics are
+// aggregated in seed order, so output is byte-identical for any worker count.
+// The template is canonicalized once up front; an invalid template fails the
+// sweep before any trial runs.
+func RunSpecSweep(ctx context.Context, tmpl spec.Spec, baseSeed uint64, seeds, workers int, progress runner.Progress, trial SpecTrial) (*runner.Sweep, error) {
+	if trial == nil {
+		return nil, fmt.Errorf("experiment: spec sweep needs a trial function")
+	}
+	c, err := spec.Canonicalize(tmpl)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: spec template: %w", err)
+	}
+	name := c.Name
+	if name == "" {
+		name = "spec sweep"
+	}
+	return runner.RunSweepObserved(ctx, name, baseSeed, seeds, workers, progress,
+		func(_ context.Context, seed uint64) (runner.Metrics, error) {
+			return trial(spec.Instantiate(c, seed))
+		})
+}

@@ -1,0 +1,122 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"satin/internal/runner"
+	"satin/internal/spec"
+)
+
+// sweepTemplate is a minimal valid spec template for sweep tests.
+func sweepTemplate() spec.Spec {
+	var s spec.Spec
+	s.Version = spec.CurrentVersion
+	s.Name = "sweep under test"
+	s.Defense.Kind = spec.DefenseSATIN
+	s.Defense.SATIN = &spec.SATINConfig{MaxRounds: 19}
+	s.Evader.Kind = spec.EvaderFast
+	s.Run.ToCompletion = true
+	return s
+}
+
+// TestRunSpecSweepInstantiatesSeeds: the injected trial sees one canonical
+// instantiation per seed, with the root seed substituted and the defense
+// seed left for derivation.
+func TestRunSpecSweepInstantiatesSeeds(t *testing.T) {
+	var mu sync.Mutex
+	got := map[uint64]spec.Spec{}
+	trial := func(s spec.Spec) (runner.Metrics, error) {
+		mu.Lock()
+		got[s.Seed] = s
+		mu.Unlock()
+		return runner.Metrics{}.Add("seed", float64(s.Seed)), nil
+	}
+	sw, err := RunSpecSweep(context.Background(), sweepTemplate(), 7, 4, 2, nil, trial)
+	if err != nil {
+		t.Fatalf("RunSpecSweep: %v", err)
+	}
+	if want := []uint64{7, 8, 9, 10}; !reflect.DeepEqual(sw.Seeds, want) {
+		t.Fatalf("sweep seeds = %v, want %v", sw.Seeds, want)
+	}
+	for seed := uint64(7); seed <= 10; seed++ {
+		inst, ok := got[seed]
+		if !ok {
+			t.Fatalf("trial never saw seed %d (saw %v)", seed, got)
+		}
+		if inst.Name != "sweep under test" || inst.Defense.Kind != spec.DefenseSATIN {
+			t.Errorf("instantiation at seed %d lost template fields: %+v", seed, inst)
+		}
+		if inst.Defense.SATIN == nil || inst.Defense.SATIN.Seed != 0 {
+			t.Errorf("instantiation at seed %d should keep the defense seed derivable, got %+v", seed, inst.Defense.SATIN)
+		}
+	}
+}
+
+// TestRunSpecSweepWorkerInvariance: the rendered sweep is byte-identical
+// for any worker count.
+func TestRunSpecSweepWorkerInvariance(t *testing.T) {
+	trial := func(s spec.Spec) (runner.Metrics, error) {
+		return runner.Metrics{}.Add("twice seed", float64(2*s.Seed)), nil
+	}
+	render := func(workers int) string {
+		sw, err := RunSpecSweep(context.Background(), sweepTemplate(), 1, 8, workers, nil, trial)
+		if err != nil {
+			t.Fatalf("RunSpecSweep(workers=%d): %v", workers, err)
+		}
+		return sw.Render()
+	}
+	base := render(1)
+	for _, workers := range []int{2, 4, 8} {
+		if out := render(workers); out != base {
+			t.Errorf("workers=%d renders differently:\n%s\nvs workers=1:\n%s", workers, out, base)
+		}
+	}
+}
+
+// TestRunSpecSweepRejectsBadInputs: a nil trial and an invalid template
+// both fail before any trial runs.
+func TestRunSpecSweepRejectsBadInputs(t *testing.T) {
+	if _, err := RunSpecSweep(context.Background(), sweepTemplate(), 1, 2, 1, nil, nil); err == nil {
+		t.Error("nil trial accepted")
+	}
+	bad := sweepTemplate()
+	bad.Defense.Kind = "warp drive"
+	ran := false
+	trial := func(spec.Spec) (runner.Metrics, error) {
+		ran = true
+		return nil, nil
+	}
+	_, err := RunSpecSweep(context.Background(), bad, 1, 2, 1, nil, trial)
+	if err == nil || !strings.Contains(err.Error(), "spec template") {
+		t.Errorf("invalid template error = %v, want wrapped spec template error", err)
+	}
+	if ran {
+		t.Error("trial ran despite invalid template")
+	}
+}
+
+// TestRunSpecSweepTrialErrors: trial failures become per-seed Failures, not
+// sweep errors.
+func TestRunSpecSweepTrialErrors(t *testing.T) {
+	trial := func(s spec.Spec) (runner.Metrics, error) {
+		if s.Seed == 2 {
+			return nil, fmt.Errorf("boom at %d", s.Seed)
+		}
+		return runner.Metrics{}.Add("ok", 1), nil
+	}
+	sw, err := RunSpecSweep(context.Background(), sweepTemplate(), 1, 3, 1, nil, trial)
+	if err != nil {
+		t.Fatalf("RunSpecSweep: %v", err)
+	}
+	if want := []uint64{1, 3}; !reflect.DeepEqual(sw.Seeds, want) {
+		t.Errorf("sweep seeds = %v, want %v", sw.Seeds, want)
+	}
+	if len(sw.Failures) != 1 || sw.Failures[0].Seed != 2 {
+		t.Errorf("failures = %+v, want exactly seed 2", sw.Failures)
+	}
+}

@@ -212,10 +212,31 @@ func parseNum(s string) (float64, error) {
 	return v, nil
 }
 
-// parseDistDuration reads one duration D and widens it to the bounded
-// distribution [D/2, D, 2·D], whose mean-preserving draw averages D.
+// parseDistDuration reads a bounded duration distribution: either a single
+// duration D — shorthand for [D/2, D, 2·D], whose mean-preserving draw
+// averages D — or an explicit "min/avg/max" triple ("20µs/60µs/200µs"),
+// which Plan.String emits for distributions the shorthand cannot express.
 func parseDistDuration(s string) (simclock.Dist, error) {
-	d, err := time.ParseDuration(strings.TrimSpace(s))
+	s = strings.TrimSpace(s)
+	if parts := strings.Split(s, "/"); len(parts) != 1 {
+		if len(parts) != 3 {
+			return simclock.Dist{}, fmt.Errorf("distribution %q is neither a duration nor min/avg/max", s)
+		}
+		var ds [3]time.Duration
+		for i, p := range parts {
+			d, err := time.ParseDuration(strings.TrimSpace(p))
+			if err != nil {
+				return simclock.Dist{}, err
+			}
+			ds[i] = d
+		}
+		dist := simclock.Dist{Min: ds[0], Avg: ds[1], Max: ds[2]}
+		if err := dist.Validate(); err != nil {
+			return simclock.Dist{}, err
+		}
+		return dist, nil
+	}
+	d, err := time.ParseDuration(s)
 	if err != nil {
 		return simclock.Dist{}, err
 	}
@@ -223,4 +244,72 @@ func parseDistDuration(s string) (simclock.Dist, error) {
 		return simclock.Dist{}, fmt.Errorf("duration %v must be positive", d)
 	}
 	return simclock.Dist{Min: d / 2, Avg: d, Max: 2 * d}, nil
+}
+
+// formatDist renders a distribution in the tightest grammar form: the
+// single-duration shorthand when the triple is exactly its widening, the
+// explicit min/avg/max triple otherwise.
+func formatDist(d simclock.Dist) string {
+	if d.Avg > 0 && d.Min == d.Avg/2 && d.Max == 2*d.Avg {
+		return d.Avg.String()
+	}
+	return d.Min.String() + "/" + d.Avg.String() + "/" + d.Max.String()
+}
+
+// formatNum renders a float in the shortest form that parses back exactly.
+func formatNum(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// String renders the plan in the -faults grammar, one clause per configured
+// fault kind, so plans are serializable: ParsePlan(p.String()) reproduces p
+// field for field, and the empty plan renders as "". This is the form specs
+// and -dump-spec embed.
+func (p Plan) String() string {
+	var clauses []string
+	if p.RateJitter != 0 {
+		clauses = append(clauses, "jitter:"+formatNum(p.RateJitter))
+	}
+	for _, s := range p.DVFS {
+		c := "dvfs:at=" + s.At.String() + ",factor=" + formatNum(s.Factor)
+		if s.Core != -1 {
+			c += ",core=" + strconv.Itoa(s.Core)
+		}
+		clauses = append(clauses, c)
+	}
+	for _, h := range p.Hotplug {
+		key := "off"
+		if h.Online {
+			key = "on"
+		}
+		clauses = append(clauses, fmt.Sprintf("hotplug:core=%d,%s=%s", h.Core, key, h.At))
+	}
+	if p.IRQ != (IRQFaults{}) {
+		var parts []string
+		if p.IRQ.DelayProb != 0 {
+			parts = append(parts, "p="+formatNum(p.IRQ.DelayProb))
+		}
+		if p.IRQ.Delay != (simclock.Dist{}) {
+			parts = append(parts, "delay="+formatDist(p.IRQ.Delay))
+		}
+		if p.IRQ.DropProb != 0 {
+			parts = append(parts, "drop="+formatNum(p.IRQ.DropProb))
+		}
+		if p.IRQ.RetryDelay != (simclock.Dist{}) {
+			parts = append(parts, "retry="+formatDist(p.IRQ.RetryDelay))
+		}
+		if p.IRQ.MaxRetries != 0 {
+			parts = append(parts, "retries="+strconv.Itoa(p.IRQ.MaxRetries))
+		}
+		clauses = append(clauses, "irq:"+strings.Join(parts, ","))
+	}
+	if p.Switch != (SwitchFaults{}) {
+		var parts []string
+		if p.Switch.SpikeProb != 0 {
+			parts = append(parts, "p="+formatNum(p.Switch.SpikeProb))
+		}
+		if p.Switch.Spike != (simclock.Dist{}) {
+			parts = append(parts, "spike="+formatDist(p.Switch.Spike))
+		}
+		clauses = append(clauses, "switch:"+strings.Join(parts, ","))
+	}
+	return strings.Join(clauses, ";")
 }

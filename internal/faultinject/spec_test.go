@@ -1,6 +1,8 @@
 package faultinject
 
 import (
+	"fmt"
+	"reflect"
 	"testing"
 	"time"
 
@@ -84,6 +86,78 @@ func TestParsePlanErrors(t *testing.T) {
 	} {
 		if _, err := ParsePlan(spec); err == nil {
 			t.Errorf("ParsePlan(%q) accepted", spec)
+		}
+	}
+}
+
+// TestPlanStringRoundTrip is the serialization property behind scenario
+// specs: for any plan, ParsePlan(p.String()) must reproduce p field for
+// field, and String must be a fixed point (formatting is canonical).
+func TestPlanStringRoundTrip(t *testing.T) {
+	plans := map[string]Plan{
+		"empty": {},
+		"golden faulted": mustParse(t,
+			"jitter:0.05;dvfs:at=5s,factor=0.8;hotplug:core=1,off=2s,on=12s;irq:p=0.05,delay=100us;switch:p=0.1,spike=1ms"),
+		"all clauses": mustParse(t,
+			"jitter:0.1; dvfs:at=10s,factor=0.5,core=2; dvfs:at=20s,factor=1.0;"+
+				"hotplug:core=1,off=30s,on=200s; irq:p=0.1,delay=100us,drop=0.05,retry=50us,retries=5;"+
+				"switch:p=0.2,spike=1ms"),
+		"asymmetric dists": {
+			IRQ:    IRQFaults{DelayProb: 0.25, Delay: simclock.Seconds(20e-6, 60e-6, 200e-6)},
+			Switch: SwitchFaults{SpikeProb: 0.5, Spike: simclock.Dist{Min: 0, Avg: time.Millisecond, Max: 7 * time.Millisecond}},
+		},
+		"irq only retry": {IRQ: IRQFaults{DropProb: 0.01, RetryDelay: simclock.Exact(30 * time.Microsecond)}},
+	}
+	for _, mag := range []float64{0.25, 0.5, 1, 2, 4, 10} {
+		plans[fmt.Sprintf("scaled %g", mag)] = ScaledPlan(mag)
+	}
+	for name, p := range plans {
+		s := p.String()
+		re, err := ParsePlan(s)
+		if err != nil {
+			t.Errorf("%s: ParsePlan(%q): %v", name, s, err)
+			continue
+		}
+		if !reflect.DeepEqual(p, re) {
+			t.Errorf("%s: round trip drifted:\n  plan   %+v\n  string %q\n  reparse %+v", name, p, s, re)
+		}
+		if again := re.String(); again != s {
+			t.Errorf("%s: String not canonical: %q then %q", name, s, again)
+		}
+	}
+	if s := (Plan{}).String(); s != "" {
+		t.Errorf("empty plan renders %q, want empty string", s)
+	}
+}
+
+func mustParse(t *testing.T, spec string) Plan {
+	t.Helper()
+	p, err := ParsePlan(spec)
+	if err != nil {
+		t.Fatalf("ParsePlan(%q): %v", spec, err)
+	}
+	return p
+}
+
+// TestParseDistTriple covers the explicit min/avg/max form String emits for
+// distributions the single-duration shorthand cannot express.
+func TestParseDistTriple(t *testing.T) {
+	plan, err := ParsePlan("irq:p=0.1,delay=20µs/60µs/200µs")
+	if err != nil {
+		t.Fatalf("ParsePlan: %v", err)
+	}
+	want := simclock.Dist{Min: 20 * time.Microsecond, Avg: 60 * time.Microsecond, Max: 200 * time.Microsecond}
+	if plan.IRQ.Delay != want {
+		t.Errorf("triple dist = %+v, want %+v", plan.IRQ.Delay, want)
+	}
+	for _, bad := range []string{
+		"irq:p=0.1,delay=1us/2us",         // two parts
+		"irq:p=0.1,delay=1us/2us/3us/4us", // four parts
+		"irq:p=0.1,delay=3us/2us/1us",     // unordered
+		"irq:p=0.1,delay=1us/x/3us",       // bad duration
+	} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Errorf("ParsePlan(%q) accepted", bad)
 		}
 	}
 }

@@ -1,0 +1,98 @@
+// Fuzz targets for the scenario spec, in an external test package so they
+// can drive satin.FromSpec: the root package imports internal/spec, so the
+// reverse import is only legal from _test code.
+package spec_test
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"satin"
+	"satin/internal/spec"
+)
+
+// seedCorpus feeds every committed conformance spec plus handwritten edge
+// cases to a fuzz target.
+func seedCorpus(f *testing.F) {
+	f.Helper()
+	files, err := filepath.Glob(filepath.Join("..", "..", "testdata", "specs", "*.json"))
+	if err != nil || len(files) == 0 {
+		f.Fatalf("no seed corpus under testdata/specs (err %v)", err)
+	}
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			f.Fatalf("reading %s: %v", file, err)
+		}
+		f.Add(data)
+	}
+	for _, s := range []string{
+		`{}`,
+		`{"version": 1}`,
+		`{"version": 1, "run": {"to_completion": true}}`,
+		`{"version": 1, "seed": 0, "defense": {"kind": "baseline"}, "evader": {"kind": "thread"}, "run": {"for": "1m"}}`,
+		`{"version": 1, "evader": {"kind": "fast", "rootkit_addr": 1}, "run": {"for": "1s"}}`,
+		`{"version": 1, "faults": "scale:2;hotplug:core=0,off=5s", "defense": {"kind": "satin"}, "run": {"for": "10s"}}`,
+		`{"version": 1, "workload": {"flood_rate": 1e9}, "defense": {"kind": "none"}, "evader": {"kind": "fast"}, "run": {"for": "1s"}}`,
+	} {
+		f.Add([]byte(s))
+	}
+}
+
+// FuzzParseSpec is the end-to-end robustness property: any input that
+// parses and validates must canonicalize and build a Scenario without
+// panicking. Build errors are legal (validation is semantic, the builder
+// has physical constraints like kernel address ranges); crashes are not.
+func FuzzParseSpec(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := spec.Parse(data)
+		if err != nil {
+			return
+		}
+		if spec.Validate(s) != nil {
+			return
+		}
+		c, err := spec.Canonicalize(s)
+		if err != nil {
+			t.Fatalf("spec passed Validate but failed Canonicalize: %v", err)
+		}
+		if _, err := satin.FromSpec(c); err != nil {
+			return
+		}
+	})
+}
+
+// FuzzSpecRoundTrip is the serialization property: for any valid input,
+// the canonical form survives Marshal→Parse with DeepEqual identity and
+// Canonicalize is a fixed point.
+func FuzzSpecRoundTrip(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := spec.Parse(data)
+		if err != nil || spec.Validate(s) != nil {
+			return
+		}
+		c, err := spec.Canonicalize(s)
+		if err != nil {
+			t.Fatalf("spec passed Validate but failed Canonicalize: %v", err)
+		}
+		b, err := spec.Marshal(c)
+		if err != nil {
+			t.Fatalf("Marshal(canonical): %v", err)
+		}
+		re, err := spec.Parse(b)
+		if err != nil {
+			t.Fatalf("Parse(Marshal(canonical)): %v\n%s", err, b)
+		}
+		if !reflect.DeepEqual(c, re) {
+			t.Fatalf("round trip drifted\ncanonical: %+v\nreparsed:  %+v\njson:\n%s", c, re, b)
+		}
+		c2, err := spec.Canonicalize(re)
+		if err != nil || !reflect.DeepEqual(c, c2) {
+			t.Fatalf("Canonicalize not idempotent (err %v)", err)
+		}
+	})
+}

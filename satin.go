@@ -100,6 +100,9 @@ type (
 	Baseline = introspect.Baseline
 	// BaselineConfig tunes it.
 	BaselineConfig = introspect.BaselineConfig
+	// Technique is the memory-acquisition technique (DirectHash or
+	// SnapshotHash).
+	Technique = introspect.Technique
 	// BaselineOutcome is one completed baseline round.
 	BaselineOutcome = introspect.Outcome
 	// Engine is the discrete-event engine driving everything.
@@ -382,6 +385,14 @@ func WithThreadEvader(threshold time.Duration) Option {
 		o.evader = evaderThread
 		o.evaderThresh = threshold
 	}
+}
+
+// WithProberSleep overrides the evader's probing interval Tsleep (zero keeps
+// DefaultProberSleep). WithFastEvader takes the sleep directly; this option
+// exists so the thread-level evader's sleep is reachable too — scenario
+// specs set it for either kind.
+func WithProberSleep(sleep time.Duration) Option {
+	return func(o *options) { o.evaderSleep = sleep }
 }
 
 // WithRootkitAt plants the evader's 8-byte trace at an arbitrary

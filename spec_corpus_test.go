@@ -1,0 +1,124 @@
+package satin
+
+// The conformance-corpus contract, in-process: every manifest row's spec
+// reproduces its golden export byte for byte through FromSpec, and every
+// committed spec file is already in canonical form (so -dump-spec of a
+// corpus spec is the identity). `make spec-corpus-check` enforces the same
+// contract through the satin-sim binary.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// corpusManifest parses testdata/specs/corpus.manifest into
+// (spec, kind, golden) rows.
+func corpusManifest(t *testing.T) [][3]string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", "specs", "corpus.manifest"))
+	if err != nil {
+		t.Fatalf("reading manifest: %v", err)
+	}
+	var rows [][3]string
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			t.Fatalf("manifest line %q is not <spec> <kind> <golden>", line)
+		}
+		rows = append(rows, [3]string{fields[0], fields[1], fields[2]})
+	}
+	if len(rows) == 0 {
+		t.Fatal("empty corpus manifest")
+	}
+	return rows
+}
+
+func TestSpecCorpusReproducesGoldens(t *testing.T) {
+	for _, row := range corpusManifest(t) {
+		specFile, kind, golden := row[0], row[1], row[2]
+		t.Run(filepath.Base(specFile)+"/"+kind, func(t *testing.T) {
+			data, err := os.ReadFile(specFile)
+			if err != nil {
+				t.Fatalf("reading spec: %v", err)
+			}
+			s, err := ParseSpec(data)
+			if err != nil {
+				t.Fatalf("ParseSpec: %v", err)
+			}
+			sc, err := FromSpec(s)
+			if err != nil {
+				t.Fatalf("FromSpec: %v", err)
+			}
+			var got bytes.Buffer
+			var sink *StreamSink
+			switch kind {
+			case "jsonl", "csv":
+				format := ExportJSONL
+				if kind == "csv" {
+					format = ExportCSV
+				}
+				if sink, err = NewStreamSink(&got, format); err != nil {
+					t.Fatalf("NewStreamSink: %v", err)
+				}
+				sc.Bus().Subscribe(sink.OnEvent)
+			case "timeline":
+			default:
+				t.Fatalf("unknown manifest kind %q", kind)
+			}
+			DriveSpec(sc, s)
+			if sink != nil {
+				if err := sink.Flush(); err != nil {
+					t.Fatalf("Flush: %v", err)
+				}
+			} else if err := sc.Timeline().WriteText(&got); err != nil {
+				t.Fatalf("WriteText: %v", err)
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("reading golden: %v", err)
+			}
+			if !bytes.Equal(got.Bytes(), want) {
+				t.Errorf("spec run drifted from golden %s (%d bytes vs %d)", golden, got.Len(), len(want))
+			}
+		})
+	}
+}
+
+// TestSpecCorpusIsCanonical: committed spec files must be their own
+// canonical form, byte for byte — Parse → Canonicalize → Marshal is the
+// identity on them, which is what lets `-dump-spec` round-trip and keeps
+// diffs on the corpus meaningful.
+func TestSpecCorpusIsCanonical(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "specs", "*.json"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no corpus specs (err %v)", err)
+	}
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatalf("reading %s: %v", file, err)
+		}
+		s, err := ParseSpec(data)
+		if err != nil {
+			t.Fatalf("ParseSpec(%s): %v", file, err)
+		}
+		c, err := CanonicalizeSpec(s)
+		if err != nil {
+			t.Fatalf("CanonicalizeSpec(%s): %v", file, err)
+		}
+		out, err := MarshalSpec(c)
+		if err != nil {
+			t.Fatalf("MarshalSpec(%s): %v", file, err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Errorf("%s is not canonical; regenerate with satin-sim -spec %s -dump-spec", file, file)
+		}
+	}
+}
