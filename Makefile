@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race determinism sweep-check trace-check profile-smoke sensitivity-smoke spec-corpus-check spec-fuzz-smoke docs-check cover bench bench-json bench-smoke profile ci
+.PHONY: all build vet test race determinism sweep-check trace-check profile-smoke sensitivity-smoke spec-corpus-check spec-fuzz-smoke campaign-smoke campaign-corpus-check campaign-fuzz-smoke docs-check cover bench bench-json bench-smoke profile ci
 
 all: build test
 
@@ -90,6 +90,38 @@ spec-corpus-check:
 spec-fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz 'FuzzParseSpec$$' -fuzztime 20s ./internal/spec
 
+# Campaign end-to-end smoke through the binary: the committed smoke grid
+# (2 evaders × 2 round counts × 2 fault plans × 2 seeds = 16 cells) run
+# uninterrupted at 1 worker must be byte-identical to the same campaign run
+# at 8 workers, killed after 7 cells (-campaign-max-cells, the deterministic
+# kill), and resumed at 3 workers. This is the ISSUE acceptance gate for the
+# checkpoint format: completion order never leaks into the finalized file.
+campaign-smoke:
+	$(GO) build -o /tmp/benchtables ./cmd/benchtables
+	rm -f /tmp/campaign_serial.result /tmp/campaign_resumed.result
+	/tmp/benchtables -campaign testdata/campaigns/smoke.json -campaign-out /tmp/campaign_serial.result -workers 1 > /dev/null
+	/tmp/benchtables -campaign testdata/campaigns/smoke.json -campaign-out /tmp/campaign_resumed.result -workers 8 -campaign-max-cells 7 > /dev/null
+	/tmp/benchtables -campaign testdata/campaigns/smoke.json -campaign-out /tmp/campaign_resumed.result -workers 3 > /dev/null
+	cmp /tmp/campaign_serial.result /tmp/campaign_resumed.result
+	@echo "campaign result is worker-count invariant and kill/resume lands on the same bytes"
+
+# Campaign corpus through the binary: the committed smoke campaign must
+# reproduce its committed result file byte for byte. The same contract runs
+# in-process in campaign_corpus_test.go; this target is the CLI-level proof
+# (the sibling of spec-corpus-check for the campaign layer).
+campaign-corpus-check:
+	$(GO) build -o /tmp/benchtables ./cmd/benchtables
+	rm -f /tmp/campaign_corpus.result
+	/tmp/benchtables -campaign testdata/campaigns/smoke.json -campaign-out /tmp/campaign_corpus.result -workers 4 > /dev/null
+	cmp /tmp/campaign_corpus.result testdata/campaigns/smoke.result.golden || { echo "smoke campaign drifted from testdata/campaigns/smoke.result.golden"; exit 1; }
+	@echo "campaign corpus reproduces its golden result file"
+
+# Short fuzz run over the campaign parser, seeded from the committed
+# campaigns: any input that parses and validates must canonicalize, expand
+# to cells, and round-trip without panicking.
+campaign-fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz 'FuzzParseCampaign$$' -fuzztime 20s ./internal/campaign
+
 # Every internal package must open with a '// Package <name>' doc comment
 # so `go doc` gives a real answer at each layer.
 docs-check:
@@ -140,4 +172,4 @@ profile:
 		-cpuprofile /tmp/satin_cpu.prof -memprofile /tmp/satin_mem.prof -o /tmp/satin.test .
 	@echo "inspect with: $(GO) tool pprof /tmp/satin.test /tmp/satin_cpu.prof"
 
-ci: vet build test race determinism spec-corpus-check docs-check
+ci: vet build test race determinism spec-corpus-check campaign-smoke campaign-corpus-check docs-check

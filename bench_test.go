@@ -55,7 +55,11 @@ func BenchmarkRecoverTime(b *testing.B) {
 	b.ReportAllocs()
 	var res experiment.RecoverResult
 	for i := 0; i < b.N; i++ {
-		res = experiment.RunRecover(uint64(i + 1))
+		var err error
+		res, err = experiment.RunRecover(uint64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(res.A53.Mean*1e3, "A53-Tns_recover-ms")
 	b.ReportMetric(res.A57.Mean*1e3, "A57-Tns_recover-ms")
@@ -67,7 +71,11 @@ func BenchmarkTable2ProbingThreshold(b *testing.B) {
 	b.ReportAllocs()
 	var res experiment.Table2Result
 	for i := 0; i < b.N; i++ {
-		res = experiment.RunTable2(uint64(i + 1))
+		var err error
+		res, err = experiment.RunTable2(uint64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	for _, row := range res.Rows {
 		b.ReportMetric(row.Thresholds.Mean*1e6, row.Period.String()+"-avg-µs")
@@ -80,7 +88,11 @@ func BenchmarkFig4ThresholdStability(b *testing.B) {
 	b.ReportAllocs()
 	var res experiment.Table2Result
 	for i := 0; i < b.N; i++ {
-		res = experiment.RunTable2(uint64(i + 100))
+		var err error
+		res, err = experiment.RunTable2(uint64(i + 100))
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	for _, row := range res.Rows {
 		b.ReportMetric(row.Box.Median*1e6, row.Period.String()+"-median-µs")
@@ -94,7 +106,11 @@ func BenchmarkSingleCoreProbing(b *testing.B) {
 	b.ReportAllocs()
 	var res experiment.SingleCoreResult
 	for i := 0; i < b.N; i++ {
-		res = experiment.RunSingleCore(uint64(i+1), 8*time.Second)
+		var err error
+		res, err = experiment.RunSingleCore(uint64(i+1), 8*time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(res.Ratio, "single/all-ratio")
 }

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"satin"
+	"satin/internal/campaign"
+	"satin/internal/obs"
+	"satin/internal/trace"
+)
+
+// runCampaignFile executes (or resumes) the campaign spec at path against
+// its result file: expand the cell grid, run the not-yet-checkpointed cells
+// on the worker pool, and render the merged per-combination sweeps. With
+// maxCells > 0 the run stops early after that many new cells — the
+// deterministic stand-in for a kill, used by `make campaign-smoke` to
+// exercise resume.
+func runCampaignFile(out, errOut io.Writer, path, outPath string, workers, maxCells int, progress bool) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("reading campaign: %w", err)
+	}
+	c, err := campaign.Parse(data)
+	if err != nil {
+		return fmt.Errorf("campaign %s: %w", path, err)
+	}
+	if outPath == "" {
+		outPath = campaign.DefaultResultPath(path)
+	}
+
+	opt := campaign.RunOptions{
+		Workers:   workers,
+		MaxCells:  maxCells,
+		SpecTrial: satin.RunSpecTrial,
+	}
+	if progress {
+		// Progress rides the same obs bus the simulators publish on: the
+		// executor emits one KindCell event per completion and this sink
+		// renders it — so any other subscriber (a TUI, a log shipper) sees
+		// the identical stream.
+		bus := obs.NewBus()
+		bus.Subscribe(func(e trace.Event) {
+			if e.Kind == trace.KindCell {
+				fmt.Fprintf(errOut, "campaign: cell %d %s\n", e.Area, e.Detail)
+			}
+		})
+		opt.Bus = bus
+		opt.Progress = func(done, total, index int, elapsed time.Duration, trialErr error) {
+			fmt.Fprintf(errOut, "campaign: %d/%d in %v\n", done, total, elapsed.Truncate(time.Millisecond))
+		}
+	}
+
+	res, err := campaign.Run(context.Background(), c, outPath, opt)
+	if err != nil {
+		return err
+	}
+	renderCampaign(out, c, res, outPath)
+	return nil
+}
+
+// renderCampaign prints the campaign summary and the per-combination sweep
+// tables for every checkpointed cell.
+func renderCampaign(out io.Writer, c campaign.Spec, res campaign.RunResult, outPath string) {
+	name := c.Name
+	if name == "" {
+		name = "campaign"
+	}
+	section(out, fmt.Sprintf("Campaign %s — %d/%d cells (%s)", name, len(res.Results), len(res.Cells), outPath))
+	for _, sw := range campaign.MergeSweeps(res.Cells, res.Results) {
+		fmt.Fprintf(out, "\n-- %s --\n", sw.Name)
+		fmt.Fprint(out, sw.Render())
+	}
+	if res.Finalized {
+		fmt.Fprintf(out, "\ncampaign complete: %d cells finalized in %s\n", len(res.Cells), outPath)
+	} else {
+		fmt.Fprintf(out, "\ncampaign checkpointed: %d/%d cells complete; rerun the same command to resume\n",
+			len(res.Results), len(res.Cells))
+	}
+}

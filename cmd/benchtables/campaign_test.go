@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// miniCampaign is a fast real-simulation campaign: 2 evaders × 1 seed, four
+// SATIN rounds each.
+const miniCampaign = `{
+  "version": 1,
+  "name": "mini",
+  "scenario": {
+    "version": 1,
+    "seed": 1,
+    "defense": {"kind": "satin", "satin": {"tgoal": "4s", "max_rounds": 4}},
+    "evader": {"kind": "fast"},
+    "run": {"to_completion": true}
+  },
+  "grid": [{"path": "evader.kind", "values": ["fast", "none"]}],
+  "seeds": {"base": 1, "count": 1}
+}`
+
+func writeMiniCampaign(t *testing.T) (campaignPath, resultPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	campaignPath = filepath.Join(dir, "mini.json")
+	if err := os.WriteFile(campaignPath, []byte(miniCampaign), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return campaignPath, filepath.Join(dir, "mini.result")
+}
+
+// TestCampaignRunsAndResumes: -campaign executes the grid, checkpoints with
+// -campaign-max-cells, resumes to completion, and renders one sweep per
+// combination.
+func TestCampaignRunsAndResumes(t *testing.T) {
+	campaignPath, resultPath := writeMiniCampaign(t)
+	var out bytes.Buffer
+	if err := run([]string{"-campaign", campaignPath, "-campaign-out", resultPath, "-campaign-max-cells", "1"}, &out); err != nil {
+		t.Fatalf("partial run: %v", err)
+	}
+	if !strings.Contains(out.String(), "campaign checkpointed: 1/2 cells") {
+		t.Fatalf("partial run output:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-campaign", campaignPath, "-campaign-out", resultPath}, &out); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"=== Campaign mini — 2/2 cells",
+		"-- evader.kind=fast --",
+		"-- evader.kind=none --",
+		"campaign complete: 2 cells finalized",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("resume output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestCampaignFlagValidation: the campaign-shaping flags demand -campaign.
+func TestCampaignFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-campaign-out", "x.result"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "need -campaign") {
+		t.Fatalf("error = %v, want a need-campaign rejection", err)
+	}
+	err = run([]string{"-campaign-max-cells", "3"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "need -campaign") {
+		t.Fatalf("error = %v, want a need-campaign rejection", err)
+	}
+}
+
+// TestCampaignDefaultResultPath: without -campaign-out the result lands
+// next to the campaign file.
+func TestCampaignDefaultResultPath(t *testing.T) {
+	campaignPath, _ := writeMiniCampaign(t)
+	var out bytes.Buffer
+	if err := run([]string{"-campaign", campaignPath}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	derived := strings.TrimSuffix(campaignPath, ".json") + ".result"
+	if _, err := os.Stat(derived); err != nil {
+		t.Fatalf("derived result path: %v", err)
+	}
+}

@@ -12,6 +12,11 @@
 //	benchtables -seed 7    # different deterministic universe
 //	benchtables -quick     # reduced Fig 7 window / sensitivity grid (smoke runs)
 //
+// Every experiment is dispatched through experiment.Registry() — the same
+// name-keyed table the campaign cell executor uses — so `-only <name>`, the
+// shorthand flags, and campaign cells all agree on what an experiment name
+// means.
+//
 // The sensitivity experiment is a sweep of sweeps: each fault-injection
 // magnitude reruns the detection experiment across -seeds seeds (default 8)
 // on the -workers pool, charting detection probability against perturbation
@@ -38,6 +43,11 @@
 // runs through the same trial the satin-sim -spec path uses.
 //
 //	benchtables -spec testdata/specs/clean.json -seeds 8 -metrics-out clean.csv
+//
+// Campaigns: -campaign FILE expands a campaign spec (see EXPERIMENTS.md
+// "Campaigns") into its cell grid and executes it with checkpointed resume:
+//
+//	benchtables -campaign grid.json -campaign-out grid.result -progress
 package main
 
 import (
@@ -62,16 +72,6 @@ func main() {
 	}
 }
 
-// step is one regenerable experiment. fn prints the single-seed form;
-// sweepFn, when non-nil, runs the multi-seed distribution form instead
-// whenever -seeds N > 1, returning the sweep and its section title so run
-// can render it and export the per-seed samples.
-type step struct {
-	name    string
-	fn      func(out io.Writer, seed uint64) error
-	sweepFn func(ctx context.Context, seed uint64, seeds, workers int, progress runner.Progress) (*runner.Sweep, string, error)
-}
-
 // run keeps the historical two-argument form (used throughout the tests);
 // progress output is discarded.
 func run(args []string, out io.Writer) error {
@@ -90,13 +90,16 @@ func runWith(args []string, out, errOut io.Writer) error {
 	metricsOut := fs.String("metrics-out", "", "export every sweep's per-seed samples to this CSV file (needs -seeds > 1)")
 	profileOut := fs.String("profile-out", "", "run the profiled detection sweep and write the merged per-core span attribution table to this file")
 	specFile := fs.String("spec", "", "sweep this scenario spec file across -seeds seeds instead of a built-in experiment")
+	campaignFile := fs.String("campaign", "", "execute this campaign spec file (grid × faults × seeds) with checkpointed resume")
+	campaignOut := fs.String("campaign-out", "", "campaign result/checkpoint file (default: <campaign>.result)")
+	campaignMaxCells := fs.Int("campaign-max-cells", 0, "stop the campaign after N newly completed cells (checkpointed; 0 = run to completion)")
 
-	steps := allSteps(quick, seeds, workers)
+	defs := experiment.Registry()
 	// Every experiment name is also a boolean shorthand flag:
 	// `-detection` == `-only detection`.
 	shorthand := map[string]*bool{}
-	for _, st := range steps {
-		shorthand[st.name] = fs.Bool(st.name, false, fmt.Sprintf("run the %s experiment (shorthand for -only %s)", st.name, st.name))
+	for _, def := range defs {
+		shorthand[def.Name] = fs.Bool(def.Name, false, fmt.Sprintf("run the %s experiment (shorthand for -only %s)", def.Name, def.Name))
 	}
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -107,17 +110,19 @@ func runWith(args []string, out, errOut io.Writer) error {
 	if *metricsOut != "" && *seeds < 2 {
 		return fmt.Errorf("-metrics-out exports per-seed sweep samples; it needs -seeds N > 1")
 	}
-
-	known := map[string]bool{}
-	for _, st := range steps {
-		known[st.name] = true
+	if *campaignFile != "" {
+		return runCampaignFile(out, errOut, *campaignFile, *campaignOut, *workers, *campaignMaxCells, *progress)
 	}
+	if *campaignOut != "" || *campaignMaxCells != 0 {
+		return fmt.Errorf("-campaign-out/-campaign-max-cells configure a campaign run; they need -campaign FILE")
+	}
+
 	want := map[string]bool{}
 	if *only != "" {
 		for _, name := range strings.Split(*only, ",") {
 			name = strings.TrimSpace(name)
-			if !known[name] {
-				return fmt.Errorf("unknown experiment %q (known: %s)", name, strings.Join(stepNames(steps), ", "))
+			if _, ok := experiment.Lookup(name); !ok {
+				return fmt.Errorf("unknown experiment %q (known: %s)", name, strings.Join(experiment.Names(), ", "))
 			}
 			want[name] = true
 		}
@@ -138,14 +143,14 @@ func runWith(args []string, out, errOut io.Writer) error {
 
 	ran := 0
 	var sweeps []*runner.Sweep
-	for _, st := range steps {
-		if !selected(st.name) {
+	for _, def := range defs {
+		if !selected(def.Name) {
 			continue
 		}
-		if *seeds > 1 && st.sweepFn != nil {
+		if *seeds > 1 && def.Sweepable() {
 			var observer runner.Progress
 			if *progress {
-				name, base := st.name, *seed
+				name, base := def.Name, *seed
 				observer = func(done, total, index int, elapsed time.Duration, trialErr error) {
 					status := "ok"
 					if trialErr != nil {
@@ -155,15 +160,19 @@ func runWith(args []string, out, errOut io.Writer) error {
 						name, done, total, base+uint64(index), elapsed.Truncate(time.Millisecond), status)
 				}
 			}
-			sw, title, err := st.sweepFn(context.Background(), *seed, *seeds, *workers, observer)
+			sw, title, err := def.Sweep(context.Background(), *seed, experiment.Options{
+				Seeds: *seeds, Workers: *workers, Progress: observer,
+			})
 			if err != nil {
-				return fmt.Errorf("%s: %w", st.name, err)
+				return fmt.Errorf("%s: %w", def.Name, err)
 			}
 			section(out, title)
 			fmt.Fprint(out, sw.Render())
 			sweeps = append(sweeps, sw)
-		} else if err := st.fn(out, *seed); err != nil {
-			return fmt.Errorf("%s: %w", st.name, err)
+		} else if err := def.Run(out, experiment.RunConfig{
+			Seed: *seed, Quick: *quick, Seeds: *seeds, Workers: *workers,
+		}); err != nil {
+			return fmt.Errorf("%s: %w", def.Name, err)
 		}
 		ran++
 	}
@@ -266,7 +275,9 @@ func writeProfileSweep(out io.Writer, path string, seed uint64, seeds, workers i
 	if quick {
 		cfg.FullScans = 2
 	}
-	sw, merged, err := experiment.RunDetectionProfileSweep(context.Background(), cfg, seeds, workers, nil)
+	sw, merged, err := experiment.RunDetectionProfileSweep(context.Background(), cfg, experiment.Options{
+		Seeds: seeds, Workers: workers,
+	})
 	if err != nil {
 		return err
 	}
@@ -282,233 +293,6 @@ func writeProfileSweep(out io.Writer, path string, seed uint64, seeds, workers i
 	}
 	fmt.Fprintf(out, "\nprofile: merged attribution for %d seed(s) written to %s\n", seeds, path)
 	return nil
-}
-
-func stepNames(steps []step) []string {
-	names := make([]string, len(steps))
-	for i, st := range steps {
-		names[i] = st.name
-	}
-	return names
-}
-
-func allSteps(quick *bool, seeds, workers *int) []step {
-	return []step{
-		{name: "table1", fn: func(out io.Writer, seed uint64) error {
-			res, err := experiment.RunTable1(seed)
-			if err != nil {
-				return err
-			}
-			section(out, "Table I — Secure World Introspection Time (paper: A53 hash avg 1.07e-8 s, A57 hash avg 6.71e-9 s)")
-			fmt.Fprint(out, res.Render())
-			return nil
-		}},
-		{name: "switch", fn: func(out io.Writer, seed uint64) error {
-			res, err := experiment.RunSwitch(seed)
-			if err != nil {
-				return err
-			}
-			section(out, "Ts_switch (§IV-B1; paper: 2.38e-6 s – 3.60e-6 s, similar across core types)")
-			fmt.Fprint(out, res.Render())
-			return nil
-		}},
-		{name: "recover", fn: func(out io.Writer, seed uint64) error {
-			res := experiment.RunRecover(seed)
-			section(out, "Tns_recover (§IV-B2; paper: A53 avg 5.80e-3 s, A57 avg 4.96e-3 s)")
-			fmt.Fprint(out, res.Render())
-			return nil
-		}},
-		{name: "table2", fn: func(out io.Writer, seed uint64) error {
-			res := experiment.RunTable2(seed)
-			section(out, "Table II — Probing Threshold on Multi-Core (paper: avg 2.61e-4 s @8s ... 6.61e-4 s @300s)")
-			fmt.Fprint(out, res.Render())
-			return nil
-		}},
-		{name: "table2thread", fn: func(out io.Writer, seed uint64) error {
-			res, err := experiment.RunTable2ThreadLevel(seed, 8*time.Second, 3)
-			if err != nil {
-				return err
-			}
-			section(out, "Table II cross-validation — thread-level prober vs the calibrated model (8 s rounds)")
-			fmt.Fprint(out, res.Render())
-			return nil
-		}},
-		{name: "fig3", fn: func(out io.Writer, seed uint64) error {
-			res, err := experiment.RunFig3(seed)
-			if err != nil {
-				return err
-			}
-			section(out, "Figure 3 — Race Condition Between Two Worlds (measured timelines)")
-			fmt.Fprint(out, experiment.RenderFig3(res))
-			return nil
-		}},
-		{name: "fig4", fn: func(out io.Writer, seed uint64) error {
-			res := experiment.RunTable2(seed + 100)
-			section(out, "Figure 4 — KProber Probing Threshold Stability (box plots)")
-			fmt.Fprint(out, res.RenderFig4())
-			fmt.Fprintln(out)
-			fmt.Fprint(out, res.ChartFig4(64))
-			return nil
-		}},
-		{name: "singlecore", fn: func(out io.Writer, seed uint64) error {
-			res := experiment.RunSingleCore(seed, 8*time.Second)
-			section(out, "Single-core probing (§IV-B2; paper: ≈1/4 of the all-core threshold)")
-			fmt.Fprint(out, res.Render())
-			return nil
-		}},
-		{name: "race", fn: func(out io.Writer, seed uint64) error {
-			res, err := experiment.RunRace(seed)
-			if err != nil {
-				return err
-			}
-			section(out, "Race-condition analysis (§IV-C; paper: S ≤ 1,218,351 B, ≈90% unprotected)")
-			fmt.Fprint(out, res.Render())
-			return nil
-		}, sweepFn: func(ctx context.Context, seed uint64, seeds, workers int, progress runner.Progress) (*runner.Sweep, string, error) {
-			sw, err := experiment.RunRaceSweepObserved(ctx, seed, seeds, workers, progress)
-			return sw, "Race-condition analysis, multi-seed (§IV-C; paper: ≈90% unprotected)", err
-		}},
-		{name: "evasion", fn: func(out io.Writer, seed uint64) error {
-			res, err := experiment.RunEvasion(seed, 10, 8*time.Second)
-			if err != nil {
-				return err
-			}
-			section(out, "TZ-Evader vs baseline introspection (§IV premise; expected: 100% evasion)")
-			fmt.Fprint(out, res.Render())
-			return nil
-		}, sweepFn: func(ctx context.Context, seed uint64, seeds, workers int, progress runner.Progress) (*runner.Sweep, string, error) {
-			sw, err := experiment.RunEvasionSweepObserved(ctx, seed, seeds, workers, 10, 8*time.Second, progress)
-			return sw, "TZ-Evader vs baseline, multi-seed (§IV premise; expected: 100% evasion)", err
-		}},
-		{name: "detection", fn: func(out io.Writer, seed uint64) error {
-			cfg := experiment.DefaultDetectionConfig()
-			cfg.Seed = seed
-			res, err := experiment.RunDetection(cfg)
-			if err != nil {
-				return err
-			}
-			section(out, "SATIN detection experiment (§VI-B1)")
-			fmt.Fprint(out, res.Render())
-			return nil
-		}, sweepFn: func(ctx context.Context, seed uint64, seeds, workers int, progress runner.Progress) (*runner.Sweep, string, error) {
-			cfg := experiment.DefaultDetectionConfig()
-			cfg.Seed = seed
-			sw, err := experiment.RunDetectionSweepObserved(ctx, cfg, seeds, workers, progress)
-			return sw, "SATIN detection experiment, multi-seed (§VI-B1; paper: 10/10, 0 FP/FN at seed 1)", err
-		}},
-		{name: "fig7", fn: func(out io.Writer, seed uint64) error {
-			cfg := experiment.DefaultFig7Config()
-			cfg.Seed = seed
-			if *quick {
-				cfg.Window = 60 * time.Second
-			}
-			res, err := experiment.RunFig7(cfg)
-			if err != nil {
-				return err
-			}
-			section(out, "Figure 7 — SATIN Overhead (paper: avg 0.711% 1-task / 0.848% 6-task; spikes: file copy 256B 3.556%, context switching 3.912%)")
-			fmt.Fprint(out, res.Render())
-			fmt.Fprintln(out, "\n1-task degradation:")
-			fmt.Fprint(out, res.Chart(1, 50))
-			fmt.Fprintln(out, "6-task degradation:")
-			fmt.Fprint(out, res.Chart(6, 50))
-			return nil
-		}},
-		{name: "ablation", fn: func(out io.Writer, seed uint64) error {
-			cfg := experiment.DefaultAblationConfig()
-			cfg.Seed = seed
-			res, err := experiment.RunAblation(cfg)
-			if err != nil {
-				return err
-			}
-			section(out, "Ablation — SATIN design choices vs best-response evaders (DESIGN.md E11)")
-			fmt.Fprint(out, res.Render())
-			return nil
-		}},
-		{name: "decompose", fn: func(out io.Writer, seed uint64) error {
-			res, err := experiment.RunDecomposition(seed, 240*time.Second)
-			if err != nil {
-				return err
-			}
-			section(out, "Overhead decomposition — structural stall vs fitted warm-state penalty (context switching)")
-			fmt.Fprint(out, res.Render())
-			return nil
-		}},
-		{name: "msweep", fn: func(out io.Writer, seed uint64) error {
-			res, err := experiment.RunMSweep(seed, 0.5)
-			if err != nil {
-				return err
-			}
-			section(out, "Trace-size sweep — Tns_recover is the evader's bottleneck (§IV-C observation 4)")
-			fmt.Fprint(out, res.Render())
-			return nil
-		}},
-		{name: "flood", fn: func(out io.Writer, seed uint64) error {
-			cfg := experiment.DefaultFloodConfig()
-			cfg.Seed = seed
-			res, err := experiment.RunFlood(cfg)
-			if err != nil {
-				return err
-			}
-			section(out, fmt.Sprintf("Interrupt-flood ablation — why SATIN requires SCR_EL3.IRQ=0 (§II-B/§V-B); %.0f SGIs/s per core", res.Rate))
-			fmt.Fprint(out, res.Render())
-			return nil
-		}},
-		{name: "syncbypass", fn: func(out io.Writer, seed uint64) error {
-			res, err := experiment.RunSyncBypass(seed)
-			if err != nil {
-				return err
-			}
-			section(out, "Layered defense — synchronous guard, AP-flip bypass, asynchronous catch (§VII-A/§VII-C)")
-			fmt.Fprint(out, res.Render())
-			return nil
-		}},
-		{name: "userprober", fn: func(out io.Writer, seed uint64) error {
-			res, err := experiment.RunUserProber(seed)
-			if err != nil {
-				return err
-			}
-			section(out, "User-level prober (§III-B1; paper: Tns_delay < 5.97e-3 s vs 8.04e-2 s check)")
-			fmt.Fprint(out, res.Render())
-			return nil
-		}},
-		{name: "kprober1", fn: func(out io.Writer, seed uint64) error {
-			res, err := experiment.RunKProber1Exposure(seed, 3)
-			if err != nil {
-				return err
-			}
-			section(out, "KProber-I self-exposure — the vector hijack is introspection-visible (§III-C1)")
-			fmt.Fprint(out, res.Render())
-			return nil
-		}},
-		{name: "sensitivity", fn: func(out io.Writer, seed uint64) error {
-			// The sensitivity chart is multi-seed by construction: every
-			// magnitude is its own detection sweep, so -seeds and -workers
-			// apply here even without the generic sweep path.
-			cfg := experiment.DefaultSensitivityConfig()
-			cfg.Detection.Seed = seed
-			cfg.Workers = *workers
-			if *seeds > 1 {
-				cfg.Seeds = *seeds
-			}
-			if *quick {
-				cfg.Magnitudes = []float64{0, 2, 6}
-				cfg.Detection.FullScans = 4
-			}
-			res, err := experiment.RunSensitivity(context.Background(), cfg, nil)
-			if err != nil {
-				return err
-			}
-			section(out, fmt.Sprintf("Fault-injection sensitivity — detection probability vs perturbation magnitude (%d seeds each)", cfg.Seeds))
-			fmt.Fprint(out, res.Render())
-			if fb := res.FirstBreak(); fb >= 0 {
-				fmt.Fprintf(out, "first magnitude breaking 10/10 detection: %g\n", fb)
-			} else {
-				fmt.Fprintln(out, "detection never degraded across the charted magnitudes")
-			}
-			return nil
-		}},
-	}
 }
 
 func section(out io.Writer, title string) {

@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"satin"
+	"satin/internal/campaign"
 )
 
 func main() {
@@ -52,6 +53,7 @@ func run(args []string, out io.Writer) error {
 	fs.SetOutput(out)
 	specPath := fs.String("spec", "", `run the scenario described by this JSON spec file (see EXPERIMENTS.md "Spec files")`)
 	dumpSpec := fs.Bool("dump-spec", false, "print the effective canonical scenario spec as JSON and exit without running")
+	dumpCampaign := fs.Bool("dump-campaign", false, "print a one-cell campaign spec wrapping the effective scenario and exit without running (a grid/seed-range starting point for benchtables -campaign)")
 	seed := fs.Uint64("seed", 1, "root seed")
 	defense := fs.String("defense", "satin", "defense: satin | baseline | none")
 	evader := fs.String("evader", "fast", "attacker: fast | thread | none")
@@ -137,6 +139,27 @@ func run(args []string, out io.Writer) error {
 	}
 	if *dumpSpec {
 		b, err := satin.MarshalSpec(s)
+		if err != nil {
+			return err
+		}
+		_, err = out.Write(b)
+		return err
+	}
+	if *dumpCampaign {
+		// Campaign cells write the shared result file, never per-run
+		// artifacts, so the scenario's export section is stripped.
+		scenario := s.Clone()
+		scenario.Export = nil
+		canon, err := campaign.Canonicalize(campaign.Spec{
+			Version:  campaign.CurrentVersion,
+			Name:     scenario.Name,
+			Scenario: &scenario,
+			Seeds:    campaign.SeedRange{Base: scenario.Seed, Count: 1},
+		})
+		if err != nil {
+			return err
+		}
+		b, err := campaign.Marshal(canon)
 		if err != nil {
 			return err
 		}

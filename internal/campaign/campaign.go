@@ -1,0 +1,402 @@
+// Package campaign is the fleet-scale experiment driver: a versioned,
+// serializable description of a grid of simulation cells — one scenario or
+// registry experiment crossed with spec-field axes, fault plans, and a seed
+// range — plus the machinery to expand it, execute it across the worker
+// pool, checkpoint completed cells, and resume a killed run exactly where
+// it stopped.
+//
+// The spec follows the same contract as internal/spec: Parse reads strict
+// JSON (unknown keys rejected, version mandatory), Validate states every
+// semantic rule with a distinct error per field class, and Canonicalize
+// produces a normal form on which Marshal/Parse round trips losslessly and
+// Canonicalize is idempotent. The canonical form is also the campaign's
+// identity: the result file embeds it once, and resume refuses a result
+// file whose embedded campaign differs from the one being run.
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"satin/internal/experiment"
+	"satin/internal/faultinject"
+	"satin/internal/spec"
+)
+
+// CurrentVersion is the campaign format this build reads and writes.
+const CurrentVersion = 1
+
+// Spec is one complete campaign description: a template (either a scenario
+// spec or a registered experiment name), the axes to cross it with, and the
+// seed range every resulting combination sweeps over.
+type Spec struct {
+	// Version must be CurrentVersion.
+	Version int `json:"version"`
+	// Name labels the campaign in result rendering; purely descriptive.
+	Name string `json:"name,omitempty"`
+	// Experiment names a registry experiment with a per-seed trial form
+	// (detection, evasion, race). Mutually exclusive with Scenario; grid
+	// and fault axes need a scenario to patch.
+	Experiment string `json:"experiment,omitempty"`
+	// Scenario is the spec template every cell is stamped from.
+	Scenario *spec.Spec `json:"scenario,omitempty"`
+	// Grid lists the spec-field axes, crossed in declaration order (the
+	// first axis varies slowest).
+	Grid []Axis `json:"grid,omitempty"`
+	// Faults is an optional axis of fault-injection plans in the -faults
+	// grammar ("" = no faults), applied to the scenario's faults field.
+	Faults []string `json:"faults,omitempty"`
+	// Seeds is the seed range every combination runs over.
+	Seeds SeedRange `json:"seeds"`
+}
+
+// Axis is one grid dimension: a dotted spec-field path and the values it
+// takes. Values must be JSON scalars — the only values whose canonical
+// encoding survives the spec round trip byte-identically.
+type Axis struct {
+	Path   string            `json:"path"`
+	Values []json.RawMessage `json:"values"`
+}
+
+// SeedRange is the contiguous seed interval Base..Base+Count-1.
+type SeedRange struct {
+	Base  uint64 `json:"base"`
+	Count int    `json:"count"`
+}
+
+// Cell is one expanded campaign point: a fully canonical scenario (or a
+// registry experiment name) at one seed.
+type Cell struct {
+	// Index is the cell's position in the flat expansion, 0..N-1. The
+	// result file keys checkpoints by it.
+	Index int
+	// Combo identifies the (grid × faults) combination the cell belongs
+	// to; cells of one combo merge into one sweep.
+	Combo int
+	// ComboLabel renders the combination ("evader.kind=fast faults=-").
+	ComboLabel string
+	// Seed is the cell's root seed.
+	Seed uint64
+	// Scenario is the instantiated spec for scenario campaigns, nil for
+	// experiment campaigns.
+	Scenario *spec.Spec
+	// Experiment is the registry name for experiment campaigns.
+	Experiment string
+}
+
+// Label renders the cell for progress output.
+func (c Cell) Label() string {
+	return fmt.Sprintf("%s seed=%d", c.ComboLabel, c.Seed)
+}
+
+// Parse decodes a campaign from strict JSON: unknown keys, trailing data,
+// and missing or mismatched versions are errors. Parse does not validate
+// semantics — compose with Validate or Canonicalize.
+func Parse(data []byte) (Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var c Spec
+	if err := dec.Decode(&c); err != nil {
+		return Spec{}, fmt.Errorf("campaign: parse: %w", err)
+	}
+	var trailing json.RawMessage
+	if err := dec.Decode(&trailing); err != io.EOF {
+		return Spec{}, fmt.Errorf("campaign: trailing data after the campaign object")
+	}
+	if c.Version == 0 {
+		return Spec{}, fmt.Errorf(`campaign: missing version (this build writes "version": %d)`, CurrentVersion)
+	}
+	if c.Version != CurrentVersion {
+		return Spec{}, fmt.Errorf("campaign: version %d unsupported (this build reads version %d)", c.Version, CurrentVersion)
+	}
+	return c, nil
+}
+
+// Marshal renders the campaign as indented JSON with a trailing newline —
+// the committed-file form. Marshal(Canonicalize(c)) then Parse is lossless.
+func Marshal(c Spec) ([]byte, error) {
+	b, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("campaign: marshal: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// Validate checks every semantic rule, each field class with its own error.
+// Grid axes and fault plans are validated by expanding the full cell list,
+// so a typo'd path or an enum value the spec layer rejects surfaces here
+// with the offending axis named.
+func Validate(c Spec) error {
+	if c.Version != 0 && c.Version != CurrentVersion {
+		return fmt.Errorf("campaign: version %d unsupported (this build reads version %d)", c.Version, CurrentVersion)
+	}
+	switch {
+	case c.Experiment == "" && c.Scenario == nil:
+		return fmt.Errorf("campaign: needs either an experiment name or a scenario template")
+	case c.Experiment != "" && c.Scenario != nil:
+		return fmt.Errorf("campaign: experiment and scenario are mutually exclusive")
+	case c.Experiment != "":
+		def, ok := experiment.Lookup(c.Experiment)
+		if !ok {
+			return fmt.Errorf("campaign: unknown experiment %q (known: %s)", c.Experiment, strings.Join(experiment.Names(), ", "))
+		}
+		if def.Trial == nil {
+			return fmt.Errorf("campaign: experiment %q has no per-seed trial form (sweepable: %s)", c.Experiment, strings.Join(trialNames(), ", "))
+		}
+		if len(c.Grid) > 0 {
+			return fmt.Errorf("campaign: grid axes need a scenario template to patch, not an experiment")
+		}
+		if len(c.Faults) > 0 {
+			return fmt.Errorf("campaign: a fault axis needs a scenario template to patch, not an experiment")
+		}
+	default:
+		if c.Scenario.Export != nil {
+			return fmt.Errorf("campaign: scenario.export is not allowed (cells write the result file, not per-run artifacts)")
+		}
+		if err := spec.Validate(*c.Scenario); err != nil {
+			return fmt.Errorf("campaign: scenario: %w", err)
+		}
+	}
+	if c.Seeds.Count < 1 {
+		return fmt.Errorf("campaign: seeds.count %d: need at least 1", c.Seeds.Count)
+	}
+	seen := map[string]bool{}
+	for i, ax := range c.Grid {
+		if ax.Path == "" {
+			return fmt.Errorf("campaign: grid[%d]: empty path", i)
+		}
+		if seen[ax.Path] {
+			return fmt.Errorf("campaign: grid repeats path %q", ax.Path)
+		}
+		seen[ax.Path] = true
+		if len(ax.Values) == 0 {
+			return fmt.Errorf("campaign: grid[%d] (%s): no values", i, ax.Path)
+		}
+	}
+	_, err := Cells(c)
+	return err
+}
+
+// trialNames lists the registry experiments with a per-seed trial form.
+func trialNames() []string {
+	var names []string
+	for _, d := range experiment.Registry() {
+		if d.Trial != nil {
+			names = append(names, d.Name)
+		}
+	}
+	return names
+}
+
+// Canonicalize validates the campaign and returns its normal form: version
+// filled (the scenario template's too), axis values compacted, fault plans
+// rewritten to their Plan.String() fixed point. Beyond the version fill the
+// scenario template is validated but kept verbatim — NOT
+// spec-canonicalized — because materialized defaults would
+// poison grid patches (a template canonicalized with a fast evader gains
+// sleep/threshold values that an `evader.kind=none` axis value would then
+// orphan). Cells canonicalize after patching, so every executed spec is
+// still fully canonical. The campaign's canonical form is its identity in
+// the result file.
+func Canonicalize(c Spec) (Spec, error) {
+	out := c
+	if out.Version == 0 {
+		out.Version = CurrentVersion
+	}
+	if c.Scenario != nil {
+		s := c.Scenario.Clone()
+		if s.Version == 0 {
+			s.Version = spec.CurrentVersion
+		}
+		out.Scenario = &s
+	}
+	// Empty slices normalize to nil: omitempty drops them from the
+	// marshaled form, so nil is the only shape that survives a round trip.
+	out.Grid, out.Faults = nil, nil
+	if len(c.Grid) > 0 {
+		out.Grid = make([]Axis, len(c.Grid))
+		for i, ax := range c.Grid {
+			out.Grid[i] = Axis{Path: ax.Path, Values: make([]json.RawMessage, len(ax.Values))}
+			for j, v := range ax.Values {
+				var buf bytes.Buffer
+				if err := json.Compact(&buf, v); err != nil {
+					return Spec{}, fmt.Errorf("campaign: grid[%d] (%s) value %d: %w", i, ax.Path, j, err)
+				}
+				out.Grid[i].Values[j] = json.RawMessage(buf.Bytes())
+			}
+		}
+	}
+	if len(c.Faults) > 0 {
+		out.Faults = make([]string, len(c.Faults))
+		for i, fs := range c.Faults {
+			if fs == "" {
+				continue
+			}
+			plan, err := faultinject.ParsePlan(fs)
+			if err != nil {
+				return Spec{}, fmt.Errorf("campaign: faults[%d]: %w", i, err)
+			}
+			out.Faults[i] = plan.String()
+		}
+	}
+	if err := Validate(out); err != nil {
+		return Spec{}, err
+	}
+	return out, nil
+}
+
+// maxCells bounds the expansion: campaigns above it are a spec mistake
+// (or a fuzzer), not a workload this driver should try to materialize.
+const maxCells = 1 << 20
+
+// countCells computes the expansion size arithmetically — before anything
+// is allocated — so an absurd seed range or axis product fails fast.
+func countCells(c Spec) (int, error) {
+	total := c.Seeds.Count
+	mul := func(n int) {
+		if n > 0 && total > maxCells/n {
+			total = maxCells + 1
+			return
+		}
+		total *= n
+	}
+	for _, ax := range c.Grid {
+		mul(len(ax.Values))
+	}
+	if len(c.Faults) > 0 {
+		mul(len(c.Faults))
+	}
+	if total > maxCells {
+		return 0, fmt.Errorf("campaign: expansion exceeds the %d-cell limit", maxCells)
+	}
+	return total, nil
+}
+
+// Cells expands the campaign into its flat cell list: grid combinations in
+// row-major order (first axis slowest), crossed with the fault axis, each
+// combination swept over the seed range (seeds vary fastest). The expansion
+// is the campaign's execution order and the result file's index space.
+func Cells(c Spec) ([]Cell, error) {
+	if _, err := countCells(c); err != nil {
+		return nil, err
+	}
+	if c.Experiment != "" {
+		cells := make([]Cell, c.Seeds.Count)
+		for i := range cells {
+			cells[i] = Cell{
+				Index:      i,
+				Combo:      0,
+				ComboLabel: "experiment=" + c.Experiment,
+				Seed:       c.Seeds.Base + uint64(i),
+				Experiment: c.Experiment,
+			}
+		}
+		return cells, nil
+	}
+	if c.Scenario == nil {
+		return nil, fmt.Errorf("campaign: needs either an experiment name or a scenario template")
+	}
+	combos, err := expandCombos(c)
+	if err != nil {
+		return nil, err
+	}
+	cells := make([]Cell, 0, len(combos)*c.Seeds.Count)
+	for ci, combo := range combos {
+		for s := 0; s < c.Seeds.Count; s++ {
+			seed := c.Seeds.Base + uint64(s)
+			inst := spec.Instantiate(combo.spec, seed)
+			cells = append(cells, Cell{
+				Index:      len(cells),
+				Combo:      ci,
+				ComboLabel: combo.label,
+				Seed:       seed,
+				Scenario:   &inst,
+			})
+		}
+	}
+	return cells, nil
+}
+
+// combo is one fully-patched, canonical scenario plus its label.
+type combo struct {
+	label string
+	spec  spec.Spec
+}
+
+// expandCombos crosses the grid axes and the fault axis over the scenario
+// template, canonicalizing each combination so invalid values fail here
+// with the combination named.
+func expandCombos(c Spec) ([]combo, error) {
+	base := *c.Scenario
+	combos := []combo{{spec: base}}
+	for _, ax := range c.Grid {
+		next := make([]combo, 0, len(combos)*len(ax.Values))
+		for _, cur := range combos {
+			for _, v := range ax.Values {
+				patched, err := spec.Patch(cur.spec, ax.Path, v)
+				if err != nil {
+					return nil, fmt.Errorf("campaign: %w", err)
+				}
+				next = append(next, combo{
+					label: joinLabel(cur.label, ax.Path+"="+scalarLabel(v)),
+					spec:  patched,
+				})
+			}
+		}
+		combos = next
+	}
+	if len(c.Faults) > 0 {
+		next := make([]combo, 0, len(combos)*len(c.Faults))
+		for _, cur := range combos {
+			for _, fs := range c.Faults {
+				s := cur.spec.Clone()
+				s.Faults = fs
+				label := fs
+				if label == "" {
+					label = "-"
+				}
+				next = append(next, combo{
+					label: joinLabel(cur.label, "faults="+label),
+					spec:  s,
+				})
+			}
+		}
+		combos = next
+	}
+	for i := range combos {
+		canon, err := spec.Canonicalize(combos[i].spec)
+		if err != nil {
+			label := combos[i].label
+			if label == "" {
+				label = "base"
+			}
+			return nil, fmt.Errorf("campaign: combination %q: %w", label, err)
+		}
+		combos[i].spec = canon
+		if combos[i].label == "" {
+			combos[i].label = "base"
+		}
+	}
+	return combos, nil
+}
+
+// joinLabel appends one axis assignment to a combo label.
+func joinLabel(cur, part string) string {
+	if cur == "" {
+		return part
+	}
+	return cur + " " + part
+}
+
+// scalarLabel renders a grid value for labels: strings lose their quotes,
+// numbers and booleans print verbatim.
+func scalarLabel(v json.RawMessage) string {
+	var s string
+	if err := json.Unmarshal(v, &s); err == nil {
+		return s
+	}
+	return string(v)
+}

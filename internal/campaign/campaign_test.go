@@ -1,0 +1,228 @@
+package campaign_test
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"satin/internal/campaign"
+	"satin/internal/spec"
+)
+
+// gridCampaign is the canonical-shaped test campaign: 2 grid axes × 2 fault
+// plans × 3 seeds = 24 cells over a SATIN-vs-fast-evader scenario.
+const gridCampaign = `{
+  "version": 1,
+  "name": "t",
+  "scenario": {
+    "version": 1,
+    "seed": 1,
+    "defense": {"kind": "satin", "satin": {"tgoal": "4s", "max_rounds": 4}},
+    "evader": {"kind": "fast"},
+    "run": {"to_completion": true}
+  },
+  "grid": [
+    {"path": "evader.kind", "values": ["fast", "none"]},
+    {"path": "defense.satin.max_rounds", "values": [4, 8]}
+  ],
+  "faults": ["", "scale:2"],
+  "seeds": {"base": 1, "count": 3}
+}`
+
+func parseGrid(t *testing.T) campaign.Spec {
+	t.Helper()
+	c, err := campaign.Parse([]byte(gridCampaign))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return c
+}
+
+func TestParseStrict(t *testing.T) {
+	cases := []struct {
+		name, in, wantErr string
+	}{
+		{"unknown key", `{"version": 1, "experiment": "evasion", "surprise": 1, "seeds": {"base": 1, "count": 1}}`, "unknown field"},
+		{"missing version", `{"experiment": "evasion", "seeds": {"base": 1, "count": 1}}`, "missing version"},
+		{"future version", `{"version": 99, "experiment": "evasion", "seeds": {"base": 1, "count": 1}}`, "version 99 unsupported"},
+		{"trailing data", `{"version": 1, "experiment": "evasion", "seeds": {"base": 1, "count": 1}} {}`, "trailing data"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := campaign.Parse([]byte(tc.in))
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Parse error = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	mutate := func(f func(*campaign.Spec)) campaign.Spec {
+		c := parseGrid(t)
+		f(&c)
+		return c
+	}
+	cases := []struct {
+		name    string
+		c       campaign.Spec
+		wantErr string
+	}{
+		{"neither template", mutate(func(c *campaign.Spec) { c.Scenario = nil }), "either an experiment name or a scenario"},
+		{"both templates", mutate(func(c *campaign.Spec) { c.Experiment = "evasion" }), "mutually exclusive"},
+		{"unknown experiment", campaign.Spec{Version: 1, Experiment: "nope", Seeds: campaign.SeedRange{Base: 1, Count: 1}}, "unknown experiment"},
+		{"no trial form", campaign.Spec{Version: 1, Experiment: "table1", Seeds: campaign.SeedRange{Base: 1, Count: 1}}, "no per-seed trial form"},
+		{"grid without scenario", mutate(func(c *campaign.Spec) { c.Scenario, c.Experiment = nil, "evasion" }), "grid axes need a scenario"},
+		{"zero seeds", mutate(func(c *campaign.Spec) { c.Seeds.Count = 0 }), "need at least 1"},
+		{"empty axis path", mutate(func(c *campaign.Spec) { c.Grid[0].Path = "" }), "empty path"},
+		{"duplicate axis", mutate(func(c *campaign.Spec) { c.Grid[1].Path = c.Grid[0].Path }), "repeats path"},
+		{"no axis values", mutate(func(c *campaign.Spec) { c.Grid[0].Values = nil }), "no values"},
+		{"unknown axis path", mutate(func(c *campaign.Spec) { c.Grid[0].Path = "evader.species" }), "unknown field"},
+		{"bad axis value", mutate(func(c *campaign.Spec) { c.Grid[0].Values[0] = json.RawMessage(`"martian"`) }), "unknown evader kind"},
+		{"object axis value", mutate(func(c *campaign.Spec) { c.Grid[0].Values[0] = json.RawMessage(`{"k": 1}`) }), "scalars"},
+		{"bad fault plan", mutate(func(c *campaign.Spec) { c.Faults[1] = "warp:9" }), "faults"},
+		{"export in scenario", mutate(func(c *campaign.Spec) { c.Scenario.Export = &spec.Export{Metrics: "m.csv"} }), "export is not allowed"},
+		{"huge expansion", mutate(func(c *campaign.Spec) { c.Seeds.Count = 1 << 30 }), "cell limit"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := campaign.Validate(tc.c)
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Validate error = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestCellsExpansion pins the expansion order: first axis slowest, seeds
+// fastest, labels naming every assignment.
+func TestCellsExpansion(t *testing.T) {
+	cells, err := campaign.Cells(parseGrid(t))
+	if err != nil {
+		t.Fatalf("Cells: %v", err)
+	}
+	if len(cells) != 24 {
+		t.Fatalf("got %d cells, want 24 (2 evaders × 2 round counts × 2 fault plans × 3 seeds)", len(cells))
+	}
+	first := cells[0]
+	if first.ComboLabel != "evader.kind=fast defense.satin.max_rounds=4 faults=-" {
+		t.Errorf("first combo label = %q", first.ComboLabel)
+	}
+	if first.Seed != 1 || cells[1].Seed != 2 || cells[2].Seed != 3 {
+		t.Errorf("seeds vary fastest: got %d,%d,%d", first.Seed, cells[1].Seed, cells[2].Seed)
+	}
+	if cells[3].Combo != 1 {
+		t.Errorf("cell 3 combo = %d, want 1 (new fault plan)", cells[3].Combo)
+	}
+	// The last combo flips both axes and takes the fault plan.
+	last := cells[len(cells)-1]
+	if !strings.HasPrefix(last.ComboLabel, "evader.kind=none defense.satin.max_rounds=8 faults=") ||
+		strings.HasSuffix(last.ComboLabel, "faults=-") {
+		t.Errorf("last combo label = %q", last.ComboLabel)
+	}
+	for i, cell := range cells {
+		if cell.Index != i {
+			t.Fatalf("cell %d has index %d", i, cell.Index)
+		}
+		if cell.Scenario == nil {
+			t.Fatalf("cell %d has no scenario", i)
+		}
+		if cell.Scenario.Seed != cell.Seed {
+			t.Fatalf("cell %d scenario seed %d != cell seed %d", i, cell.Scenario.Seed, cell.Seed)
+		}
+		// Every cell spec is canonical: defaults materialized, revalidated.
+		canon, err := spec.Canonicalize(*cell.Scenario)
+		if err != nil {
+			t.Fatalf("cell %d (%s): %v", i, cell.Label(), err)
+		}
+		if !reflect.DeepEqual(canon, *cell.Scenario) {
+			t.Fatalf("cell %d spec is not canonical", i)
+		}
+	}
+	// The none-evader combos must not carry orphaned evader timing — the
+	// reason the template stays raw in the canonical campaign.
+	for _, cell := range cells {
+		if cell.Scenario.Evader.Kind == spec.EvaderNone && cell.Scenario.Evader.Sleep != 0 {
+			t.Fatalf("cell %d: evader=none kept sleep %v", cell.Index, cell.Scenario.Evader.Sleep)
+		}
+	}
+}
+
+// TestExperimentCampaignCells: an experiment campaign expands to one cell
+// per seed, dispatching by registry name.
+func TestExperimentCampaignCells(t *testing.T) {
+	c, err := campaign.Parse([]byte(`{"version": 1, "experiment": "evasion", "seeds": {"base": 7, "count": 3}}`))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if err := campaign.Validate(c); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	cells, err := campaign.Cells(c)
+	if err != nil {
+		t.Fatalf("Cells: %v", err)
+	}
+	if len(cells) != 3 {
+		t.Fatalf("got %d cells, want 3", len(cells))
+	}
+	for i, cell := range cells {
+		if cell.Experiment != "evasion" || cell.Scenario != nil {
+			t.Fatalf("cell %d: experiment %q, scenario %v", i, cell.Experiment, cell.Scenario)
+		}
+		if cell.Seed != 7+uint64(i) {
+			t.Fatalf("cell %d seed = %d", i, cell.Seed)
+		}
+	}
+}
+
+// TestCanonicalizeRoundTrip: Marshal(Canonicalize(c)) reparses to the same
+// value, and Canonicalize is idempotent — the same fixed-point contract the
+// scenario spec keeps.
+func TestCanonicalizeRoundTrip(t *testing.T) {
+	canon, err := campaign.Canonicalize(parseGrid(t))
+	if err != nil {
+		t.Fatalf("Canonicalize: %v", err)
+	}
+	if canon.Faults[1] == "scale:2" {
+		t.Fatalf("fault plan not normalized: %q", canon.Faults[1])
+	}
+	again, err := campaign.Canonicalize(canon)
+	if err != nil {
+		t.Fatalf("Canonicalize(canonical): %v", err)
+	}
+	if !reflect.DeepEqual(canon, again) {
+		t.Fatalf("Canonicalize is not idempotent:\n%#v\n%#v", canon, again)
+	}
+	b, err := campaign.Marshal(canon)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	reparsed, err := campaign.Parse(b)
+	if err != nil {
+		t.Fatalf("Parse(Marshal): %v", err)
+	}
+	if !reflect.DeepEqual(canon, reparsed) {
+		t.Fatalf("round trip lost data:\n%#v\n%#v", canon, reparsed)
+	}
+}
+
+// TestPatchPreservesUint64: grid values patch at the JSON layer, so 64-bit
+// fields never round-trip through float64.
+func TestPatchPreservesUint64(t *testing.T) {
+	base := spec.Spec{
+		Version: 1,
+		Seed:    1,
+		Defense: spec.Defense{Kind: spec.DefenseSATIN, SATIN: &spec.SATINConfig{MaxRounds: 1}},
+		Evader:  spec.Evader{Kind: spec.EvaderFast},
+		Run:     spec.Run{ToCompletion: true},
+	}
+	const addr = uint64(1)<<63 + 3
+	patched, err := spec.Patch(base, "evader.rootkit_addr", json.RawMessage(`9223372036854775811`))
+	if err != nil {
+		t.Fatalf("Patch: %v", err)
+	}
+	if patched.Evader.RootkitAddr == nil || *patched.Evader.RootkitAddr != addr {
+		t.Fatalf("rootkit_addr = %v, want %d", patched.Evader.RootkitAddr, addr)
+	}
+}

@@ -1,0 +1,83 @@
+package campaign_test
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"satin/internal/campaign"
+)
+
+// seedCampaignCorpus feeds the committed campaign specs plus handwritten
+// edge cases to a fuzz target.
+func seedCampaignCorpus(f *testing.F) {
+	f.Helper()
+	files, err := filepath.Glob(filepath.Join("..", "..", "testdata", "campaigns", "*.json"))
+	if err != nil || len(files) == 0 {
+		f.Fatalf("no seed corpus under testdata/campaigns (err %v)", err)
+	}
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			f.Fatalf("reading %s: %v", file, err)
+		}
+		f.Add(data)
+	}
+	for _, s := range []string{
+		`{}`,
+		`{"version": 1}`,
+		`{"version": 1, "experiment": "evasion", "seeds": {"base": 1, "count": 3}}`,
+		`{"version": 1, "experiment": "detection", "seeds": {"base": 18446744073709551615, "count": 2}}`,
+		`{"version": 1, "scenario": {"version": 1, "defense": {"kind": "satin", "satin": {"max_rounds": 1}}, "evader": {"kind": "none"}, "run": {"to_completion": true}}, "seeds": {"base": 0, "count": 1}}`,
+		`{"version": 1, "scenario": {"version": 1, "defense": {"kind": "none"}, "evader": {"kind": "fast"}, "run": {"for": "1s"}}, "grid": [{"path": "seed", "values": [1, 2]}], "faults": ["scale:2", ""], "seeds": {"base": 1, "count": 2}}`,
+		`{"version": 1, "scenario": {"version": 1, "defense": {"kind": "none"}, "evader": {"kind": "fast"}, "run": {"for": "1s"}}, "grid": [{"path": "evader.rootkit_addr", "values": [9223372036854775811]}], "seeds": {"base": 1, "count": 1}}`,
+	} {
+		f.Add([]byte(s))
+	}
+}
+
+// FuzzParseCampaign is the campaign robustness property: any input that
+// parses and validates must canonicalize, expand, and round-trip without
+// panicking, and the canonical form must be a fixed point.
+func FuzzParseCampaign(f *testing.F) {
+	seedCampaignCorpus(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := campaign.Parse(data)
+		if err != nil {
+			return
+		}
+		if campaign.Validate(c) != nil {
+			return
+		}
+		canon, err := campaign.Canonicalize(c)
+		if err != nil {
+			t.Fatalf("campaign passed Validate but failed Canonicalize: %v", err)
+		}
+		cells, err := campaign.Cells(canon)
+		if err != nil {
+			t.Fatalf("canonical campaign failed to expand: %v", err)
+		}
+		if len(cells) == 0 {
+			t.Fatalf("valid campaign expanded to zero cells")
+		}
+		b, err := campaign.Marshal(canon)
+		if err != nil {
+			t.Fatalf("canonical campaign failed to marshal: %v", err)
+		}
+		reparsed, err := campaign.Parse(b)
+		if err != nil {
+			t.Fatalf("canonical campaign failed to reparse: %v", err)
+		}
+		if !reflect.DeepEqual(canon, reparsed) {
+			t.Fatalf("canonical round trip lost data:\n%#v\n%#v", canon, reparsed)
+		}
+		again, err := campaign.Canonicalize(reparsed)
+		if err != nil {
+			t.Fatalf("reparsed canonical campaign failed Canonicalize: %v", err)
+		}
+		if !reflect.DeepEqual(canon, again) {
+			t.Fatalf("Canonicalize is not idempotent")
+		}
+	})
+}

@@ -1,0 +1,209 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"satin/internal/experiment"
+	"satin/internal/obs"
+	"satin/internal/runner"
+	"satin/internal/spec"
+	"satin/internal/trace"
+)
+
+// SpecTrialFunc runs one instantiated scenario spec and reduces it to sweep
+// metrics. Injected (it is satin.RunSpecTrial in the CLIs) because this
+// package must not import the facade.
+type SpecTrialFunc func(spec.Spec) (runner.Metrics, error)
+
+// RunOptions configures one campaign execution.
+type RunOptions struct {
+	// Workers bounds the worker pool (0 or negative = GOMAXPROCS).
+	Workers int
+	// MaxCells, when positive, stops the run after that many newly
+	// completed cells — checkpointed, not finalized — which is how the
+	// smoke targets simulate a kill deterministically.
+	MaxCells int
+	// Progress, when non-nil, observes per-cell completions live (done and
+	// total count cells pending in THIS session). Completion order —
+	// diagnostics only.
+	Progress runner.Progress
+	// Bus, when non-nil, receives one trace.KindCell event per completed
+	// cell (Area = cell index, At always zero: campaigns span universes,
+	// so there is no shared virtual clock).
+	Bus *obs.Bus
+	// SpecTrial executes scenario cells; required unless the campaign
+	// names a registry experiment.
+	SpecTrial SpecTrialFunc
+}
+
+// RunResult summarizes one campaign execution.
+type RunResult struct {
+	// Cells is the full expansion, in index order.
+	Cells []Cell
+	// Results holds every checkpointed cell (this session's and resumed
+	// ones), in index order.
+	Results []CellResult
+	// NewlyDone counts cells completed by this session.
+	NewlyDone int
+	// Finalized reports whether every cell is done and the result file was
+	// rewritten into its canonical final form.
+	Finalized bool
+}
+
+// Run executes the campaign against its result file at resultPath: expand
+// the cells, skip the ones already checkpointed, run the remainder on the
+// worker pool (appending each completion to the checkpoint immediately),
+// and — once every cell is present — finalize the file into its canonical
+// byte-identical form.
+func Run(ctx context.Context, c Spec, resultPath string, opt RunOptions) (RunResult, error) {
+	canon, err := Canonicalize(c)
+	if err != nil {
+		return RunResult{}, err
+	}
+	specBytes, err := Marshal(canon)
+	if err != nil {
+		return RunResult{}, err
+	}
+	cells, err := Cells(canon)
+	if err != nil {
+		return RunResult{}, err
+	}
+	if canon.Experiment == "" && opt.SpecTrial == nil {
+		return RunResult{}, fmt.Errorf("campaign: scenario campaigns need a spec trial function")
+	}
+
+	rf, err := CreateOrResume(resultPath, specBytes)
+	if err != nil {
+		return RunResult{}, err
+	}
+	defer rf.Close()
+
+	var pending []Cell
+	for _, cell := range cells {
+		if _, ok := rf.Done()[cell.Index]; !ok {
+			pending = append(pending, cell)
+		}
+	}
+	toRun := pending
+	if opt.MaxCells > 0 && opt.MaxCells < len(toRun) {
+		toRun = toRun[:opt.MaxCells]
+	}
+
+	result := RunResult{Cells: cells}
+	if len(toRun) > 0 {
+		var mu sync.Mutex
+		var checkpointErr error
+		_, runErr := runner.RunObserved(ctx, len(toRun), opt.Workers, opt.Progress,
+			func(ctx context.Context, i int) (struct{}, error) {
+				cell := toRun[i]
+				metrics, trialErr := runCell(ctx, cell, opt.SpecTrial)
+				if trialErr != nil && isCancellation(ctx, trialErr) {
+					// The trial died with the context, not on its own
+					// merits: leave the cell unchecked so resume reruns it.
+					return struct{}{}, trialErr
+				}
+				res := CellResult{Index: cell.Index, Seed: cell.Seed, Metrics: metrics}
+				if trialErr != nil {
+					res.Err = trialErr.Error()
+					res.Metrics = nil
+				}
+				mu.Lock()
+				appendErr := rf.Append(res)
+				if appendErr != nil && checkpointErr == nil {
+					checkpointErr = appendErr
+				}
+				result.NewlyDone++
+				mu.Unlock()
+				if appendErr != nil {
+					return struct{}{}, appendErr
+				}
+				publishCell(opt.Bus, cell, res)
+				return struct{}{}, trialErr
+			})
+		if checkpointErr != nil {
+			return RunResult{}, checkpointErr
+		}
+		if runErr != nil {
+			return RunResult{}, fmt.Errorf("campaign: %w", runErr)
+		}
+	}
+
+	if len(rf.Done()) == len(cells) {
+		if err := rf.Finalize(len(cells)); err != nil {
+			return RunResult{}, err
+		}
+		result.Finalized = true
+	}
+	for _, cell := range cells {
+		if res, ok := rf.Done()[cell.Index]; ok {
+			result.Results = append(result.Results, res)
+		}
+	}
+	return result, nil
+}
+
+// runCell dispatches one cell: registry experiments through their trial
+// form, scenario cells through the injected spec trial.
+func runCell(ctx context.Context, cell Cell, specTrial SpecTrialFunc) (runner.Metrics, error) {
+	if cell.Experiment != "" {
+		def, ok := experiment.Lookup(cell.Experiment)
+		if !ok || def.Trial == nil {
+			return nil, fmt.Errorf("campaign: experiment %q has no trial form", cell.Experiment)
+		}
+		return def.Trial(ctx, cell.Seed)
+	}
+	return specTrial(*cell.Scenario)
+}
+
+// isCancellation reports whether the trial failed because the run was being
+// torn down rather than on the cell's own merits.
+func isCancellation(ctx context.Context, err error) bool {
+	return ctx.Err() != nil &&
+		(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
+}
+
+// publishCell streams one completed cell over the bus.
+func publishCell(bus *obs.Bus, cell Cell, res CellResult) {
+	if bus.Subscribers() == 0 {
+		return
+	}
+	detail := cell.Label() + " ok"
+	if res.Failed() {
+		detail = cell.Label() + " FAILED: " + res.Err
+	}
+	bus.Publish(trace.Event{Kind: trace.KindCell, Core: -1, Area: cell.Index, Detail: detail})
+}
+
+// MergeSweeps folds checkpointed cell results back into per-combination
+// sweeps — the same aggregate form live multi-seed sweeps produce, built in
+// cell-index order so the rendering is byte-identical no matter how the
+// cells were computed.
+func MergeSweeps(cells []Cell, results []CellResult) []*runner.Sweep {
+	byIndex := map[int]CellResult{}
+	for _, r := range results {
+		byIndex[r.Index] = r
+	}
+	var sweeps []*runner.Sweep
+	var cur *runner.Sweep
+	curCombo := -1
+	for _, cell := range cells {
+		res, ok := byIndex[cell.Index]
+		if !ok {
+			continue
+		}
+		if cell.Combo != curCombo {
+			cur = runner.NewSweep(cell.ComboLabel)
+			sweeps = append(sweeps, cur)
+			curCombo = cell.Combo
+		}
+		if res.Failed() {
+			cur.AddFailure(res.Seed, errors.New(res.Err))
+			continue
+		}
+		cur.AddTrial(res.Seed, res.Metrics)
+	}
+	return sweeps
+}

@@ -1,0 +1,266 @@
+package campaign_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"satin/internal/campaign"
+	"satin/internal/obs"
+	"satin/internal/runner"
+	"satin/internal/spec"
+	"satin/internal/trace"
+)
+
+// fakeTrial is a deterministic stand-in for the real simulation trial: a
+// pure function of the instantiated spec, fast enough to run the 24-cell
+// grid hundreds of times.
+func fakeTrial(s spec.Spec) (runner.Metrics, error) {
+	m := runner.Metrics{}.Add("seed", float64(s.Seed))
+	if s.Defense.SATIN != nil {
+		m = m.Add("rounds", float64(s.Defense.SATIN.MaxRounds))
+	}
+	evader := 0.0
+	if s.Evader.Kind == spec.EvaderFast {
+		evader = 1
+	}
+	m = m.Add("evader", evader)
+	if s.Faults != "" {
+		m = m.Add("faulted", 1)
+	}
+	return m, nil
+}
+
+func runToFile(t *testing.T, path string, opt campaign.RunOptions) campaign.RunResult {
+	t.Helper()
+	if opt.SpecTrial == nil {
+		opt.SpecTrial = fakeTrial
+	}
+	res, err := campaign.Run(context.Background(), parseGrid(t), path, opt)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+func fileBytes(t *testing.T, path string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading %s: %v", path, err)
+	}
+	return b
+}
+
+// TestWorkerCountInvariance: the finalized result file is byte-identical
+// for 1 worker and 8 workers.
+func TestWorkerCountInvariance(t *testing.T) {
+	dir := t.TempDir()
+	serial := filepath.Join(dir, "serial.result")
+	parallel := filepath.Join(dir, "parallel.result")
+	resSerial := runToFile(t, serial, campaign.RunOptions{Workers: 1})
+	resParallel := runToFile(t, parallel, campaign.RunOptions{Workers: 8})
+	if !resSerial.Finalized || !resParallel.Finalized {
+		t.Fatalf("runs not finalized: serial %v, parallel %v", resSerial.Finalized, resParallel.Finalized)
+	}
+	if !bytes.Equal(fileBytes(t, serial), fileBytes(t, parallel)) {
+		t.Fatalf("result files differ between 1 and 8 workers")
+	}
+}
+
+// TestKillResumeByteIdentical: a campaign stopped part-way (MaxCells, the
+// deterministic kill) and resumed — twice, with different worker counts —
+// finalizes byte-identical to an uninterrupted single-worker run.
+func TestKillResumeByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	uninterrupted := filepath.Join(dir, "full.result")
+	runToFile(t, uninterrupted, campaign.RunOptions{Workers: 1})
+
+	resumed := filepath.Join(dir, "resumed.result")
+	first := runToFile(t, resumed, campaign.RunOptions{Workers: 8, MaxCells: 7})
+	if first.Finalized || first.NewlyDone != 7 {
+		t.Fatalf("first leg: finalized %v, newly done %d (want 7)", first.Finalized, first.NewlyDone)
+	}
+	second := runToFile(t, resumed, campaign.RunOptions{Workers: 3, MaxCells: 9})
+	if second.Finalized || second.NewlyDone != 9 {
+		t.Fatalf("second leg: finalized %v, newly done %d (want 9)", second.Finalized, second.NewlyDone)
+	}
+	last := runToFile(t, resumed, campaign.RunOptions{Workers: 5})
+	if !last.Finalized {
+		t.Fatalf("final leg did not finalize")
+	}
+	if last.NewlyDone != 24-7-9 {
+		t.Fatalf("final leg reran cells: newly done %d, want %d", last.NewlyDone, 24-7-9)
+	}
+	if !bytes.Equal(fileBytes(t, uninterrupted), fileBytes(t, resumed)) {
+		t.Fatalf("resumed result differs from uninterrupted run")
+	}
+}
+
+// TestCorruptTailResume: a record torn mid-write by a hard kill is dropped
+// on resume, its cell reruns, and the final file is still byte-identical.
+func TestCorruptTailResume(t *testing.T) {
+	dir := t.TempDir()
+	uninterrupted := filepath.Join(dir, "full.result")
+	runToFile(t, uninterrupted, campaign.RunOptions{Workers: 1})
+
+	torn := filepath.Join(dir, "torn.result")
+	runToFile(t, torn, campaign.RunOptions{Workers: 2, MaxCells: 6})
+	data := fileBytes(t, torn)
+	if err := os.WriteFile(torn, data[:len(data)-11], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res := runToFile(t, torn, campaign.RunOptions{Workers: 4})
+	if !res.Finalized {
+		t.Fatalf("did not finalize after torn-tail resume")
+	}
+	if res.NewlyDone != 24-5 {
+		t.Fatalf("newly done %d after tearing one record off 6, want %d", res.NewlyDone, 24-5)
+	}
+	if !bytes.Equal(fileBytes(t, uninterrupted), fileBytes(t, torn)) {
+		t.Fatalf("torn-tail resume differs from uninterrupted run")
+	}
+}
+
+// TestResultFileIdentity: a result file never absorbs cells from a
+// different campaign.
+func TestResultFileIdentity(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.result")
+	runToFile(t, path, campaign.RunOptions{Workers: 2, MaxCells: 3})
+
+	other := parseGrid(t)
+	other.Seeds.Count = 2
+	_, err := campaign.Run(context.Background(), other, path, campaign.RunOptions{SpecTrial: fakeTrial})
+	if err == nil || !strings.Contains(err.Error(), "different campaign") {
+		t.Fatalf("error = %v, want a different-campaign rejection", err)
+	}
+}
+
+// TestFailedCellsCheckpointAndRender: deterministic trial failures are
+// results — checkpointed, not rerun on resume, rendered as sweep failures.
+func TestFailedCellsCheckpointAndRender(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.result")
+	failing := func(s spec.Spec) (runner.Metrics, error) {
+		if s.Seed == 2 && s.Evader.Kind == spec.EvaderNone {
+			return nil, fmt.Errorf("synthetic failure")
+		}
+		return fakeTrial(s)
+	}
+	res := runToFile(t, path, campaign.RunOptions{Workers: 1, SpecTrial: failing})
+	if !res.Finalized {
+		t.Fatalf("failures must not block finalization")
+	}
+	failures := 0
+	for _, r := range res.Results {
+		if r.Failed() {
+			failures++
+		}
+	}
+	if failures != 4 {
+		t.Fatalf("got %d failed cells, want 4 (evader=none × 2 round counts × 2 fault plans at seed 2)", failures)
+	}
+	sweeps := campaign.MergeSweeps(res.Cells, res.Results)
+	if len(sweeps) != 8 {
+		t.Fatalf("got %d sweeps, want 8 combos", len(sweeps))
+	}
+	rendered := 0
+	for _, sw := range sweeps {
+		rendered += len(sw.Failures)
+	}
+	if rendered != failures {
+		t.Fatalf("sweeps render %d failures, want %d", rendered, failures)
+	}
+	// Resume reruns nothing: failures are checkpointed results.
+	res2 := runToFile(t, path, campaign.RunOptions{Workers: 1, SpecTrial: failing})
+	if res2.NewlyDone != 0 {
+		t.Fatalf("resume after failures reran %d cells", res2.NewlyDone)
+	}
+}
+
+// TestCellEventsOnBus: every completed cell publishes one KindCell event.
+func TestCellEventsOnBus(t *testing.T) {
+	dir := t.TempDir()
+	bus := obs.NewBus()
+	var events []trace.Event
+	bus.Subscribe(func(e trace.Event) { events = append(events, e) })
+	res := runToFile(t, filepath.Join(dir, "bus.result"), campaign.RunOptions{Workers: 1, Bus: bus})
+	if len(events) != len(res.Cells) {
+		t.Fatalf("got %d bus events, want %d", len(events), len(res.Cells))
+	}
+	seen := map[int]bool{}
+	for _, e := range events {
+		if e.Kind != trace.KindCell {
+			t.Fatalf("event kind %q, want %q", e.Kind, trace.KindCell)
+		}
+		if e.Core != -1 || e.At != 0 {
+			t.Fatalf("cell event has core %d at %v; campaigns have no virtual clock", e.Core, e.At)
+		}
+		if seen[e.Area] {
+			t.Fatalf("cell %d published twice", e.Area)
+		}
+		seen[e.Area] = true
+	}
+}
+
+// TestExperimentCampaignRuns: registry-experiment campaigns dispatch
+// through the experiment's trial form without a spec trial injected.
+func TestExperimentCampaignRuns(t *testing.T) {
+	c, err := campaign.Parse([]byte(`{"version": 1, "experiment": "evasion", "seeds": {"base": 1, "count": 1}}`))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "exp.result")
+	res, err := campaign.Run(context.Background(), c, path, campaign.RunOptions{Workers: 1})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Finalized || len(res.Results) != 1 {
+		t.Fatalf("finalized %v, %d results", res.Finalized, len(res.Results))
+	}
+	if res.Results[0].Failed() {
+		t.Fatalf("evasion cell failed: %s", res.Results[0].Err)
+	}
+	if len(res.Results[0].Metrics) == 0 {
+		t.Fatalf("evasion cell produced no metrics")
+	}
+}
+
+// TestReadResults: the standalone reader returns the embedded spec and the
+// cells in index order.
+func TestReadResults(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "read.result")
+	res := runToFile(t, path, campaign.RunOptions{Workers: 8})
+	specBytes, results, finalized, err := campaign.ReadResults(path)
+	if err != nil {
+		t.Fatalf("ReadResults: %v", err)
+	}
+	if !finalized {
+		t.Fatalf("reader missed the footer")
+	}
+	canon, err := campaign.Canonicalize(parseGrid(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := campaign.Marshal(canon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(specBytes, want) {
+		t.Fatalf("embedded spec differs from the canonical campaign")
+	}
+	if len(results) != len(res.Cells) {
+		t.Fatalf("got %d results, want %d", len(results), len(res.Cells))
+	}
+	for i, r := range results {
+		if r.Index != i {
+			t.Fatalf("result %d has index %d (want index order)", i, r.Index)
+		}
+	}
+}

@@ -94,7 +94,10 @@ func TestSwitchReproducesPaper(t *testing.T) {
 }
 
 func TestRecoverReproducesPaper(t *testing.T) {
-	res := RunRecover(3)
+	res, err := RunRecover(3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// §IV-B2: A53 average 5.80e-3 s, A57 average 4.96e-3 s.
 	if e := stats.RelErr(res.A53.Mean, 5.80e-3); e > 0.05 {
 		t.Errorf("A53 recover mean %.3g, paper 5.80e-3", res.A53.Mean)
@@ -112,7 +115,10 @@ func TestRecoverReproducesPaper(t *testing.T) {
 }
 
 func TestTable2ReproducesPaper(t *testing.T) {
-	res := RunTable2(4)
+	res, err := RunTable2(4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res.Rows) != 5 {
 		t.Fatalf("rows = %d, want 5", len(res.Rows))
 	}
@@ -147,7 +153,10 @@ func TestTable2ReproducesPaper(t *testing.T) {
 }
 
 func TestFig4BoxesOrdered(t *testing.T) {
-	res := RunTable2(5)
+	res, err := RunTable2(5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, row := range res.Rows {
 		b := row.Box
 		if !(b.LowerWhisk <= b.Q1 && b.Q1 <= b.Median && b.Median <= b.Q3 && b.Q3 <= b.UpperWhisk) {
@@ -157,7 +166,10 @@ func TestFig4BoxesOrdered(t *testing.T) {
 }
 
 func TestSingleCoreReproducesQuarterRatio(t *testing.T) {
-	res := RunSingleCore(6, 8*time.Second)
+	res, err := RunSingleCore(6, 8*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// §IV-B2: single-core threshold ≈ 1/4 of all-core.
 	if res.Ratio < 0.15 || res.Ratio > 0.40 {
 		t.Errorf("ratio = %.2f, paper says ≈0.25", res.Ratio)

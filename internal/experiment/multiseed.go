@@ -16,6 +16,23 @@ import (
 // *rates* with spread. Aggregation is in seed order and byte-identical for
 // any worker count.
 
+// Options configures the multi-seed form of an experiment: how many
+// independent seeds to run, how wide the worker pool is, and an optional
+// live completion observer. One struct instead of the historical
+// Run*Sweep/Run*SweepObserved pairs: every sweep entry point takes a ctx
+// and an Options, so the registry and the campaign engine can dispatch any
+// experiment uniformly.
+type Options struct {
+	// Seeds is the number of independent seeds (trials); must be >= 1.
+	Seeds int
+	// Workers bounds the worker pool (0 or negative = GOMAXPROCS).
+	Workers int
+	// Progress, when non-nil, observes per-trial completions live. Notices
+	// arrive in completion order with wall-clock durations — diagnostics
+	// only, never part of deterministic output.
+	Progress runner.Progress
+}
+
 // DetectionMetrics flattens one seed's DetectionResult into sweep samples.
 func DetectionMetrics(r DetectionResult) runner.Metrics {
 	m := runner.Metrics{}.Add("detection rate", ratio(r.Detections, r.AttackedAreaChecks))
@@ -27,17 +44,24 @@ func DetectionMetrics(r DetectionResult) runner.Metrics {
 	return m.Add("full-scan time (s)", r.MeanFullScanTime.Seconds())
 }
 
-// RunDetectionSweep runs the §VI-B1 detection experiment for seeds
-// cfg.Seed..cfg.Seed+seeds-1 across the worker pool.
-func RunDetectionSweep(ctx context.Context, cfg DetectionConfig, seeds, workers int) (*runner.Sweep, error) {
-	return RunDetectionSweepObserved(ctx, cfg, seeds, workers, nil)
+// TrialDetection runs one seed of the §VI-B1 detection experiment at the
+// paper's default configuration and flattens it to sweep metrics — the
+// registry's per-seed dispatch form.
+func TrialDetection(_ context.Context, seed uint64) (runner.Metrics, error) {
+	cfg := DefaultDetectionConfig()
+	cfg.Seed = seed
+	res, err := RunDetection(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return DetectionMetrics(res), nil
 }
 
-// RunDetectionSweepObserved is RunDetectionSweep with a live per-trial
-// progress observer (may be nil).
-func RunDetectionSweepObserved(ctx context.Context, cfg DetectionConfig, seeds, workers int, progress runner.Progress) (*runner.Sweep, error) {
+// RunDetectionSweep runs the §VI-B1 detection experiment for seeds
+// cfg.Seed..cfg.Seed+opt.Seeds-1 across the worker pool.
+func RunDetectionSweep(ctx context.Context, cfg DetectionConfig, opt Options) (*runner.Sweep, error) {
 	base := cfg.Seed
-	return runner.RunSweepObserved(ctx, "SATIN detection (§VI-B1)", base, seeds, workers, progress,
+	return runner.RunSweepObserved(ctx, "SATIN detection (§VI-B1)", base, opt.Seeds, opt.Workers, opt.Progress,
 		func(_ context.Context, seed uint64) (runner.Metrics, error) {
 			c := cfg
 			c.Seed = seed
@@ -58,16 +82,21 @@ func EvasionMetrics(r EvasionResult) runner.Metrics {
 	return m.Add("rootkit active fraction", r.ActiveFraction)
 }
 
-// RunEvasionSweep runs the §IV TZ-Evader-vs-baseline experiment for seeds
-// base..base+seeds-1 across the worker pool.
-func RunEvasionSweep(ctx context.Context, base uint64, seeds, workers, rounds int, period time.Duration) (*runner.Sweep, error) {
-	return RunEvasionSweepObserved(ctx, base, seeds, workers, rounds, period, nil)
+// TrialEvasion runs one seed of the §IV TZ-Evader-vs-baseline experiment at
+// the benchtables defaults (10 rounds, 8 s period) and flattens it to sweep
+// metrics.
+func TrialEvasion(_ context.Context, seed uint64) (runner.Metrics, error) {
+	res, err := RunEvasion(seed, 10, 8*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return EvasionMetrics(res), nil
 }
 
-// RunEvasionSweepObserved is RunEvasionSweep with a live per-trial progress
-// observer (may be nil).
-func RunEvasionSweepObserved(ctx context.Context, base uint64, seeds, workers, rounds int, period time.Duration, progress runner.Progress) (*runner.Sweep, error) {
-	return runner.RunSweepObserved(ctx, "TZ-Evader vs baseline (§IV)", base, seeds, workers, progress,
+// RunEvasionSweep runs the §IV TZ-Evader-vs-baseline experiment for seeds
+// base..base+opt.Seeds-1 across the worker pool.
+func RunEvasionSweep(ctx context.Context, base uint64, rounds int, period time.Duration, opt Options) (*runner.Sweep, error) {
+	return runner.RunSweepObserved(ctx, "TZ-Evader vs baseline (§IV)", base, opt.Seeds, opt.Workers, opt.Progress,
 		func(_ context.Context, seed uint64) (runner.Metrics, error) {
 			res, err := RunEvasion(seed, rounds, period)
 			if err != nil {
@@ -84,22 +113,22 @@ func RaceMetrics(r RaceResult) runner.Metrics {
 	return m.Add("S bound (bytes)", float64(r.SBound))
 }
 
-// RunRaceSweep runs the §IV-C race analysis for seeds base..base+seeds-1
-// across the worker pool.
-func RunRaceSweep(ctx context.Context, base uint64, seeds, workers int) (*runner.Sweep, error) {
-	return RunRaceSweepObserved(ctx, base, seeds, workers, nil)
+// TrialRace runs one seed of the §IV-C race analysis and flattens it to
+// sweep metrics.
+func TrialRace(_ context.Context, seed uint64) (runner.Metrics, error) {
+	res, err := RunRace(seed)
+	if err != nil {
+		return nil, err
+	}
+	return RaceMetrics(res), nil
 }
 
-// RunRaceSweepObserved is RunRaceSweep with a live per-trial progress
-// observer (may be nil).
-func RunRaceSweepObserved(ctx context.Context, base uint64, seeds, workers int, progress runner.Progress) (*runner.Sweep, error) {
-	return runner.RunSweepObserved(ctx, "race-condition analysis (§IV-C)", base, seeds, workers, progress,
+// RunRaceSweep runs the §IV-C race analysis for seeds
+// base..base+opt.Seeds-1 across the worker pool.
+func RunRaceSweep(ctx context.Context, base uint64, opt Options) (*runner.Sweep, error) {
+	return runner.RunSweepObserved(ctx, "race-condition analysis (§IV-C)", base, opt.Seeds, opt.Workers, opt.Progress,
 		func(_ context.Context, seed uint64) (runner.Metrics, error) {
-			res, err := RunRace(seed)
-			if err != nil {
-				return nil, err
-			}
-			return RaceMetrics(res), nil
+			return TrialRace(ctx, seed)
 		})
 }
 

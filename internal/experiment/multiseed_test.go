@@ -20,11 +20,11 @@ func sweepCfg() DetectionConfig {
 // quote sweep numbers without pinning a worker count.
 func TestDeterminismSweepWorkerInvariance(t *testing.T) {
 	cfg := sweepCfg()
-	serial, err := RunDetectionSweep(context.Background(), cfg, 4, 1)
+	serial, err := RunDetectionSweep(context.Background(), cfg, Options{Seeds: 4, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := RunDetectionSweep(context.Background(), cfg, 4, 8)
+	parallel, err := RunDetectionSweep(context.Background(), cfg, Options{Seeds: 4, Workers: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +43,7 @@ func TestDeterminismSweepMatchesSerialDriver(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sw, err := RunDetectionSweep(context.Background(), cfg, 3, 8)
+	sw, err := RunDetectionSweep(context.Background(), cfg, Options{Seeds: 3, Workers: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +65,7 @@ func TestDeterminismSweepMatchesSerialDriver(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	evSweep, err := RunEvasionSweep(context.Background(), 1, 2, 2, 5, 8*time.Second)
+	evSweep, err := RunEvasionSweep(context.Background(), 1, 5, 8*time.Second, Options{Seeds: 2, Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +80,7 @@ func TestDeterminismSweepMatchesSerialDriver(t *testing.T) {
 // rests on: across seeds, the detection rate stays 1.0 (every pass over the
 // attacked area raises the alarm) with zero prober false reports.
 func TestDetectionSweepRates(t *testing.T) {
-	sw, err := RunDetectionSweep(context.Background(), sweepCfg(), 3, 0)
+	sw, err := RunDetectionSweep(context.Background(), sweepCfg(), Options{Seeds: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +104,7 @@ func TestRaceSweepTracksAnalyticBound(t *testing.T) {
 	if testing.Short() {
 		t.Skip("race sweep is ~1s per seed")
 	}
-	sw, err := RunRaceSweep(context.Background(), 1, 2, 0)
+	sw, err := RunRaceSweep(context.Background(), 1, Options{Seeds: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,103 @@
+package experiment_test
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"satin/internal/experiment"
+)
+
+// TestRegistryNames: names are unique, non-empty, and Lookup agrees with
+// the presentation order Registry returns.
+func TestRegistryNames(t *testing.T) {
+	defs := experiment.Registry()
+	if len(defs) == 0 {
+		t.Fatal("empty registry")
+	}
+	names := experiment.Names()
+	if len(names) != len(defs) {
+		t.Fatalf("Names() has %d entries, Registry() %d", len(names), len(defs))
+	}
+	seen := map[string]bool{}
+	for i, d := range defs {
+		if d.Name == "" {
+			t.Fatalf("registry entry %d has no name", i)
+		}
+		if seen[d.Name] {
+			t.Fatalf("registry repeats %q", d.Name)
+		}
+		seen[d.Name] = true
+		if names[i] != d.Name {
+			t.Fatalf("Names()[%d] = %q, want %q", i, names[i], d.Name)
+		}
+		if d.Run == nil {
+			t.Fatalf("experiment %q has no single-seed form", d.Name)
+		}
+		got, ok := experiment.Lookup(d.Name)
+		if !ok || got.Name != d.Name {
+			t.Fatalf("Lookup(%q) = %v, %v", d.Name, got.Name, ok)
+		}
+	}
+	if _, ok := experiment.Lookup("not-an-experiment"); ok {
+		t.Fatal("Lookup accepted an unknown name")
+	}
+}
+
+// TestRegistrySweepablesHaveTrials: every experiment with a multi-seed form
+// also has the per-seed trial form the campaign executor dispatches.
+func TestRegistrySweepablesHaveTrials(t *testing.T) {
+	for _, d := range experiment.Registry() {
+		if d.Sweepable() != (d.Trial != nil) {
+			t.Errorf("experiment %q: sweep %v but trial %v — campaign cells and -seeds sweeps must agree",
+				d.Name, d.Sweepable(), d.Trial != nil)
+		}
+	}
+}
+
+// TestRegistryRunRendersSection: registry dispatch prints the experiment's
+// section header — the layout benchtables' full-suite output is made of.
+func TestRegistryRunRendersSection(t *testing.T) {
+	def, ok := experiment.Lookup("recover")
+	if !ok {
+		t.Fatal("recover not registered")
+	}
+	var buf bytes.Buffer
+	if err := def.Run(&buf, experiment.RunConfig{Seed: 1}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "=== Tns_recover") {
+		t.Fatalf("output missing section header:\n%s", out)
+	}
+	if !strings.Contains(out, "A53") {
+		t.Fatalf("output missing the rendered table:\n%s", out)
+	}
+}
+
+// TestRegistryTrialMatchesSweep: one seed through the trial form produces
+// the same metrics the sweep aggregates for that seed.
+func TestRegistryTrialMatchesSweep(t *testing.T) {
+	def, ok := experiment.Lookup("race")
+	if !ok {
+		t.Fatal("race not registered")
+	}
+	metrics, err := def.Trial(context.Background(), 1)
+	if err != nil {
+		t.Fatalf("Trial: %v", err)
+	}
+	sw, _, err := def.Sweep(context.Background(), 1, experiment.Options{Seeds: 1, Workers: 1})
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	var csv bytes.Buffer
+	if err := sw.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range metrics {
+		if !strings.Contains(csv.String(), m.Name) {
+			t.Errorf("sweep CSV missing trial metric %q", m.Name)
+		}
+	}
+}

@@ -208,7 +208,9 @@ func (r RecoverResult) Render() string {
 }
 
 // RunRecover samples the calibrated recovery model 50 times per core type.
-func RunRecover(seed uint64) RecoverResult {
+// The model itself cannot fail; the error return normalizes the entry-point
+// contract so registry dispatch needs no special cases.
+func RunRecover(seed uint64) (RecoverResult, error) {
 	perf := hw.JunoR1PerfModel()
 	g := simclock.NewRNG(seed, "experiment.recover")
 	sample := func(ct hw.CoreType) []float64 {
@@ -221,5 +223,5 @@ func RunRecover(seed uint64) RecoverResult {
 	return RecoverResult{
 		A53: stats.Summarize(sample(hw.CortexA53)),
 		A57: stats.Summarize(sample(hw.CortexA57)),
-	}
+	}, nil
 }

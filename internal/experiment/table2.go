@@ -92,8 +92,10 @@ func (r Table2Result) ChartFig4(width int) string {
 // RunTable2 samples 50 probing rounds per period from the calibrated
 // threshold model (see attack.ThresholdModel for why the model, not the
 // thread-level prober, generates the full-scale table, and the attack test
-// suite for the cross-validation between the two).
-func RunTable2(seed uint64) Table2Result {
+// suite for the cross-validation between the two). The model itself cannot
+// fail; the error return normalizes the entry-point contract so registry
+// dispatch needs no special cases.
+func RunTable2(seed uint64) (Table2Result, error) {
 	m := attack.JunoThresholdModel(hw.JunoR1PerfModel())
 	g := simclock.NewRNG(seed, "experiment.table2")
 	var result Table2Result
@@ -109,7 +111,7 @@ func RunTable2(seed uint64) Table2Result {
 			Box:        stats.NewBoxPlot(xs),
 		})
 	}
-	return result
+	return result, nil
 }
 
 // SingleCoreResult reproduces §IV-B2's single-core-probing observation: the
@@ -131,8 +133,9 @@ func (r SingleCoreResult) Render() string {
 }
 
 // RunSingleCore compares all-core and single-core probing thresholds at the
-// given period.
-func RunSingleCore(seed uint64, period time.Duration) SingleCoreResult {
+// given period. The model itself cannot fail; the error return normalizes
+// the entry-point contract so registry dispatch needs no special cases.
+func RunSingleCore(seed uint64, period time.Duration) (SingleCoreResult, error) {
 	m := attack.JunoThresholdModel(hw.JunoR1PerfModel())
 	s := m.SingleCoreModel()
 	g := simclock.NewRNG(seed, "experiment.singlecore")
@@ -150,5 +153,5 @@ func RunSingleCore(seed uint64, period time.Duration) SingleCoreResult {
 		AllCores:   all,
 		SingleCore: single,
 		Ratio:      single.Mean / all.Mean,
-	}
+	}, nil
 }

@@ -57,6 +57,32 @@ type Sweep struct {
 	samples map[string][]float64
 }
 
+// NewSweep returns an empty sweep ready for AddTrial/AddFailure — the
+// incremental construction path used by the campaign engine to merge
+// checkpointed cell results back into the same aggregate form live sweeps
+// produce. Callers must add trials in seed order to keep the determinism
+// guarantee.
+func NewSweep(name string) *Sweep {
+	return &Sweep{Name: name, samples: map[string][]float64{}}
+}
+
+// AddTrial appends one successful trial's metrics. Metric columns appear in
+// the order the first trial emitted them; trials must arrive in seed order.
+func (s *Sweep) AddTrial(seed uint64, m Metrics) {
+	s.Seeds = append(s.Seeds, seed)
+	for _, sample := range m {
+		if _, seen := s.samples[sample.Name]; !seen {
+			s.keys = append(s.keys, sample.Name)
+		}
+		s.samples[sample.Name] = append(s.samples[sample.Name], sample.Value)
+	}
+}
+
+// AddFailure records a failed trial.
+func (s *Sweep) AddFailure(seed uint64, err error) {
+	s.Failures = append(s.Failures, Failure{Seed: seed, Err: err})
+}
+
 // RunSweep executes trial for seeds baseSeed..baseSeed+n-1 across the worker
 // pool and aggregates the per-seed Metrics in seed order. Trial errors and
 // panics become Failures rather than failing the sweep; only a configuration
@@ -77,20 +103,14 @@ func RunSweepObserved(ctx context.Context, name string, baseSeed uint64, n, work
 	if err != nil {
 		return nil, fmt.Errorf("runner: sweep %q: %w", name, err)
 	}
-	sw := &Sweep{Name: name, samples: map[string][]float64{}}
+	sw := NewSweep(name)
 	for _, r := range results {
 		seed := baseSeed + uint64(r.Index)
 		if r.Err != nil {
-			sw.Failures = append(sw.Failures, Failure{Seed: seed, Err: r.Err})
+			sw.AddFailure(seed, r.Err)
 			continue
 		}
-		sw.Seeds = append(sw.Seeds, seed)
-		for _, s := range r.Value {
-			if _, seen := sw.samples[s.Name]; !seen {
-				sw.keys = append(sw.keys, s.Name)
-			}
-			sw.samples[s.Name] = append(sw.samples[s.Name], s.Value)
-		}
+		sw.AddTrial(seed, r.Value)
 	}
 	return sw, nil
 }

@@ -1,0 +1,87 @@
+package spec
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Patch sets one field of the spec, addressed by a dotted JSON path
+// ("evader.kind", "defense.satin.max_rounds"), to a raw JSON value, and
+// re-parses the result through the strict decoder. Patching at the JSON
+// layer rather than via reflection keeps the full parse contract in the
+// loop: an unknown path fails with the decoder's unknown-field error, a
+// type mismatch fails with the decoder's type error, and uint64 fields
+// (seeds, rootkit addresses) never round-trip through float64.
+//
+// Intermediate objects are created as needed, so a grid axis can set
+// "defense.satin.max_rounds" on a template whose satin section is absent.
+// The value must be a JSON scalar (string, number, or boolean): scalars
+// are the only values whose canonical form survives Marshal/Parse
+// byte-identically, which the campaign grid round trip depends on.
+//
+// Patch does not validate semantics — compose with Canonicalize, which a
+// typo'd enum or out-of-range value will fail loudly.
+func Patch(s Spec, path string, value json.RawMessage) (Spec, error) {
+	if path == "" {
+		return Spec{}, fmt.Errorf("spec: patch: empty path")
+	}
+	compact, err := compactScalar(value)
+	if err != nil {
+		return Spec{}, fmt.Errorf("spec: patch %q: %w", path, err)
+	}
+	blob, err := json.Marshal(s)
+	if err != nil {
+		return Spec{}, fmt.Errorf("spec: patch %q: marshal: %w", path, err)
+	}
+	patched, err := setPath(blob, strings.Split(path, "."), compact)
+	if err != nil {
+		return Spec{}, fmt.Errorf("spec: patch %q: %w", path, err)
+	}
+	out, err := Parse(patched)
+	if err != nil {
+		return Spec{}, fmt.Errorf("spec: patch %q: %w", path, err)
+	}
+	return out, nil
+}
+
+// compactScalar verifies the value is a single JSON scalar and returns its
+// compact encoding.
+func compactScalar(value json.RawMessage) (json.RawMessage, error) {
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, value); err != nil {
+		return nil, fmt.Errorf("value %s: %w", value, err)
+	}
+	c := buf.Bytes()
+	if len(c) == 0 {
+		return nil, fmt.Errorf("empty value")
+	}
+	switch c[0] {
+	case '{', '[':
+		return nil, fmt.Errorf("value %s: grid values must be JSON scalars (string, number, or boolean)", c)
+	case 'n':
+		return nil, fmt.Errorf("null is not a grid value (omit the axis instead)")
+	}
+	return json.RawMessage(c), nil
+}
+
+// setPath walks the object blob down the path segments, creating missing
+// intermediate objects, and sets the leaf to value.
+func setPath(blob []byte, path []string, value json.RawMessage) ([]byte, error) {
+	if len(path) == 0 {
+		return value, nil
+	}
+	obj := map[string]json.RawMessage{}
+	if len(blob) > 0 {
+		if err := json.Unmarshal(blob, &obj); err != nil {
+			return nil, fmt.Errorf("segment %q is not an object: %w", path[0], err)
+		}
+	}
+	child, err := setPath(obj[path[0]], path[1:], value)
+	if err != nil {
+		return nil, err
+	}
+	obj[path[0]] = child
+	return json.Marshal(obj)
+}

@@ -13,7 +13,7 @@ import (
 func TestKindsComplete(t *testing.T) {
 	want := []Kind{
 		KindWorldEnter, KindRound, KindAlarm, KindSuspect, KindHidden,
-		KindCoreBack, KindReinstalled, KindGuardDeny, KindFault,
+		KindCoreBack, KindReinstalled, KindGuardDeny, KindFault, KindCell,
 	}
 	got := Kinds()
 	if len(got) != len(want) {

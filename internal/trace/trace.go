@@ -33,6 +33,11 @@ const (
 	// system's reaction to one (a SATIN round re-routed off an offline
 	// core). Detail carries the specifics.
 	KindFault Kind = "fault"
+	// KindCell marks one completed campaign cell. Unlike every other kind
+	// it is wall-clock territory: campaigns run across universes, so At is
+	// always zero, Area carries the cell index, and Detail the cell label
+	// and outcome.
+	KindCell Kind = "cell"
 )
 
 // Kinds lists every event kind, in declaration order. New kinds must be
@@ -41,7 +46,7 @@ const (
 func Kinds() []Kind {
 	return []Kind{
 		KindWorldEnter, KindRound, KindAlarm, KindSuspect, KindHidden,
-		KindCoreBack, KindReinstalled, KindGuardDeny, KindFault,
+		KindCoreBack, KindReinstalled, KindGuardDeny, KindFault, KindCell,
 	}
 }
 
