@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race determinism sweep-check trace-check profile-smoke sensitivity-smoke spec-corpus-check spec-fuzz-smoke campaign-smoke campaign-corpus-check campaign-fuzz-smoke docs-check cover bench bench-json bench-smoke profile ci
+.PHONY: all build vet test race determinism sweep-check trace-check profile-smoke sensitivity-smoke spec-corpus-check spec-fuzz-smoke campaign-smoke campaign-corpus-check campaign-fuzz-smoke checkpoint-smoke docs-check cover bench bench-json bench-smoke profile ci
 
 all: build test
 
@@ -116,19 +116,53 @@ campaign-corpus-check:
 	cmp /tmp/campaign_corpus.result testdata/campaigns/smoke.result.golden || { echo "smoke campaign drifted from testdata/campaigns/smoke.result.golden"; exit 1; }
 	@echo "campaign corpus reproduces its golden result file"
 
+# Checkpoint/fork smoke through the CLIs: snapshot the committed fault-free
+# prefix at its horizon, fork four members off it (unfaulted, two DVFS
+# factors, a hotplug window), and require each forked trace byte-identical
+# to its from-scratch twin — tracediff for the structural verdict, cmp for
+# the byte-level one. See docs/CHECKPOINT.md.
+checkpoint-smoke:
+	$(GO) build -o /tmp/satin-sim ./cmd/satin-sim
+	$(GO) build -o /tmp/satin-tracediff ./tools/tracediff
+	rm -rf /tmp/satin_ckpt_smoke && mkdir -p /tmp/satin_ckpt_smoke
+	/tmp/satin-sim -spec testdata/checkpoint/prefix.json -checkpoint-out /tmp/satin_ckpt_smoke/prefix.ckpt > /dev/null
+	@fail=0; for m in clean dvfs-slow dvfs-fast hotplug; do \
+		/tmp/satin-sim -spec testdata/checkpoint/member-$$m.json -resume-from /tmp/satin_ckpt_smoke/prefix.ckpt -trace-out /tmp/satin_ckpt_smoke/fork-$$m.jsonl > /dev/null || exit 1; \
+		/tmp/satin-sim -spec testdata/checkpoint/member-$$m.json -trace-out /tmp/satin_ckpt_smoke/scratch-$$m.jsonl > /dev/null || exit 1; \
+		/tmp/satin-tracediff /tmp/satin_ckpt_smoke/fork-$$m.jsonl /tmp/satin_ckpt_smoke/scratch-$$m.jsonl > /dev/null || { echo "member $$m: forked trace diverges from from-scratch"; fail=1; }; \
+		cmp /tmp/satin_ckpt_smoke/fork-$$m.jsonl /tmp/satin_ckpt_smoke/scratch-$$m.jsonl || { echo "member $$m: forked trace bytes differ"; fail=1; }; \
+	done; exit $$fail
+	@echo "four forked members reproduce their from-scratch traces byte for byte"
+
 # Short fuzz run over the campaign parser, seeded from the committed
 # campaigns: any input that parses and validates must canonicalize, expand
 # to cells, and round-trip without panicking.
 campaign-fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz 'FuzzParseCampaign$$' -fuzztime 20s ./internal/campaign
 
-# Every internal package must open with a '// Package <name>' doc comment
-# so `go doc` gives a real answer at each layer.
+# Docs stay in sync with the code: every internal package opens with a
+# '// Package <name>' doc comment (so `go doc` gives a real answer at each
+# layer), appears in ARCHITECTURE.md's package map, and every CLI flag the
+# markdown docs show next to a binary name actually exists in that binary.
 docs-check:
 	@fail=0; for d in internal/*/; do \
 		grep -qs '^// Package' $$d*.go || { echo "missing '// Package' doc comment in $$d"; fail=1; }; \
 	done; exit $$fail
 	@echo "all internal packages documented"
+	@fail=0; for d in internal/*/; do \
+		p=$$(basename $$d); \
+		grep -q "\`$$p\`" ARCHITECTURE.md || { echo "internal/$$p missing from ARCHITECTURE.md's package map"; fail=1; }; \
+	done; exit $$fail
+	@echo "every internal package is in ARCHITECTURE.md's package map"
+	@rm -rf /tmp/satin_docscheck && mkdir -p /tmp/satin_docscheck
+	@$(GO) build -o /tmp/satin_docscheck ./cmd/...
+	@fail=0; for bin in satin-sim benchtables tzevader; do \
+		/tmp/satin_docscheck/$$bin -h 2>&1 | grep -oE '^  -[a-z0-9-]+' | tr -d ' ' > /tmp/satin_docscheck/$$bin.flags; \
+		for f in $$(grep -ohE "$$bin"'[^#`]*' README.md EXPERIMENTS.md docs/*.md | grep -oE ' -[a-z][a-z0-9-]*' | sort -u); do \
+			grep -qx -- "$$f" /tmp/satin_docscheck/$$bin.flags || { echo "docs show $$bin $$f but the binary has no such flag"; fail=1; }; \
+		done; \
+	done; exit $$fail
+	@echo "every documented CLI flag exists in its binary"
 
 # Coverage summary across all packages.
 cover:
@@ -158,6 +192,18 @@ bench-json:
 		-desc "span profiler attached vs detached on the detection experiment (block span storage; detached profiler is 0 allocs/op by AllocsPerRun lock)" \
 		-out BENCH_PR5.json
 	@echo "wrote BENCH_PR5.json"
+	# BENCH_PR8.json: shared-prefix sweep forking. Baseline runs all 16
+	# cells of the sweep from scratch; current forks them from one prefix
+	# checkpoint. Both sides run on the current tree (the toggle is
+	# campaign.RunOptions grouping), renamed so benchjson pairs the rows.
+	$(GO) test -run '^$$' -bench 'BenchmarkSharedPrefixSweepScratch$$' -benchtime 3x -count 1 . \
+		| sed 's/BenchmarkSharedPrefixSweepScratch/BenchmarkSharedPrefixSweep/' | tee /tmp/bench_baseline_pr8.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkSharedPrefixSweepForked$$' -benchtime 3x -count 1 . \
+		| sed 's/BenchmarkSharedPrefixSweepForked/BenchmarkSharedPrefixSweep/' | tee /tmp/bench_current_pr8.txt
+	$(GO) run ./tools/benchjson -baseline /tmp/bench_baseline_pr8.txt -current /tmp/bench_current_pr8.txt \
+		-desc "16-cell shared-prefix sweep forked from one checkpoint vs every cell from scratch (hash cache off so the prefix carries real per-round work; identical result bytes either way)" \
+		-out BENCH_PR8.json
+	@echo "wrote BENCH_PR8.json"
 
 # Quick non-blocking benchmark smoke for CI: one short iteration of every
 # benchmark, checking they still run — not their numbers.
@@ -172,4 +218,4 @@ profile:
 		-cpuprofile /tmp/satin_cpu.prof -memprofile /tmp/satin_mem.prof -o /tmp/satin.test .
 	@echo "inspect with: $(GO) tool pprof /tmp/satin.test /tmp/satin_cpu.prof"
 
-ci: vet build test race determinism spec-corpus-check campaign-smoke campaign-corpus-check docs-check
+ci: vet build test race determinism spec-corpus-check campaign-smoke campaign-corpus-check checkpoint-smoke docs-check

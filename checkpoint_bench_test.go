@@ -1,0 +1,63 @@
+package satin
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"satin/internal/campaign"
+)
+
+// benchSharedPrefixSweep measures one full 16-cell campaign whose cells
+// differ only in a late DVFS step: a 180.5s fault-free prefix ahead of a
+// ~0.5s divergent suffix. With forking off every cell simulates the whole
+// 181s horizon; with forking on the prefix runs once and each cell only its
+// suffix — O(prefix + K×suffix) instead of O(K×(prefix+suffix)). Workers is
+// pinned to 1 so the timer sees the algorithmic cost, not pool scheduling.
+//
+// The incremental hash cache is disabled: with it on, steady-state rounds
+// are nearly free and every cell is bound by scenario construction, which a
+// fork pays too — the prefix has to carry real per-round work for its reuse
+// to matter. Fork identity in this configuration is pinned by
+// TestForkIdentityHashCacheOff.
+func benchSharedPrefixSweep(b *testing.B, fork bool) {
+	tmpl := ckptSpec(181*time.Second, "")
+	cacheOff := false
+	tmpl.HashCache = &cacheOff
+	faults := make([]string, 16)
+	for i := 1; i < len(faults); i++ {
+		faults[i] = fmt.Sprintf("dvfs:at=180.5s,factor=%.2f", 0.50+0.03*float64(i))
+	}
+	c := campaign.Spec{
+		Version:  campaign.CurrentVersion,
+		Name:     "shared-prefix-bench",
+		Scenario: &tmpl,
+		Faults:   faults,
+		Seeds:    campaign.SeedRange{Base: 1, Count: 1},
+	}
+	opt := campaign.RunOptions{Workers: 1, SpecTrial: RunSpecTrial}
+	if fork {
+		opt.GroupKey = CheckpointGroupKey
+		opt.GroupTrial = RunCheckpointGroup
+	}
+	dir := b.TempDir()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		path := filepath.Join(dir, fmt.Sprintf("sweep-%d.result", i))
+		res, err := campaign.Run(context.Background(), c, path, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Finalized {
+			b.Fatal("campaign did not finalize")
+		}
+	}
+}
+
+// BenchmarkSharedPrefixSweepScratch is the baseline: every cell from scratch.
+func BenchmarkSharedPrefixSweepScratch(b *testing.B) { benchSharedPrefixSweep(b, false) }
+
+// BenchmarkSharedPrefixSweepForked forks all 16 cells from one checkpoint.
+func BenchmarkSharedPrefixSweepForked(b *testing.B) { benchSharedPrefixSweep(b, true) }

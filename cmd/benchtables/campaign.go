@@ -19,7 +19,7 @@ import (
 // maxCells > 0 the run stops early after that many new cells — the
 // deterministic stand-in for a kill, used by `make campaign-smoke` to
 // exercise resume.
-func runCampaignFile(out, errOut io.Writer, path, outPath string, workers, maxCells int, progress bool) error {
+func runCampaignFile(out, errOut io.Writer, path, outPath string, workers, maxCells int, progress, fork bool) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return fmt.Errorf("reading campaign: %w", err)
@@ -36,6 +36,13 @@ func runCampaignFile(out, errOut io.Writer, path, outPath string, workers, maxCe
 		Workers:   workers,
 		MaxCells:  maxCells,
 		SpecTrial: satin.RunSpecTrial,
+	}
+	if fork {
+		// Shared-prefix forking: cells that differ only in their (post-
+		// barrier) fault plan run the common prefix once from a checkpoint.
+		// Result bytes are identical with or without it.
+		opt.GroupKey = satin.CheckpointGroupKey
+		opt.GroupTrial = satin.RunCheckpointGroup
 	}
 	if progress {
 		// Progress rides the same obs bus the simulators publish on: the

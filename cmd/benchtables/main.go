@@ -93,6 +93,7 @@ func runWith(args []string, out, errOut io.Writer) error {
 	campaignFile := fs.String("campaign", "", "execute this campaign spec file (grid × faults × seeds) with checkpointed resume")
 	campaignOut := fs.String("campaign-out", "", "campaign result/checkpoint file (default: <campaign>.result)")
 	campaignMaxCells := fs.Int("campaign-max-cells", 0, "stop the campaign after N newly completed cells (checkpointed; 0 = run to completion)")
+	campaignFork := fs.Bool("campaign-fork", true, "fork shared-prefix cell groups from one checkpoint instead of running each from scratch (identical results either way)")
 
 	defs := experiment.Registry()
 	// Every experiment name is also a boolean shorthand flag:
@@ -111,7 +112,7 @@ func runWith(args []string, out, errOut io.Writer) error {
 		return fmt.Errorf("-metrics-out exports per-seed sweep samples; it needs -seeds N > 1")
 	}
 	if *campaignFile != "" {
-		return runCampaignFile(out, errOut, *campaignFile, *campaignOut, *workers, *campaignMaxCells, *progress)
+		return runCampaignFile(out, errOut, *campaignFile, *campaignOut, *workers, *campaignMaxCells, *progress, *campaignFork)
 	}
 	if *campaignOut != "" || *campaignMaxCells != 0 {
 		return fmt.Errorf("-campaign-out/-campaign-max-cells configure a campaign run; they need -campaign FILE")

@@ -178,7 +178,13 @@ func RunSpecTrial(s ScenarioSpec) (SweepMetrics, error) {
 		return nil, err
 	}
 	DriveSpec(sc, c)
-	rep := sc.Report()
+	return specTrialMetrics(c, sc.Report()), nil
+}
+
+// specTrialMetrics reduces a finished run to the trial metric set. Shared by
+// RunSpecTrial and the checkpoint-forked group trial, which must produce the
+// identical rows for the identical spec.
+func specTrialMetrics(c ScenarioSpec, rep Report) SweepMetrics {
 	var m SweepMetrics
 	switch c.Defense.Kind {
 	case spec.DefenseSATIN:
@@ -196,7 +202,7 @@ func RunSpecTrial(s ScenarioSpec) (SweepMetrics, error) {
 			Add("hides", float64(rep.Hides)).
 			Add("reinstalls", float64(rep.Reinstalls))
 	}
-	return m, nil
+	return m
 }
 
 func boolMetric(b bool) float64 {

@@ -42,7 +42,13 @@ type FastEvader struct {
 	events      []Event
 	obs         evaderObs
 	pending     map[int]*simclock.Handle // detection events per core
-	started     bool
+	// The remaining pending events, tracked so a checkpoint can claim them
+	// (see checkpoint.go): recovery observations (several may be in flight
+	// for the same core), and the at-most-one hide or reinstall countdown.
+	recoverPending   []recoverEvent
+	hidePending      *simclock.Handle
+	reinstallPending *simclock.Handle
+	started          bool
 	// prof receives evader spans on the dedicated evader track (nil unless
 	// SetProfiler was called; every emit is nil-safe).
 	prof *profile.Profiler
@@ -164,7 +170,28 @@ func (f *FastEvader) onWorldChange(c *hw.Core, _, newWorld hw.World) {
 	if delay < time.Microsecond {
 		delay = time.Microsecond
 	}
-	engine.After(delay, "fast-evader-recover", func() { f.recovered(id) })
+	f.armRecover(id, now.Add(delay))
+}
+
+// recoverEvent tracks one pending recovery observation for checkpointing.
+type recoverEvent struct {
+	core int
+	h    *simclock.Handle
+}
+
+// armRecover schedules the comparer's recovery observation for core id and
+// tracks its handle, pruning entries that already fired so the list stays
+// bounded by the in-flight count.
+func (f *FastEvader) armRecover(id int, at simclock.Time) {
+	live := f.recoverPending[:0]
+	for _, re := range f.recoverPending {
+		if re.h.Live() {
+			live = append(live, re)
+		}
+	}
+	f.recoverPending = live
+	h := f.platform.Engine().At(at, "fast-evader-recover", func() { f.recovered(id) })
+	f.recoverPending = append(f.recoverPending, recoverEvent{core: id, h: h})
 }
 
 // detect is the comparer flagging core id.
@@ -189,7 +216,14 @@ func (f *FastEvader) beginHide() {
 	f.prof.Begin(profile.SpanEvaderWindow, -1, -1, now, "")
 	f.prof.Begin(profile.SpanEvaderHide, -1, -1, now, "")
 	recover := f.platform.Perf().RecoverTime(f.cleaningCoreType(), f.rootkit.TraceSize(), f.rng)
-	f.platform.Engine().After(recover, "fast-evader-hide", func() {
+	f.armHide(f.platform.Engine().Now().Add(recover))
+}
+
+// armHide schedules the end of the hide countdown; split out so a checkpoint
+// restore can re-arm it at the claimed instant.
+func (f *FastEvader) armHide(at simclock.Time) {
+	f.hidePending = f.platform.Engine().At(at, "fast-evader-hide", func() {
+		f.hidePending = nil
 		if err := f.rootkit.Hide(f.platform.Engine().Now()); err != nil {
 			panic(fmt.Sprintf("attack: fast hide failed: %v", err))
 		}
@@ -219,7 +253,14 @@ func (f *FastEvader) maybeReinstall() {
 	f.state = EvaderReinstalling
 	f.prof.Begin(profile.SpanEvaderReinstall, -1, -1, f.platform.Engine().Now().Duration(), "")
 	recover := f.platform.Perf().RecoverTime(f.cleaningCoreType(), f.rootkit.TraceSize(), f.rng)
-	f.platform.Engine().After(recover, "fast-evader-reinstall", func() {
+	f.armReinstall(f.platform.Engine().Now().Add(recover))
+}
+
+// armReinstall schedules the end of the reinstall countdown; split out so a
+// checkpoint restore can re-arm it at the claimed instant.
+func (f *FastEvader) armReinstall(at simclock.Time) {
+	f.reinstallPending = f.platform.Engine().At(at, "fast-evader-reinstall", func() {
+		f.reinstallPending = nil
 		if f.state != EvaderReinstalling {
 			return
 		}

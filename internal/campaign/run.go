@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"satin/internal/experiment"
 	"satin/internal/obs"
@@ -17,6 +18,30 @@ import (
 // metrics. Injected (it is satin.RunSpecTrial in the CLIs) because this
 // package must not import the facade.
 type SpecTrialFunc func(spec.Spec) (runner.Metrics, error)
+
+// GroupKeyFunc classifies one scenario spec for shared-prefix grouping:
+// cells whose keys match (with ok true) share a checkpointable prefix and
+// may be executed as one forked group. ok false marks a spec the checkpoint
+// protocol does not support; it runs through the plain spec trial. Injected
+// (satin.CheckpointGroupKey in the CLIs) because this package must not
+// import the facade.
+type GroupKeyFunc func(spec.Spec) (string, bool)
+
+// GroupResult is one member's outcome from a group trial, mirroring one
+// SpecTrialFunc return.
+type GroupResult struct {
+	Metrics runner.Metrics
+	Err     error
+}
+
+// GroupTrialFunc executes a set of instantiated scenario specs that share a
+// checkpointable prefix — typically by running the prefix once, snapshotting
+// it, and forking one continuation per member — and returns one result per
+// member, in order. The contract is equivalence: metrics and failures must
+// be exactly what running the spec trial per member would produce (the
+// campaign result file is byte-identical either way once finalized).
+// Injected (satin.RunCheckpointGroup in the CLIs).
+type GroupTrialFunc func(ctx context.Context, members []spec.Spec) []GroupResult
 
 // RunOptions configures one campaign execution.
 type RunOptions struct {
@@ -37,6 +62,14 @@ type RunOptions struct {
 	// SpecTrial executes scenario cells; required unless the campaign
 	// names a registry experiment.
 	SpecTrial SpecTrialFunc
+	// GroupKey and GroupTrial, when both non-nil, enable shared-prefix
+	// forking: pending scenario cells whose group keys match are executed as
+	// one unit through GroupTrial instead of cell-by-cell through SpecTrial.
+	// Grouping is disabled under MaxCells (a truncated session must complete
+	// exactly the first pending cells, not a group's worth); the finalized
+	// result file is byte-identical with grouping on or off.
+	GroupKey   GroupKeyFunc
+	GroupTrial GroupTrialFunc
 }
 
 // RunResult summarizes one campaign execution.
@@ -94,34 +127,60 @@ func Run(ctx context.Context, c Spec, resultPath string, opt RunOptions) (RunRes
 
 	result := RunResult{Cells: cells}
 	if len(toRun) > 0 {
+		units := groupUnits(toRun, opt)
+		progress := cellProgress(units, len(toRun), opt.Progress)
 		var mu sync.Mutex
 		var checkpointErr error
-		_, runErr := runner.RunObserved(ctx, len(toRun), opt.Workers, opt.Progress,
-			func(ctx context.Context, i int) (struct{}, error) {
-				cell := toRun[i]
-				metrics, trialErr := runCell(ctx, cell, opt.SpecTrial)
-				if trialErr != nil && isCancellation(ctx, trialErr) {
-					// The trial died with the context, not on its own
-					// merits: leave the cell unchecked so resume reruns it.
-					return struct{}{}, trialErr
+		_, runErr := runner.RunObserved(ctx, len(units), opt.Workers, progress,
+			func(ctx context.Context, ui int) (struct{}, error) {
+				unit := units[ui]
+				var results []GroupResult
+				if len(unit) == 1 {
+					metrics, trialErr := runCell(ctx, unit[0], opt.SpecTrial)
+					results = []GroupResult{{Metrics: metrics, Err: trialErr}}
+				} else {
+					members := make([]spec.Spec, len(unit))
+					for i, cell := range unit {
+						members[i] = *cell.Scenario
+					}
+					results = opt.GroupTrial(ctx, members)
+					if len(results) != len(unit) {
+						return struct{}{}, fmt.Errorf("campaign: group trial returned %d results for %d members", len(results), len(unit))
+					}
 				}
-				res := CellResult{Index: cell.Index, Seed: cell.Seed, Metrics: metrics}
-				if trialErr != nil {
-					res.Err = trialErr.Error()
-					res.Metrics = nil
+				var firstErr error
+				for i, r := range results {
+					cell := unit[i]
+					if r.Err != nil && isCancellation(ctx, r.Err) {
+						// The trial died with the context, not on its own
+						// merits: leave the cell unchecked so resume reruns
+						// it.
+						if firstErr == nil {
+							firstErr = r.Err
+						}
+						continue
+					}
+					res := CellResult{Index: cell.Index, Seed: cell.Seed, Metrics: r.Metrics}
+					if r.Err != nil {
+						res.Err = r.Err.Error()
+						res.Metrics = nil
+						if firstErr == nil {
+							firstErr = r.Err
+						}
+					}
+					mu.Lock()
+					appendErr := rf.Append(res)
+					if appendErr != nil && checkpointErr == nil {
+						checkpointErr = appendErr
+					}
+					result.NewlyDone++
+					mu.Unlock()
+					if appendErr != nil {
+						return struct{}{}, appendErr
+					}
+					publishCell(opt.Bus, cell, res)
 				}
-				mu.Lock()
-				appendErr := rf.Append(res)
-				if appendErr != nil && checkpointErr == nil {
-					checkpointErr = appendErr
-				}
-				result.NewlyDone++
-				mu.Unlock()
-				if appendErr != nil {
-					return struct{}{}, appendErr
-				}
-				publishCell(opt.Bus, cell, res)
-				return struct{}{}, trialErr
+				return struct{}{}, firstErr
 			})
 		if checkpointErr != nil {
 			return RunResult{}, checkpointErr
@@ -143,6 +202,64 @@ func Run(ctx context.Context, c Spec, resultPath string, opt RunOptions) (RunRes
 		}
 	}
 	return result, nil
+}
+
+// groupUnits partitions the cells this session will run into execution
+// units: with shared-prefix forking enabled, cells whose group keys match
+// form one multi-cell unit (in expansion order); everything else — cells the
+// checkpoint protocol does not cover, experiment cells, singleton groups —
+// runs alone. Unit boundaries only shape scheduling and the order of result-
+// file appends; the finalized file sorts by index and is invariant to them.
+func groupUnits(cells []Cell, opt RunOptions) [][]Cell {
+	if opt.GroupKey == nil || opt.GroupTrial == nil || opt.MaxCells > 0 {
+		units := make([][]Cell, len(cells))
+		for i, c := range cells {
+			units[i] = []Cell{c}
+		}
+		return units
+	}
+	grouped := map[string][]Cell{}
+	keyOf := make([]string, len(cells))
+	for i, c := range cells {
+		if c.Scenario == nil {
+			continue
+		}
+		if key, ok := opt.GroupKey(*c.Scenario); ok {
+			keyOf[i] = key
+			grouped[key] = append(grouped[key], c)
+		}
+	}
+	var units [][]Cell
+	emitted := map[string]bool{}
+	for i, c := range cells {
+		key := keyOf[i]
+		if key == "" || len(grouped[key]) < 2 {
+			units = append(units, []Cell{c})
+			continue
+		}
+		if !emitted[key] {
+			emitted[key] = true
+			units = append(units, grouped[key])
+		}
+	}
+	return units
+}
+
+// cellProgress adapts a per-cell progress observer to per-unit completions:
+// a finished unit reports each of its cells, so done/total keep counting
+// cells pending in this session. The reported index is the cell's campaign
+// index (diagnostic, like everything else about progress).
+func cellProgress(units [][]Cell, totalCells int, p runner.Progress) runner.Progress {
+	if p == nil {
+		return nil
+	}
+	done := 0
+	return func(_, _, ui int, elapsed time.Duration, err error) {
+		for _, cell := range units[ui] {
+			done++
+			p(done, totalCells, cell.Index, elapsed, err)
+		}
+	}
 }
 
 // runCell dispatches one cell: registry experiments through their trial

@@ -1,0 +1,59 @@
+package mem
+
+import "fmt"
+
+// Checkpoint support: page-granular accessors for the copy-on-write memory
+// capture. A snapshot never copies the whole region — it records the bytes of
+// pages whose generation differs from a baseline taken right after scenario
+// construction, plus the full generation array. The generation array must be
+// restored exactly (not merely bumped) because the incremental hash cache
+// validates entries by generation sums; RestorePage therefore writes bytes
+// without touching generations, and SetPageGens installs the recorded array.
+
+// NumPages reports how many 4 KiB pages the region spans (the last page may
+// be partial).
+func (m *Memory) NumPages() int { return len(m.gens) }
+
+// PageView returns a read-only view of page p's bytes, aliasing the live
+// memory. Callers must not mutate it.
+func (m *Memory) PageView(p int) ([]byte, error) {
+	if p < 0 || p >= len(m.gens) {
+		return nil, fmt.Errorf("mem: page %d outside [0, %d)", p, len(m.gens))
+	}
+	lo := p * PageSize
+	hi := lo + PageSize
+	if hi > len(m.data) {
+		hi = len(m.data)
+	}
+	return m.data[lo:hi:hi], nil
+}
+
+// RestorePage overwrites page p's bytes without bumping its generation —
+// the generation array is restored separately via SetPageGens. data must be
+// exactly the page's length (PageSize, or the tail for a partial last page).
+func (m *Memory) RestorePage(p int, data []byte) error {
+	view, err := m.PageView(p)
+	if err != nil {
+		return err
+	}
+	if len(data) != len(view) {
+		return fmt.Errorf("mem: page %d is %d bytes, restore data is %d", p, len(view), len(data))
+	}
+	lo := p * PageSize
+	copy(m.data[lo:lo+len(data)], data)
+	return nil
+}
+
+// PageGens returns a copy of the full per-page generation array.
+func (m *Memory) PageGens() []uint64 {
+	return append([]uint64(nil), m.gens...)
+}
+
+// SetPageGens overwrites the full per-page generation array.
+func (m *Memory) SetPageGens(gens []uint64) error {
+	if len(gens) != len(m.gens) {
+		return fmt.Errorf("mem: generation array has %d pages, region has %d", len(gens), len(m.gens))
+	}
+	copy(m.gens, gens)
+	return nil
+}

@@ -1,0 +1,57 @@
+package obs
+
+import "fmt"
+
+// Restore overwrites the registry's metric values from a snapshot. Handles
+// are never created here: every snapshot row must name a metric the restored
+// scenario's construction already registered, because the set of rows depends
+// only on which components were observed (see Snapshot) and a forked scenario
+// is built from a superset of the captured one's components. Metrics the
+// registry holds but the snapshot lacks — e.g. the fault counters of a forked
+// member whose prefix ran fault-free — keep their construction value of zero,
+// exactly what the from-scratch run would show at the checkpoint instant.
+func (r *Registry) Restore(s Snapshot) error {
+	for _, row := range s.Rows {
+		switch row.Type {
+		case "counter":
+			c, ok := r.counters[row.Name]
+			if !ok {
+				return fmt.Errorf("obs: snapshot counter %q not in registry", row.Name)
+			}
+			c.v = row.Value
+		case "gauge":
+			g, ok := r.gauges[row.Name]
+			if !ok {
+				return fmt.Errorf("obs: snapshot gauge %q not in registry", row.Name)
+			}
+			g.v = row.Value
+		case "histogram":
+			h, ok := r.hists[row.Name]
+			if !ok {
+				return fmt.Errorf("obs: snapshot histogram %q not in registry", row.Name)
+			}
+			if len(row.Buckets) != len(h.bounds)+1 {
+				return fmt.Errorf("obs: snapshot histogram %q has %d buckets, registry has %d",
+					row.Name, len(row.Buckets), len(h.bounds)+1)
+			}
+			for i, b := range row.Buckets {
+				var want int64 = InfBucket
+				if i < len(h.bounds) {
+					want = h.bounds[i]
+				}
+				if b.LE != want {
+					return fmt.Errorf("obs: snapshot histogram %q bucket %d has bound %d, registry has %d",
+						row.Name, i, b.LE, want)
+				}
+				h.counts[i] = b.Count
+			}
+			h.sum = row.Sum
+			h.count = row.Count
+			h.min = row.Min
+			h.max = row.Max
+		default:
+			return fmt.Errorf("obs: snapshot row %q has unknown type %q", row.Name, row.Type)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,142 @@
+package simclock
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file is the engine half of the checkpoint/fork protocol (see
+// internal/checkpoint and docs/CHECKPOINT.md). Event callbacks are closures
+// and cannot be serialized, so a snapshot never stores the queue itself.
+// Instead every component that owns pending events reports a Claim for each
+// one; a checkpoint is valid only at a *claimable instant* — when the
+// engine's live pending set is exactly the union of the claims. On restore,
+// a freshly constructed scenario cancels its own construction-era events and
+// re-arms each claim through the owning component, in (when, seq) order, so
+// the continuation fires in exactly the order the original run would have.
+
+// PendingEvent describes one live (non-canceled) queued event, without its
+// callback.
+type PendingEvent struct {
+	When Time
+	Seq  uint64
+	Name string
+}
+
+// PendingLive lists every live pending event in firing order. Canceled
+// events still sitting in the heap are excluded (they would never fire).
+func (e *Engine) PendingLive() []PendingEvent {
+	out := make([]PendingEvent, 0, e.queue.len())
+	for _, ev := range e.queue.items {
+		if ev.canceled {
+			continue
+		}
+		out = append(out, PendingEvent{When: ev.when, Seq: ev.seq, Name: ev.name})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].When != out[j].When {
+			return out[i].When < out[j].When
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
+
+// Claim is one component's declaration of ownership of a pending event. Owner
+// names the component ("hw.timer", "core.satin", ...), Key is a component-
+// chosen argument (typically a core ID) sufficient to rebuild the callback,
+// and Name is the event's scheduled name, which the component uses to pick
+// the right callback when one owner schedules several kinds. Seq orders
+// same-instant claims at capture time; it is not stable across a restore
+// (re-armed events get fresh sequence numbers in claim order, which preserves
+// the firing order — the only thing outputs can observe).
+//
+// A Kept claim marks an event the restored scenario's own construction
+// already scheduled (fault-injection DVFS/hotplug events): it is verified
+// present at restore but not re-armed.
+type Claim struct {
+	Owner string `json:"owner"`
+	Key   int64  `json:"key"`
+	Name  string `json:"name"`
+	When  Time   `json:"when"`
+	Seq   uint64 `json:"seq"`
+	Kept  bool   `json:"kept,omitempty"`
+}
+
+// Live reports whether the handle's event is still queued: neither fired nor
+// canceled. Components that keep handle lists use it to prune stale entries.
+func (h *Handle) Live() bool {
+	return h != nil && h.ev != nil && !h.canceled && h.ev.gen == h.gen
+}
+
+// Claim builds the claim for this handle's event. It reports false if the
+// event already fired or was canceled — the handle owner should then drop its
+// stale reference rather than claim a dead event.
+func (h *Handle) Claim(owner string, key int64) (Claim, bool) {
+	if !h.Live() {
+		return Claim{}, false
+	}
+	return Claim{Owner: owner, Key: key, Name: h.ev.name, When: h.when, Seq: h.seq}, true
+}
+
+// SortClaims orders claims by (when, seq) — capture-side firing order, the
+// order restore must re-arm them in.
+func SortClaims(claims []Claim) {
+	sort.Slice(claims, func(i, j int) bool {
+		if claims[i].When != claims[j].When {
+			return claims[i].When < claims[j].When
+		}
+		return claims[i].Seq < claims[j].Seq
+	})
+}
+
+// VerifyClaims checks that the live pending set and the claim set are the
+// same multiset of events: every live event is claimed by exactly one claim
+// (matched by sequence number, cross-checked on instant and name) and no
+// claim is stale. A mismatch means some component schedules events the
+// checkpoint protocol does not know about, so the instant is not claimable.
+func (e *Engine) VerifyClaims(claims []Claim) error {
+	bySeq := make(map[uint64]Claim, len(claims))
+	for _, c := range claims {
+		if prev, dup := bySeq[c.Seq]; dup {
+			return fmt.Errorf("simclock: claims %q/%q and %q/%q both claim event seq %d",
+				prev.Owner, prev.Name, c.Owner, c.Name, c.Seq)
+		}
+		bySeq[c.Seq] = c
+	}
+	live := e.PendingLive()
+	for _, ev := range live {
+		c, ok := bySeq[ev.Seq]
+		if !ok {
+			return fmt.Errorf("simclock: pending event %q at %v (seq %d) is unclaimed", ev.Name, ev.When, ev.Seq)
+		}
+		if c.When != ev.When || c.Name != ev.Name {
+			return fmt.Errorf("simclock: claim %q/%q (at %v) does not match pending event %q at %v",
+				c.Owner, c.Name, c.When, ev.Name, ev.When)
+		}
+		delete(bySeq, ev.Seq)
+	}
+	for _, c := range bySeq {
+		return fmt.Errorf("simclock: claim %q/%q at %v (seq %d) matches no pending event — stale handle",
+			c.Owner, c.Name, c.When, c.Seq)
+	}
+	return nil
+}
+
+// RestoreClock moves the clock to the checkpoint instant and restores the
+// dispatch counter, the two pieces of engine state a snapshot carries. It is
+// called mid-restore, after the fresh scenario's construction-era events have
+// been canceled but before claims are re-armed; any live event still queued
+// before the new instant would be a causality violation and is rejected.
+// Canceled events below the new instant are harmless — they are lazily
+// discarded without touching the clock.
+func (e *Engine) RestoreClock(now Time, dispatched uint64) error {
+	for _, ev := range e.queue.items {
+		if !ev.canceled && ev.when < now {
+			return fmt.Errorf("simclock: cannot restore clock to %v: live event %q still pending at %v", now, ev.name, ev.when)
+		}
+	}
+	e.now = now
+	e.dispatched = dispatched
+	return nil
+}

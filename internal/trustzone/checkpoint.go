@@ -1,0 +1,59 @@
+package trustzone
+
+import (
+	"fmt"
+	"time"
+)
+
+// Checkpoint support. The monitor schedules its world-entry, dispatch, work,
+// and exit transients through handle-free ScheduleAfter calls, so it can
+// never claim them — which is exactly the protocol's intent: an instant with
+// a secure payload in flight is not claimable, and the checkpoint driver
+// steps the engine until every core is back in the normal world. What
+// remains to capture is pure state: the latency RNG, the held timer fires,
+// the preemption bookkeeping, and the switch record.
+
+// MonitorState is the monitor's state at a claimable instant.
+type MonitorState struct {
+	RNG          []byte          `json:"rng"`
+	TimerPending []bool          `json:"timer_pending"`
+	Stretch      []time.Duration `json:"stretch"`
+	Preemptions  []int           `json:"preemptions"`
+	Switches     []SwitchRecord  `json:"switches"`
+}
+
+// CheckpointState captures the monitor. It fails if any core is still in the
+// secure world: the caller should have stepped to a claimable instant first.
+func (m *Monitor) CheckpointState() (MonitorState, error) {
+	for core, in := range m.inSecure {
+		if in {
+			return MonitorState{}, fmt.Errorf("trustzone: core %d is in the secure world at the checkpoint instant", core)
+		}
+	}
+	rng, err := m.rng.MarshalState()
+	if err != nil {
+		return MonitorState{}, fmt.Errorf("trustzone: marshaling monitor rng: %w", err)
+	}
+	return MonitorState{
+		RNG:          rng,
+		TimerPending: append([]bool(nil), m.timerPending...),
+		Stretch:      append([]time.Duration(nil), m.stretch...),
+		Preemptions:  append([]int(nil), m.preemptions...),
+		Switches:     append([]SwitchRecord(nil), m.switches...),
+	}, nil
+}
+
+// RestoreState overwrites the monitor's state with a captured one.
+func (m *Monitor) RestoreState(st MonitorState) error {
+	if len(st.TimerPending) != len(m.timerPending) || len(st.Stretch) != len(m.stretch) || len(st.Preemptions) != len(m.preemptions) {
+		return fmt.Errorf("trustzone: snapshot has %d cores, monitor has %d", len(st.TimerPending), len(m.timerPending))
+	}
+	if err := m.rng.RestoreState(st.RNG); err != nil {
+		return fmt.Errorf("trustzone: restoring monitor rng: %w", err)
+	}
+	copy(m.timerPending, st.TimerPending)
+	copy(m.stretch, st.Stretch)
+	copy(m.preemptions, st.Preemptions)
+	m.switches = append(m.switches[:0], st.Switches...)
+	return nil
+}
