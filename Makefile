@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race determinism sweep-check trace-check profile-smoke sensitivity-smoke spec-corpus-check spec-fuzz-smoke campaign-smoke campaign-corpus-check campaign-fuzz-smoke checkpoint-smoke docs-check cover bench bench-json bench-smoke profile ci
+.PHONY: all build vet test race determinism sweep-check trace-check profile-smoke sensitivity-smoke spec-corpus-check spec-fuzz-smoke campaign-smoke campaign-corpus-check campaign-fuzz-smoke checkpoint-smoke serve-smoke docs-check cover bench bench-json bench-smoke bench-compare profile ci
 
 all: build test
 
@@ -134,6 +134,27 @@ checkpoint-smoke:
 	done; exit $$fail
 	@echo "four forked members reproduce their from-scratch traces byte for byte"
 
+# Sharded-campaign smoke: a satin-serve coordinator plus two worker
+# processes drain the committed smoke campaign over the lease protocol, and
+# the merged result must be byte-identical to the committed single-process
+# golden — the cross-process half of the campaign-corpus contract.
+serve-smoke:
+	$(GO) build -o /tmp/satin-serve ./cmd/satin-serve
+	rm -rf /tmp/satin_serve_smoke && mkdir -p /tmp/satin_serve_smoke
+	@set -e; \
+	/tmp/satin-serve -listen 127.0.0.1:8397 -data /tmp/satin_serve_smoke/data & \
+	server=$$!; trap 'kill $$server 2>/dev/null' EXIT; \
+	for i in $$(seq 50); do /tmp/satin-serve -url http://127.0.0.1:8397 -status >/dev/null 2>&1 && break; sleep 0.1; done; \
+	/tmp/satin-serve -url http://127.0.0.1:8397 -submit testdata/campaigns/smoke.json -shards 2; \
+	/tmp/satin-serve -url http://127.0.0.1:8397 -worker -name w1 -dir /tmp/satin_serve_smoke/w1 2>/dev/null & \
+	w1=$$!; \
+	/tmp/satin-serve -url http://127.0.0.1:8397 -worker -name w2 -dir /tmp/satin_serve_smoke/w2 2>/dev/null; \
+	wait $$w1; \
+	/tmp/satin-serve -url http://127.0.0.1:8397 -watch c1; \
+	/tmp/satin-serve -url http://127.0.0.1:8397 -result c1 -out /tmp/satin_serve_smoke/merged.result; \
+	cmp /tmp/satin_serve_smoke/merged.result testdata/campaigns/smoke.result.golden
+	@echo "serve-smoke OK: two-worker sharded result matches the committed golden byte for byte"
+
 # Short fuzz run over the campaign parser, seeded from the committed
 # campaigns: any input that parses and validates must canonicalize, expand
 # to cells, and round-trip without panicking.
@@ -156,7 +177,7 @@ docs-check:
 	@echo "every internal package is in ARCHITECTURE.md's package map"
 	@rm -rf /tmp/satin_docscheck && mkdir -p /tmp/satin_docscheck
 	@$(GO) build -o /tmp/satin_docscheck ./cmd/...
-	@fail=0; for bin in satin-sim benchtables tzevader; do \
+	@fail=0; for bin in satin-sim benchtables tzevader satin-serve; do \
 		/tmp/satin_docscheck/$$bin -h 2>&1 | grep -oE '^  -[a-z0-9-]+' | tr -d ' ' > /tmp/satin_docscheck/$$bin.flags; \
 		for f in $$(grep -ohE "$$bin"'[^#`]*' README.md EXPERIMENTS.md docs/*.md | grep -oE ' -[a-z][a-z0-9-]*' | sort -u); do \
 			grep -qx -- "$$f" /tmp/satin_docscheck/$$bin.flags || { echo "docs show $$bin $$f but the binary has no such flag"; fail=1; }; \
@@ -204,11 +225,33 @@ bench-json:
 		-desc "16-cell shared-prefix sweep forked from one checkpoint vs every cell from scratch (hash cache off so the prefix carries real per-round work; identical result bytes either way)" \
 		-out BENCH_PR8.json
 	@echo "wrote BENCH_PR8.json"
+	# BENCH_PR9.json: sharded cross-process campaign execution. Baseline
+	# drains the campaign with one worker OS process over the satin-serve
+	# lease protocol; current uses four. Both rows are renamed so benchjson
+	# pairs them; the speedup is the machine's core headroom (≈4× with four
+	# free cores, ≈1× on one — the merged bytes are identical either way).
+	$(GO) test -run '^$$' -bench 'BenchmarkShardedCampaignWorkers1$$' -benchtime 3x -count 1 . \
+		| sed 's/BenchmarkShardedCampaignWorkers1/BenchmarkShardedCampaign/' | tee /tmp/bench_baseline_pr9.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkShardedCampaignWorkers4$$' -benchtime 3x -count 1 . \
+		| sed 's/BenchmarkShardedCampaignWorkers4/BenchmarkShardedCampaign/' | tee /tmp/bench_current_pr9.txt
+	$(GO) run ./tools/benchjson -baseline /tmp/bench_baseline_pr9.txt -current /tmp/bench_current_pr9.txt \
+		-desc "8-cell campaign drained by 4 worker OS processes vs 1 over the satin-serve lease protocol (byte-identical merged result; speedup tracks free cores, so regenerate on multi-core hardware for the headline number)" \
+		-out BENCH_PR9.json
+	@echo "wrote BENCH_PR9.json"
 
 # Quick non-blocking benchmark smoke for CI: one short iteration of every
 # benchmark, checking they still run — not their numbers.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Diff a fresh 1x bench sweep against every committed BENCH_*.json:
+# per-benchmark ns/op deltas, with growth past the threshold flagged as a
+# regression. Wired into the non-blocking CI bench job — numbers vary with
+# runner hardware, so this is a look-here signal, never a merge gate.
+bench-compare:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./... | tee /tmp/bench_fresh.txt
+	$(GO) run ./tools/benchjson -current /tmp/bench_fresh.txt \
+		-compare $$(ls BENCH_*.json | paste -sd, -) -threshold 100
 
 # CPU and heap profiles of the detection sweep benchmark, for digging into
 # the simulator's hot path. Writes /tmp/satin_cpu.prof, /tmp/satin_mem.prof
@@ -218,4 +261,4 @@ profile:
 		-cpuprofile /tmp/satin_cpu.prof -memprofile /tmp/satin_mem.prof -o /tmp/satin.test .
 	@echo "inspect with: $(GO) tool pprof /tmp/satin.test /tmp/satin_cpu.prof"
 
-ci: vet build test race determinism spec-corpus-check campaign-smoke campaign-corpus-check checkpoint-smoke docs-check
+ci: vet build test race determinism spec-corpus-check campaign-smoke campaign-corpus-check checkpoint-smoke serve-smoke docs-check

@@ -2,10 +2,15 @@ package main
 
 import (
 	"bytes"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
+
+	"satin"
+	"satin/internal/serve"
 )
 
 // miniCampaign is a fast real-simulation campaign: 2 evaders × 1 seed, four
@@ -87,5 +92,95 @@ func TestCampaignDefaultResultPath(t *testing.T) {
 	derived := strings.TrimSuffix(campaignPath, ".json") + ".result"
 	if _, err := os.Stat(derived); err != nil {
 		t.Fatalf("derived result path: %v", err)
+	}
+}
+
+// TestRateETA: the progress throughput suffix guards its divisions and
+// drops the ETA once everything is done.
+func TestRateETA(t *testing.T) {
+	if got := rateETA(0, 10, time.Second); got != "" {
+		t.Fatalf("rateETA(0, ...) = %q, want empty", got)
+	}
+	if got := rateETA(3, 10, 0); got != "" {
+		t.Fatalf("rateETA(..., 0) = %q, want empty", got)
+	}
+	got := rateETA(5, 10, 2*time.Second)
+	if !strings.Contains(got, "2.5 cells/s") || !strings.Contains(got, "ETA 2s") {
+		t.Fatalf("rateETA(5, 10, 2s) = %q", got)
+	}
+	finished := rateETA(10, 10, 4*time.Second)
+	if !strings.Contains(finished, "2.5 cells/s") || strings.Contains(finished, "ETA") {
+		t.Fatalf("rateETA(10, 10, 4s) = %q", finished)
+	}
+}
+
+// TestCampaignProgressShowsThroughput: -progress campaign lines carry the
+// cells/sec rate.
+func TestCampaignProgressShowsThroughput(t *testing.T) {
+	campaignPath, resultPath := writeMiniCampaign(t)
+	var out, progress bytes.Buffer
+	if err := runWith([]string{"-campaign", campaignPath, "-campaign-out", resultPath, "-progress"}, &out, &progress); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	text := progress.String()
+	if !strings.Contains(text, "campaign: 2/2 in ") || !strings.Contains(text, "cells/s") {
+		t.Fatalf("progress output lacks throughput:\n%s", text)
+	}
+}
+
+// TestCampaignServeRoundTrip: -campaign-serve submits to a coordinator,
+// -campaign-worker drains it, and the merged result is byte-identical to
+// the local -campaign path.
+func TestCampaignServeRoundTrip(t *testing.T) {
+	s, err := serve.New(serve.Options{DataDir: t.TempDir(), GroupKey: satin.CheckpointGroupKey})
+	if err != nil {
+		t.Fatalf("serve.New: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	campaignPath, _ := writeMiniCampaign(t)
+	dir := t.TempDir()
+	localPath := filepath.Join(dir, "local.result")
+	servePath := filepath.Join(dir, "served.result")
+	var localOut bytes.Buffer
+	if err := run([]string{"-campaign", campaignPath, "-campaign-out", localPath}, &localOut); err != nil {
+		t.Fatalf("local run: %v", err)
+	}
+
+	done := make(chan error, 1)
+	var out, progress bytes.Buffer
+	go func() {
+		done <- runWith([]string{
+			"-campaign", campaignPath, "-campaign-serve", ts.URL,
+			"-campaign-shards", "2", "-campaign-out", servePath, "-progress",
+		}, &out, &progress)
+	}()
+	for len(s.List()) == 0 {
+		time.Sleep(5 * time.Millisecond)
+	}
+	var workerOut bytes.Buffer
+	if err := run([]string{"-campaign-worker", ts.URL}, &workerOut); err != nil {
+		t.Fatalf("worker: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("campaign-serve: %v", err)
+	}
+	if !strings.Contains(out.String(), "campaign complete: 2 cells finalized") {
+		t.Fatalf("serve output:\n%s", out.String())
+	}
+	if !strings.Contains(progress.String(), "cells/s") {
+		t.Fatalf("serve progress lacks throughput:\n%s", progress.String())
+	}
+	local, err := os.ReadFile(localPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	served, err := os.ReadFile(servePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(local, served) {
+		t.Fatal("sharded-serve result differs from local run bytes")
 	}
 }

@@ -94,6 +94,9 @@ func runWith(args []string, out, errOut io.Writer) error {
 	campaignOut := fs.String("campaign-out", "", "campaign result/checkpoint file (default: <campaign>.result)")
 	campaignMaxCells := fs.Int("campaign-max-cells", 0, "stop the campaign after N newly completed cells (checkpointed; 0 = run to completion)")
 	campaignFork := fs.Bool("campaign-fork", true, "fork shared-prefix cell groups from one checkpoint instead of running each from scratch (identical results either way)")
+	campaignServe := fs.String("campaign-serve", "", "submit -campaign to this satin-serve URL for sharded cross-process execution and render the merged result (byte-identical to a local run)")
+	campaignShards := fs.Int("campaign-shards", 2, "with -campaign-serve: number of shards to partition the campaign into")
+	campaignWorker := fs.String("campaign-worker", "", "run a sharded-campaign worker loop against this satin-serve URL until no work remains")
 
 	defs := experiment.Registry()
 	// Every experiment name is also a boolean shorthand flag:
@@ -111,11 +114,20 @@ func runWith(args []string, out, errOut io.Writer) error {
 	if *metricsOut != "" && *seeds < 2 {
 		return fmt.Errorf("-metrics-out exports per-seed sweep samples; it needs -seeds N > 1")
 	}
+	if *campaignWorker != "" {
+		return runCampaignWorker(errOut, *campaignWorker, *workers, *campaignFork)
+	}
 	if *campaignFile != "" {
+		if *campaignServe != "" {
+			if *campaignMaxCells != 0 {
+				return fmt.Errorf("-campaign-max-cells is a local-run control; it does not combine with -campaign-serve")
+			}
+			return runCampaignServe(out, errOut, *campaignFile, *campaignOut, *campaignServe, *campaignShards, *progress)
+		}
 		return runCampaignFile(out, errOut, *campaignFile, *campaignOut, *workers, *campaignMaxCells, *progress, *campaignFork)
 	}
-	if *campaignOut != "" || *campaignMaxCells != 0 {
-		return fmt.Errorf("-campaign-out/-campaign-max-cells configure a campaign run; they need -campaign FILE")
+	if *campaignOut != "" || *campaignMaxCells != 0 || *campaignServe != "" {
+		return fmt.Errorf("-campaign-out/-campaign-max-cells/-campaign-serve configure a campaign run; they need -campaign FILE")
 	}
 
 	want := map[string]bool{}

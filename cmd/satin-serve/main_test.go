@@ -1,0 +1,194 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"satin"
+	"satin/internal/campaign"
+)
+
+// smokeCampaign mirrors testdata/campaigns/smoke.json closely enough for a
+// CLI round trip while staying fast: 2 fault plans × 2 seeds = 4 cells.
+const smokeCampaign = `{
+  "version": 1,
+  "name": "cli-smoke",
+  "scenario": {
+    "version": 1,
+    "seed": 1,
+    "defense": {"kind": "satin", "satin": {"tgoal": "2s", "max_rounds": 2}},
+    "evader": {"kind": "fast"},
+    "run": {"to_completion": true}
+  },
+  "faults": ["", "scale:2"],
+  "seeds": {"base": 1, "count": 2}
+}`
+
+// startServer runs serve mode on an OS-assigned port and returns its base
+// URL plus a stop function (closing the listener ends http.Serve cleanly).
+func startServer(t *testing.T) (string, func()) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- serveMode(l, t.TempDir(), 30*time.Second, new(bytes.Buffer))
+	}()
+	return "http://" + l.Addr().String(), func() {
+		l.Close()
+		if err := <-done; err != nil {
+			t.Errorf("serveMode: %v", err)
+		}
+	}
+}
+
+// TestCLIRoundTrip drives the full sharded lifecycle through the CLI
+// surface: submit, two worker passes, status, watch, result download —
+// and requires the downloaded merge to be byte-identical to an in-process
+// single-run of the same campaign.
+func TestCLIRoundTrip(t *testing.T) {
+	url, stop := startServer(t)
+	defer stop()
+
+	dir := t.TempDir()
+	campaignPath := filepath.Join(dir, "smoke.json")
+	if err := os.WriteFile(campaignPath, []byte(smokeCampaign), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	if err := run([]string{"-url", url, "-submit", campaignPath, "-shards", "2"}, &out, &out); err != nil {
+		t.Fatalf("submit: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "job c1 (cli-smoke): 0/4 cells, 2 shard(s), running") {
+		t.Fatalf("submit output:\n%s", out.String())
+	}
+
+	// Two sequential worker invocations: the first drains both shards (it
+	// loops until no work remains), the second must exit immediately.
+	for i := 0; i < 2; i++ {
+		var wout bytes.Buffer
+		if err := run([]string{"-url", url, "-worker", "-name", "w", "-dir", t.TempDir()}, &wout, &wout); err != nil {
+			t.Fatalf("worker pass %d: %v\n%s", i, err, wout.String())
+		}
+	}
+
+	out.Reset()
+	if err := run([]string{"-url", url, "-status"}, &out, &out); err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	if !strings.Contains(out.String(), "4/4 cells, 2 shard(s), finalized") {
+		t.Fatalf("status output:\n%s", out.String())
+	}
+
+	out.Reset()
+	if err := run([]string{"-url", url, "-watch", "c1"}, &out, &out); err != nil {
+		t.Fatalf("watch: %v\n%s", err, out.String())
+	}
+	watch := out.String()
+	if strings.Count(watch, "cell ") != 4 || !strings.Contains(watch, "job c1 finalized: 4/4 cells") {
+		t.Fatalf("watch output:\n%s", watch)
+	}
+
+	mergedPath := filepath.Join(dir, "merged.result")
+	out.Reset()
+	if err := run([]string{"-url", url, "-result", "c1", "-out", mergedPath}, &out, &out); err != nil {
+		t.Fatalf("result: %v", err)
+	}
+
+	c, err := campaign.Parse([]byte(smokeCampaign))
+	if err != nil {
+		t.Fatal(err)
+	}
+	singlePath := filepath.Join(dir, "single.result")
+	if _, err := campaign.Run(context.Background(), c, singlePath, campaign.RunOptions{
+		SpecTrial: satin.RunSpecTrial,
+	}); err != nil {
+		t.Fatalf("single-process run: %v", err)
+	}
+	merged, err := os.ReadFile(mergedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := os.ReadFile(singlePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(merged, single) {
+		t.Fatal("CLI sharded result differs from single-process bytes")
+	}
+}
+
+// TestCLIOfflineMerge: -merge combines shard files without a server.
+func TestCLIOfflineMerge(t *testing.T) {
+	c, err := campaign.Parse([]byte(smokeCampaign))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	shardA := filepath.Join(dir, "a.result")
+	shardB := filepath.Join(dir, "b.result")
+	single := filepath.Join(dir, "single.result")
+	for _, s := range []struct {
+		path string
+		only []int
+	}{
+		{shardA, []int{0, 1}},
+		{shardB, []int{2, 3}},
+		{single, nil},
+	} {
+		if _, err := campaign.Run(context.Background(), c, s.path, campaign.RunOptions{
+			SpecTrial: satin.RunSpecTrial, Only: s.only,
+		}); err != nil {
+			t.Fatalf("run %s: %v", s.path, err)
+		}
+	}
+
+	merged := filepath.Join(dir, "merged.result")
+	var out bytes.Buffer
+	if err := run([]string{"-merge", "-out", merged, shardA, shardB}, &out, &out); err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if !strings.Contains(out.String(), "merged 4 cells from 2 shard file(s)") {
+		t.Fatalf("merge output:\n%s", out.String())
+	}
+	got, err := os.ReadFile(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("offline merge differs from single-process bytes")
+	}
+}
+
+// TestCLIModeValidation: client modes without -url, and incomplete merge
+// invocations, fail with usable errors instead of panicking.
+func TestCLIModeValidation(t *testing.T) {
+	cases := [][]string{
+		{"-submit", "x.json"},
+		{"-worker"},
+		{"-watch", "c1"},
+		{"-status"},
+		{"-result", "c1", "-out", "x"},
+		{"-merge"},
+		{"-merge", "-out", "x"},
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out, &out); err == nil {
+			t.Fatalf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package campaign_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"satin/internal/campaign"
+	"satin/internal/runner"
+	"satin/internal/spec"
+)
+
+// shardPaths runs the grid campaign shard by shard (each shard a plain
+// index list) into per-shard files and returns the paths. Shard sessions
+// never finalize.
+func shardPaths(t *testing.T, dir string, shards [][]int, opt campaign.RunOptions) []string {
+	t.Helper()
+	var paths []string
+	for i, cells := range shards {
+		path := filepath.Join(dir, fmt.Sprintf("shard-%d.result", i))
+		o := opt
+		o.Only = cells
+		if o.SpecTrial == nil {
+			o.SpecTrial = fakeTrial
+		}
+		res, err := campaign.Run(context.Background(), parseGrid(t), path, o)
+		if err != nil {
+			t.Fatalf("shard %d: Run: %v", i, err)
+		}
+		if res.Finalized {
+			t.Fatalf("shard %d: a shard session must never finalize", i)
+		}
+		paths = append(paths, path)
+	}
+	return paths
+}
+
+// splitIndices deals indices 0..n-1 round-robin into k shards. Shards are
+// non-nil even when empty: nil means "every cell" to RunOptions.Only.
+func splitIndices(n, k int) [][]int {
+	shards := make([][]int, k)
+	for i := range shards {
+		shards[i] = []int{}
+	}
+	for i := 0; i < n; i++ {
+		shards[i%k] = append(shards[i%k], i)
+	}
+	return shards
+}
+
+// TestMergeMatchesSingleProcess: for several shard counts, merging the
+// per-shard files reproduces the single-process finalized bytes exactly.
+func TestMergeMatchesSingleProcess(t *testing.T) {
+	dir := t.TempDir()
+	single := filepath.Join(dir, "single.result")
+	res := runToFile(t, single, campaign.RunOptions{Workers: 1})
+	if !res.Finalized {
+		t.Fatal("single-process run did not finalize")
+	}
+	want := fileBytes(t, single)
+	n := len(res.Cells)
+
+	for _, k := range []int{1, 2, 3, 5, n, n + 3} {
+		t.Run(fmt.Sprintf("shards=%d", k), func(t *testing.T) {
+			sdir := t.TempDir()
+			paths := shardPaths(t, sdir, splitIndices(n, k), campaign.RunOptions{Workers: 2})
+			merged := filepath.Join(sdir, "merged.result")
+			total, err := campaign.Merge(merged, paths...)
+			if err != nil {
+				t.Fatalf("Merge: %v", err)
+			}
+			if total != n {
+				t.Fatalf("Merge reported %d cells, want %d", total, n)
+			}
+			if !bytes.Equal(fileBytes(t, merged), want) {
+				t.Fatalf("merged bytes differ from the single-process run at %d shards", k)
+			}
+		})
+	}
+}
+
+// TestMergeToleratesDuplicateShards: a lease that expired and was
+// reassigned leaves the same cells in two uploads; identical duplicates
+// merge cleanly, and the bytes still match the single-process run.
+func TestMergeToleratesDuplicateShards(t *testing.T) {
+	dir := t.TempDir()
+	single := filepath.Join(dir, "single.result")
+	res := runToFile(t, single, campaign.RunOptions{Workers: 1})
+	n := len(res.Cells)
+
+	shards := splitIndices(n, 3)
+	// The "dead" worker ran shard 0 partially; the replacement ran it in
+	// full. Both files reach the merge.
+	paths := shardPaths(t, dir, [][]int{shards[0][:2], shards[0], shards[1], shards[2]},
+		campaign.RunOptions{Workers: 2})
+	merged := filepath.Join(dir, "merged.result")
+	if _, err := campaign.Merge(merged, paths...); err != nil {
+		t.Fatalf("Merge with duplicate coverage: %v", err)
+	}
+	if !bytes.Equal(fileBytes(t, merged), fileBytes(t, single)) {
+		t.Fatal("merged bytes with duplicate shards differ from the single-process run")
+	}
+}
+
+// TestMergeRandomLeaseHistories is the property form: random shard plans
+// with random re-runs and partial "dead worker" uploads always merge to the
+// single-process bytes.
+func TestMergeRandomLeaseHistories(t *testing.T) {
+	dir := t.TempDir()
+	single := filepath.Join(dir, "single.result")
+	res := runToFile(t, single, campaign.RunOptions{Workers: 1})
+	want := fileBytes(t, single)
+	n := len(res.Cells)
+
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 8; trial++ {
+		k := 1 + rng.Intn(5)
+		perm := rng.Perm(n)
+		shards := make([][]int, k)
+		for i, idx := range perm {
+			shards[i%k] = append(shards[i%k], idx)
+		}
+		var plan [][]int
+		for _, s := range shards {
+			if rng.Intn(3) == 0 && len(s) > 1 {
+				// A dead worker's partial upload precedes the re-lease's
+				// full one.
+				plan = append(plan, s[:1+rng.Intn(len(s)-1)])
+			}
+			plan = append(plan, s)
+		}
+		sdir := t.TempDir()
+		paths := shardPaths(t, sdir, plan, campaign.RunOptions{Workers: 1 + rng.Intn(4)})
+		merged := filepath.Join(sdir, "merged.result")
+		if _, err := campaign.Merge(merged, paths...); err != nil {
+			t.Fatalf("trial %d: Merge: %v", trial, err)
+		}
+		if !bytes.Equal(fileBytes(t, merged), want) {
+			t.Fatalf("trial %d: merged bytes differ from single-process run (plan %v)", trial, plan)
+		}
+	}
+}
+
+// TestMergeRejections: incomplete coverage, conflicting duplicates, and
+// foreign shard files all fail with a named cause.
+func TestMergeRejections(t *testing.T) {
+	dir := t.TempDir()
+	res := runToFile(t, filepath.Join(dir, "count.result"), campaign.RunOptions{Workers: 1})
+	n := len(res.Cells)
+	shards := splitIndices(n, 2)
+
+	t.Run("missing cells", func(t *testing.T) {
+		sdir := t.TempDir()
+		paths := shardPaths(t, sdir, [][]int{shards[0]}, campaign.RunOptions{})
+		_, err := campaign.Merge(filepath.Join(sdir, "m.result"), paths...)
+		if err == nil || !strings.Contains(err.Error(), "missing") {
+			t.Fatalf("error = %v, want a missing-cell rejection", err)
+		}
+	})
+
+	t.Run("conflicting duplicate", func(t *testing.T) {
+		sdir := t.TempDir()
+		paths := shardPaths(t, sdir, shards, campaign.RunOptions{})
+		// Re-run shard 0 with a trial that disagrees on cell metrics.
+		conflicting := filepath.Join(sdir, "conflict.result")
+		_, err := campaign.Run(context.Background(), parseGrid(t), conflicting, campaign.RunOptions{
+			Only: shards[0],
+			SpecTrial: func(s spec.Spec) (runner.Metrics, error) {
+				return runner.Metrics{}.Add("seed", -1), nil
+			},
+		})
+		if err != nil {
+			t.Fatalf("conflicting shard run: %v", err)
+		}
+		_, err = campaign.Merge(filepath.Join(sdir, "m.result"), append(paths, conflicting)...)
+		if err == nil || !strings.Contains(err.Error(), "conflicting") {
+			t.Fatalf("error = %v, want a conflicting-result rejection", err)
+		}
+	})
+
+	t.Run("foreign campaign", func(t *testing.T) {
+		sdir := t.TempDir()
+		paths := shardPaths(t, sdir, shards, campaign.RunOptions{})
+		other := parseGrid(t)
+		other.Seeds.Count = 1
+		foreign := filepath.Join(sdir, "foreign.result")
+		if _, err := campaign.Run(context.Background(), other, foreign, campaign.RunOptions{SpecTrial: fakeTrial, MaxCells: 1}); err != nil {
+			t.Fatalf("foreign run: %v", err)
+		}
+		_, err := campaign.Merge(filepath.Join(sdir, "m.result"), append(paths, foreign)...)
+		if err == nil || !strings.Contains(err.Error(), "different campaign") {
+			t.Fatalf("error = %v, want a different-campaign rejection", err)
+		}
+	})
+
+	t.Run("no inputs", func(t *testing.T) {
+		if _, err := campaign.Merge(filepath.Join(t.TempDir(), "m.result")); err == nil {
+			t.Fatal("Merge with no shard files succeeded")
+		}
+	})
+}
+
+// TestOnlyValidation: out-of-range shard indices are an error, an empty
+// non-nil shard is a valid no-op session, and a shard session resumes its
+// own partial file.
+func TestOnlyValidation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "only.result")
+	_, err := campaign.Run(context.Background(), parseGrid(t), path, campaign.RunOptions{
+		Only: []int{0, 99999}, SpecTrial: fakeTrial,
+	})
+	if err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("error = %v, want an out-of-range rejection", err)
+	}
+
+	res, err := campaign.Run(context.Background(), parseGrid(t), path, campaign.RunOptions{
+		Only: []int{}, SpecTrial: fakeTrial,
+	})
+	if err != nil {
+		t.Fatalf("empty shard: %v", err)
+	}
+	if res.NewlyDone != 0 || res.Finalized {
+		t.Fatalf("empty shard ran %d cells, finalized %v", res.NewlyDone, res.Finalized)
+	}
+
+	// A killed shard session resumes exactly its missing cells.
+	first, err := campaign.Run(context.Background(), parseGrid(t), path, campaign.RunOptions{
+		Only: []int{0, 1, 2, 3}, MaxCells: 2, SpecTrial: fakeTrial,
+	})
+	if err != nil || first.NewlyDone != 2 {
+		t.Fatalf("partial shard: newly done %d, err %v", first.NewlyDone, err)
+	}
+	second, err := campaign.Run(context.Background(), parseGrid(t), path, campaign.RunOptions{
+		Only: []int{0, 1, 2, 3}, SpecTrial: fakeTrial,
+	})
+	if err != nil || second.NewlyDone != 2 {
+		t.Fatalf("shard resume: newly done %d, err %v", second.NewlyDone, err)
+	}
+}

@@ -9,7 +9,6 @@ import (
 	"math"
 	"os"
 	"path/filepath"
-	"sort"
 
 	"satin/internal/runner"
 )
@@ -140,21 +139,7 @@ func (r *ResultFile) Finalize(total int) error {
 		}
 		ordered = append(ordered, res)
 	}
-	var buf bytes.Buffer
-	buf.Write(encodeHeader(r.spec))
-	for _, res := range ordered {
-		buf.Write(encodeRecord(tagCell, encodeCell(res)))
-	}
-	var footer bytes.Buffer
-	writeU32(&footer, uint32(total))
-	buf.Write(encodeRecord(tagFooter, footer.Bytes()))
-
-	tmp := r.path + ".tmp"
-	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
-		return fmt.Errorf("campaign: finalize: %w", err)
-	}
-	if err := os.Rename(tmp, r.path); err != nil {
-		os.Remove(tmp)
+	if err := writeFinalized(r.path, r.spec, ordered); err != nil {
 		return fmt.Errorf("campaign: finalize: %w", err)
 	}
 	r.f.Close()
@@ -164,6 +149,35 @@ func (r *ResultFile) Finalize(total int) error {
 	}
 	r.f = f
 	r.finalized = true
+	return nil
+}
+
+// finalizedBytes renders the canonical finalized form: header, every cell
+// record in index order, footer. It is THE byte layout of a finished
+// campaign — Finalize and Merge both emit it, which is what makes a merged
+// sharded run byte-identical to a single-process one.
+func finalizedBytes(specBytes []byte, ordered []CellResult) []byte {
+	var buf bytes.Buffer
+	buf.Write(encodeHeader(specBytes))
+	for _, res := range ordered {
+		buf.Write(encodeRecord(tagCell, encodeCell(res)))
+	}
+	var footer bytes.Buffer
+	writeU32(&footer, uint32(len(ordered)))
+	buf.Write(encodeRecord(tagFooter, footer.Bytes()))
+	return buf.Bytes()
+}
+
+// writeFinalized writes the finalized form atomically (temp file + rename).
+func writeFinalized(path string, specBytes []byte, ordered []CellResult) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, finalizedBytes(specBytes, ordered), 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
 	return nil
 }
 
@@ -177,23 +191,7 @@ func ReadResults(path string) (specBytes []byte, results []CellResult, finalized
 	if err != nil {
 		return nil, nil, false, fmt.Errorf("campaign: reading results: %w", err)
 	}
-	specBytes, rest, err := decodeHeader(data)
-	if err != nil {
-		return nil, nil, false, err
-	}
-	done, _, finalized, err := decodeRecords(rest, true)
-	if err != nil {
-		return nil, nil, false, err
-	}
-	indices := make([]int, 0, len(done))
-	for i := range done {
-		indices = append(indices, i)
-	}
-	sort.Ints(indices)
-	for _, i := range indices {
-		results = append(results, done[i])
-	}
-	return specBytes, results, finalized, nil
+	return ReadFile(data)
 }
 
 // load parses an existing file into r, verifying the header against r.spec

@@ -51,6 +51,14 @@ type RunOptions struct {
 	// completed cells — checkpointed, not finalized — which is how the
 	// smoke targets simulate a kill deterministically.
 	MaxCells int
+	// Only, when non-nil, restricts this session to the listed cell
+	// indices — one shard of the campaign. The result file still spans the
+	// whole campaign's index space (its header is the full canonical
+	// campaign), but a shard session never finalizes: Merge combines the
+	// per-shard files into the finalized form. An index outside the
+	// expansion is an error. A nil slice means every cell; an empty
+	// non-nil slice is a valid (empty) shard.
+	Only []int
 	// Progress, when non-nil, observes per-cell completions live (done and
 	// total count cells pending in THIS session). Completion order —
 	// diagnostics only.
@@ -114,8 +122,22 @@ func Run(ctx context.Context, c Spec, resultPath string, opt RunOptions) (RunRes
 	}
 	defer rf.Close()
 
+	var only map[int]bool
+	if opt.Only != nil {
+		only = make(map[int]bool, len(opt.Only))
+		for _, idx := range opt.Only {
+			if idx < 0 || idx >= len(cells) {
+				return RunResult{}, fmt.Errorf("campaign: shard cell index %d out of range (campaign has %d cells)", idx, len(cells))
+			}
+			only[idx] = true
+		}
+	}
+
 	var pending []Cell
 	for _, cell := range cells {
+		if only != nil && !only[cell.Index] {
+			continue
+		}
 		if _, ok := rf.Done()[cell.Index]; !ok {
 			pending = append(pending, cell)
 		}
@@ -130,6 +152,10 @@ func Run(ctx context.Context, c Spec, resultPath string, opt RunOptions) (RunRes
 		units := groupUnits(toRun, opt)
 		progress := cellProgress(units, len(toRun), opt.Progress)
 		var mu sync.Mutex
+		// busMu serializes KindCell publishes: the bus is a single-threaded
+		// structure (and sinks — a progress renderer, an HTTP reporter — are
+		// written as such), but completions arrive from pool goroutines.
+		var busMu sync.Mutex
 		var checkpointErr error
 		_, runErr := runner.RunObserved(ctx, len(units), opt.Workers, progress,
 			func(ctx context.Context, ui int) (struct{}, error) {
@@ -178,7 +204,9 @@ func Run(ctx context.Context, c Spec, resultPath string, opt RunOptions) (RunRes
 					if appendErr != nil {
 						return struct{}{}, appendErr
 					}
+					busMu.Lock()
 					publishCell(opt.Bus, cell, res)
+					busMu.Unlock()
 				}
 				return struct{}{}, firstErr
 			})
@@ -190,7 +218,10 @@ func Run(ctx context.Context, c Spec, resultPath string, opt RunOptions) (RunRes
 		}
 	}
 
-	if len(rf.Done()) == len(cells) {
+	// A shard session never finalizes even if its file happens to hold
+	// every cell: finalization is the whole-campaign act (Merge, or a
+	// full-range session).
+	if opt.Only == nil && len(rf.Done()) == len(cells) {
 		if err := rf.Finalize(len(cells)); err != nil {
 			return RunResult{}, err
 		}

@@ -1,0 +1,190 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"satin/internal/trace"
+)
+
+// ErrNotReady is returned by Client.Result while the job is still running.
+var ErrNotReady = errors.New("serve: result not ready")
+
+// Client is the typed wire interface to a satin-serve server.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) url(path string) string {
+	return strings.TrimRight(c.BaseURL, "/") + path
+}
+
+// do issues one request and decodes the JSON reply into out (when non-nil),
+// mapping error statuses back to the package sentinels.
+func (c *Client) do(ctx context.Context, method, path string, body io.Reader, header http.Header, out any) error {
+	req, err := http.NewRequestWithContext(ctx, method, c.url(path), body)
+	if err != nil {
+		return fmt.Errorf("serve: building request: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	for k, vs := range header {
+		for _, v := range vs {
+			req.Header.Set(k, v)
+		}
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("serve: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("serve: decoding %s %s reply: %w", method, path, err)
+	}
+	return nil
+}
+
+// decodeError turns a non-2xx reply into an error, mapping the lease-lost
+// and not-ready statuses onto their sentinels so callers can errors.Is.
+func decodeError(resp *http.Response) error {
+	var msg struct {
+		Error string `json:"error"`
+	}
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if json.Unmarshal(data, &msg) != nil || msg.Error == "" {
+		msg.Error = strings.TrimSpace(string(data))
+		if msg.Error == "" {
+			msg.Error = resp.Status
+		}
+	}
+	switch resp.StatusCode {
+	case http.StatusGone:
+		return fmt.Errorf("%w: %s", ErrLeaseLost, msg.Error)
+	case http.StatusConflict:
+		return fmt.Errorf("%w: %s", ErrNotReady, msg.Error)
+	}
+	return fmt.Errorf("serve: server said %d: %s", resp.StatusCode, msg.Error)
+}
+
+// Submit registers a campaign split into `shards` shards.
+func (c *Client) Submit(ctx context.Context, campaignJSON []byte, shards int) (JobStatus, error) {
+	body, err := json.Marshal(SubmitRequest{Campaign: campaignJSON, Shards: shards})
+	if err != nil {
+		return JobStatus{}, fmt.Errorf("serve: encoding submit: %w", err)
+	}
+	var st JobStatus
+	err = c.do(ctx, http.MethodPost, "/v1/campaigns", bytes.NewReader(body), nil, &st)
+	return st, err
+}
+
+// Lease asks for one shard. A nil lease with open true means poll again;
+// open false means every shard everywhere is done.
+func (c *Client) Lease(ctx context.Context, worker string) (*Lease, bool, error) {
+	body, _ := json.Marshal(map[string]string{"worker": worker})
+	var resp LeaseResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/lease", bytes.NewReader(body), nil, &resp); err != nil {
+		return nil, false, err
+	}
+	return resp.Lease, resp.Open, nil
+}
+
+// Progress reports one completed cell and renews the lease.
+func (c *Client) Progress(ctx context.Context, jobID string, shardIdx int, token string, index int, detail string) error {
+	body, _ := json.Marshal(ProgressReport{Token: token, Index: index, Detail: detail})
+	path := fmt.Sprintf("/v1/campaigns/%s/shards/%d/progress", url.PathEscape(jobID), shardIdx)
+	return c.do(ctx, http.MethodPost, path, bytes.NewReader(body), nil, nil)
+}
+
+// Upload sends the shard's result file bytes.
+func (c *Client) Upload(ctx context.Context, jobID string, shardIdx int, token string, data []byte) error {
+	path := fmt.Sprintf("/v1/campaigns/%s/shards/%d/result", url.PathEscape(jobID), shardIdx)
+	header := http.Header{"X-Satin-Lease": []string{token}}
+	return c.do(ctx, http.MethodPost, path, bytes.NewReader(data), header, nil)
+}
+
+// Status fetches one job's status.
+func (c *Client) Status(ctx context.Context, jobID string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/campaigns/"+url.PathEscape(jobID), nil, nil, &st)
+	return st, err
+}
+
+// List fetches every job's status.
+func (c *Client) List(ctx context.Context) ([]JobStatus, error) {
+	var resp struct {
+		Campaigns []JobStatus `json:"campaigns"`
+	}
+	err := c.do(ctx, http.MethodGet, "/v1/campaigns", nil, nil, &resp)
+	return resp.Campaigns, err
+}
+
+// Result downloads the finalized merged result bytes, or ErrNotReady.
+func (c *Client) Result(ctx context.Context, jobID string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.url("/v1/campaigns/"+url.PathEscape(jobID)+"/result"), nil)
+	if err != nil {
+		return nil, fmt.Errorf("serve: building request: %w", err)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("serve: fetching result: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return nil, decodeError(resp)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("serve: reading result: %w", err)
+	}
+	return data, nil
+}
+
+// StreamEvents follows the job's JSONL progress stream from event index
+// `from`, invoking fn per event, until the job finishes, fn errors, or the
+// context ends. It returns nil on a finished job.
+func (c *Client) StreamEvents(ctx context.Context, jobID string, from int, fn func(trace.Event) error) error {
+	path := "/v1/campaigns/" + url.PathEscape(jobID) + "/events?from=" + strconv.Itoa(from)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url(path), nil)
+	if err != nil {
+		return fmt.Errorf("serve: building request: %w", err)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("serve: opening event stream: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return decodeError(resp)
+	}
+	err = DecodeEvents(resp.Body, fn)
+	if err != nil && ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return err
+}

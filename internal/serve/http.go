@@ -1,0 +1,283 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"satin/internal/trace"
+)
+
+// Wire types. The campaign travels as its canonical JSON — the same bytes
+// the result-file header embeds — so workers and the server agree on the
+// expansion by construction.
+
+// SubmitRequest is the POST /v1/campaigns body.
+type SubmitRequest struct {
+	Campaign json.RawMessage `json:"campaign"`
+	Shards   int             `json:"shards"`
+}
+
+// JobStatus is one job's public state.
+type JobStatus struct {
+	ID         string        `json:"id"`
+	Name       string        `json:"name,omitempty"`
+	Cells      int           `json:"cells"`
+	Done       int           `json:"done"`
+	Shards     []ShardStatus `json:"shards"`
+	Finalized  bool          `json:"finalized"`
+	MergeError string        `json:"merge_error,omitempty"`
+}
+
+// ShardStatus is one shard's public state.
+type ShardStatus struct {
+	Shard  int    `json:"shard"`
+	Cells  int    `json:"cells"`
+	State  string `json:"state"`
+	Worker string `json:"worker,omitempty"`
+}
+
+// Lease is one shard handout.
+type Lease struct {
+	Job   string `json:"job"`
+	Shard int    `json:"shard"`
+	Token string `json:"token"`
+	TTLMs int64  `json:"ttl_ms"`
+	// Cells are the campaign cell indices this shard executes.
+	Cells []int `json:"cells"`
+	// Campaign is the canonical campaign JSON.
+	Campaign json.RawMessage `json:"campaign"`
+}
+
+// LeaseResponse is the POST /v1/lease reply. A nil Lease with Open true
+// means "nothing leasable right now, poll again"; Open false means every
+// shard of every job is done — workers exit.
+type LeaseResponse struct {
+	Open  bool   `json:"open"`
+	Lease *Lease `json:"lease,omitempty"`
+}
+
+// ProgressReport is one completed cell, POSTed by a shard worker.
+type ProgressReport struct {
+	Token  string `json:"token"`
+	Index  int    `json:"index"`
+	Detail string `json:"detail"`
+}
+
+// Typed error classes, mapped to HTTP statuses by the handler and back to
+// sentinels by the client.
+
+// ErrLeaseLost is returned (client-side) when the server no longer honors
+// the worker's lease: it expired and was reassigned, or the shard is
+// already done. The worker drops the shard and leases the next one.
+var ErrLeaseLost = errors.New("serve: lease lost")
+
+type httpError struct {
+	status int
+	err    error
+}
+
+func (e *httpError) Error() string { return e.err.Error() }
+func (e *httpError) Unwrap() error { return e.err }
+
+func badRequest(err error) error { return &httpError{status: http.StatusBadRequest, err: err} }
+func notFound(jobID string) error {
+	return &httpError{status: http.StatusNotFound, err: fmt.Errorf("serve: no job %q", jobID)}
+}
+func notReady(jobID string) error {
+	return &httpError{status: http.StatusConflict, err: fmt.Errorf("serve: job %s is not finalized yet", jobID)}
+}
+func leaseLost(jobID string, shardIdx int) error {
+	return &httpError{status: http.StatusGone, err: fmt.Errorf("serve: lease on job %s shard %d lost", jobID, shardIdx)}
+}
+
+// Handler exposes the server over HTTP. Routes:
+//
+//	POST /v1/campaigns                            submit {campaign, shards}
+//	GET  /v1/campaigns                            list job statuses
+//	GET  /v1/campaigns/{id}                       one job's status
+//	POST /v1/lease                                lease a shard (any job)
+//	POST /v1/campaigns/{id}/shards/{shard}/progress  report one cell
+//	POST /v1/campaigns/{id}/shards/{shard}/result    upload the shard file
+//	GET  /v1/campaigns/{id}/result                merged finalized bytes
+//	GET  /v1/campaigns/{id}/events?from=N         JSONL progress stream
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/campaigns", s.handleSubmit)
+	mux.HandleFunc("GET /v1/campaigns", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]any{"campaigns": s.List()})
+	})
+	mux.HandleFunc("GET /v1/campaigns/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := s.Status(r.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, st)
+	})
+	mux.HandleFunc("POST /v1/lease", s.handleLease)
+	mux.HandleFunc("POST /v1/campaigns/{id}/shards/{shard}/progress", s.handleProgress)
+	mux.HandleFunc("POST /v1/campaigns/{id}/shards/{shard}/result", s.handleUpload)
+	mux.HandleFunc("GET /v1/campaigns/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		data, err := s.Result(r.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(data)
+	})
+	mux.HandleFunc("GET /v1/campaigns/{id}/events", s.handleEvents)
+	return mux
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, badRequest(fmt.Errorf("serve: submit body: %w", err)))
+		return
+	}
+	if req.Shards == 0 {
+		req.Shards = 1
+	}
+	st, err := s.Submit(req.Campaign, req.Shards)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, st)
+}
+
+func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Worker string `json:"worker"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil && err != io.EOF {
+		writeError(w, badRequest(fmt.Errorf("serve: lease body: %w", err)))
+		return
+	}
+	lease, open, err := s.Lease(req.Worker)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, LeaseResponse{Open: open, Lease: lease})
+}
+
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	shardIdx, err := strconv.Atoi(r.PathValue("shard"))
+	if err != nil {
+		writeError(w, badRequest(fmt.Errorf("serve: shard %q", r.PathValue("shard"))))
+		return
+	}
+	var rep ProgressReport
+	if err := json.NewDecoder(r.Body).Decode(&rep); err != nil {
+		writeError(w, badRequest(fmt.Errorf("serve: progress body: %w", err)))
+		return
+	}
+	if err := s.Progress(r.PathValue("id"), shardIdx, rep.Token, rep.Index, rep.Detail); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, map[string]bool{"ok": true})
+}
+
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	shardIdx, err := strconv.Atoi(r.PathValue("shard"))
+	if err != nil {
+		writeError(w, badRequest(fmt.Errorf("serve: shard %q", r.PathValue("shard"))))
+		return
+	}
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeError(w, badRequest(fmt.Errorf("serve: upload body: %w", err)))
+		return
+	}
+	if err := s.Upload(r.PathValue("id"), shardIdx, r.Header.Get("X-Satin-Lease"), data); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, map[string]bool{"ok": true})
+}
+
+// handleEvents streams the job's progress as JSONL trace.Events — one
+// trace.KindCell line per completed cell, exactly the events an in-process
+// bus subscriber sees — flushing after every batch, until the job finishes
+// or the client goes away.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	from := 0
+	if q := r.URL.Query().Get("from"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil {
+			writeError(w, badRequest(fmt.Errorf("serve: events from=%q", q)))
+			return
+		}
+		from = n
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for {
+		events, changed, finished, err := s.EventsSince(r.PathValue("id"), from)
+		if err != nil {
+			if from == 0 {
+				writeError(w, err)
+			}
+			return
+		}
+		for _, e := range events {
+			if err := enc.Encode(e); err != nil {
+				return
+			}
+		}
+		from += len(events)
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if finished {
+			return
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// DecodeEvents parses a JSONL event stream (the /events wire format) back
+// into trace.Events — the client-side inverse of handleEvents.
+func DecodeEvents(r io.Reader, fn func(trace.Event) error) error {
+	dec := json.NewDecoder(r)
+	for {
+		var e trace.Event
+		if err := dec.Decode(&e); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("serve: event stream: %w", err)
+		}
+		if err := fn(e); err != nil {
+			return err
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	var he *httpError
+	if errors.As(err, &he) {
+		status = he.status
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

@@ -1,9 +1,18 @@
-// Command benchjson merges two `go test -bench` outputs — a committed
-// baseline and a fresh run — into a machine-readable benchmark artifact
-// (BENCH_*.json). It exists so performance claims in this repository are
-// reproducible numbers, not prose: the baseline text is checked in next to
-// the goldens, and re-running `make bench-json` regenerates the artifact
-// with the current tree's numbers and the derived speedups.
+// Command benchjson turns `go test -bench` output into machine-readable
+// benchmark artifacts (BENCH_*.json) and checks fresh runs against them.
+//
+// Merge mode (the default) pairs a committed baseline text with a fresh
+// run and emits the artifact with derived speedups. It exists so
+// performance claims in this repository are reproducible numbers, not
+// prose: the baseline text is checked in next to the goldens, and
+// re-running `make bench-json` regenerates the artifact with the current
+// tree's numbers.
+//
+// Compare mode (-compare) diffs a fresh run against one or more committed
+// artifacts, reporting the per-benchmark ns/op delta and flagging
+// regressions past -threshold. It is wired into the non-blocking CI bench
+// job (`make bench-compare`): numbers vary with runner hardware, so a
+// regression report is a signal to look, never a merge gate.
 package main
 
 import (
@@ -11,6 +20,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strconv"
@@ -103,30 +113,43 @@ func parseBench(path string) (map[string]*Sample, []string, error) {
 }
 
 func main() {
-	baselinePath := flag.String("baseline", "", "committed `go test -bench` output to compare against")
-	currentPath := flag.String("current", "", "fresh `go test -bench` output")
-	outPath := flag.String("out", "", "output JSON path (default stdout)")
-	desc := flag.String("desc", "", "one-line description embedded in the artifact")
-	flag.Parse()
-	if *currentPath == "" {
-		fmt.Fprintln(os.Stderr, "benchjson: -current is required")
-		os.Exit(2)
-	}
-	current, order, err := parseBench(*currentPath)
-	if err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-	if len(current) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines in", *currentPath)
-		os.Exit(1)
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(out)
+	baselinePath := fs.String("baseline", "", "committed `go test -bench` output to compare against")
+	currentPath := fs.String("current", "", "fresh `go test -bench` output")
+	outPath := fs.String("out", "", "output JSON path (default stdout)")
+	desc := fs.String("desc", "", "one-line description embedded in the artifact")
+	compare := fs.String("compare", "", "comma-separated committed BENCH_*.json artifacts to diff the fresh -current run against")
+	threshold := fs.Float64("threshold", 25, "compare mode: flag a benchmark whose ns/op grew more than this percentage over the artifact's number")
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
+	if *currentPath == "" {
+		return fmt.Errorf("-current is required")
+	}
+	current, order, err := parseBench(*currentPath)
+	if err != nil {
+		return err
+	}
+	if len(current) == 0 {
+		return fmt.Errorf("no benchmark lines in %s", *currentPath)
+	}
+	if *compare != "" {
+		return runCompare(out, strings.Split(*compare, ","), current, *threshold)
+	}
+
 	baseline := map[string]*Sample{}
 	if *baselinePath != "" {
 		baseline, _, err = parseBench(*baselinePath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "benchjson:", err)
-			os.Exit(1)
+			return err
 		}
 	}
 	art := Artifact{
@@ -151,16 +174,62 @@ func main() {
 	}
 	buf, err := json.MarshalIndent(art, "", "  ")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		return err
 	}
 	buf = append(buf, '\n')
 	if *outPath == "" {
-		os.Stdout.Write(buf)
-		return
+		_, err := out.Write(buf)
+		return err
 	}
-	if err := os.WriteFile(*outPath, buf, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+	return os.WriteFile(*outPath, buf, 0o644)
+}
+
+// runCompare diffs the fresh samples against each committed artifact's
+// "current" numbers (the tree the artifact was generated on) and reports
+// per-benchmark deltas. The returned error — one line naming every
+// regression — is the CI signal; benchmarks the fresh run did not execute
+// are reported but never count as regressions, so a narrowed bench sweep
+// does not cry wolf.
+func runCompare(out io.Writer, artifactPaths []string, fresh map[string]*Sample, thresholdPct float64) error {
+	var regressions []string
+	for _, path := range artifactPaths {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		var art Artifact
+		if err := json.Unmarshal(data, &art); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		fmt.Fprintf(out, "compare vs %s (threshold +%.0f%% ns/op):\n", path, thresholdPct)
+		compared := 0
+		for _, e := range art.Benchmarks {
+			if e.Current == nil || e.Current.NsPerOp <= 0 {
+				continue
+			}
+			s, ok := fresh[e.Name]
+			if !ok {
+				fmt.Fprintf(out, "  %-40s not in current run\n", e.Name)
+				continue
+			}
+			compared++
+			deltaPct := 100 * (s.NsPerOp/e.Current.NsPerOp - 1)
+			verdict := "ok"
+			if deltaPct > thresholdPct {
+				verdict = "REGRESSION"
+				regressions = append(regressions, fmt.Sprintf("%s (%+.1f%% vs %s)", e.Name, deltaPct, path))
+			}
+			fmt.Fprintf(out, "  %-40s %12.0f ns/op vs %12.0f ns/op  %+7.1f%%  %s\n",
+				e.Name, s.NsPerOp, e.Current.NsPerOp, deltaPct, verdict)
+		}
+		fmt.Fprintf(out, "  %d benchmark(s) compared\n", compared)
 	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d regression(s): %s", len(regressions), strings.Join(regressions, "; "))
+	}
+	return nil
 }

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const benchText = `goos: linux
+BenchmarkDetection-8            5    2000000 ns/op    1024 B/op    10 allocs/op
+BenchmarkShardedCampaign/workers=4-8    3    5000000 ns/op    2048 B/op    20 allocs/op
+ok   satin  1.2s
+`
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestMergeArtifact: default mode pairs baseline and current and derives
+// the ns/op speedup.
+func TestMergeArtifact(t *testing.T) {
+	dir := t.TempDir()
+	baseline := writeFile(t, dir, "base.txt",
+		"BenchmarkDetection-8  5  4000000 ns/op  1024 B/op  20 allocs/op\n")
+	current := writeFile(t, dir, "cur.txt", benchText)
+	outPath := filepath.Join(dir, "BENCH_TEST.json")
+	var out bytes.Buffer
+	if err := run([]string{"-baseline", baseline, "-current", current, "-out", outPath, "-desc", "t"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art Artifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		t.Fatal(err)
+	}
+	if len(art.Benchmarks) != 2 {
+		t.Fatalf("artifact has %d benchmarks, want 2", len(art.Benchmarks))
+	}
+	det := art.Benchmarks[0]
+	if det.Name != "Detection" || det.SpeedupNs != 2 || det.AllocsReductionPct != 50 {
+		t.Fatalf("Detection entry = %+v, want 2x speedup and 50%% fewer allocs", det)
+	}
+	if art.Benchmarks[1].Name != "ShardedCampaign/workers=4" {
+		t.Fatalf("second entry = %q", art.Benchmarks[1].Name)
+	}
+}
+
+// compareFixture builds one committed artifact and returns its path.
+func compareFixture(t *testing.T, dir string, ns float64) string {
+	t.Helper()
+	art := Artifact{
+		Tool: "tools/benchjson",
+		Benchmarks: []Entry{
+			{Name: "Detection", Current: &Sample{NsPerOp: ns}},
+			{Name: "Absent", Current: &Sample{NsPerOp: 1}},
+		},
+	}
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return writeFile(t, dir, "BENCH_FIX.json", string(data))
+}
+
+// TestCompareWithinThreshold: a fresh run inside the threshold passes, and
+// benchmarks the fresh sweep skipped are reported but not failed on.
+func TestCompareWithinThreshold(t *testing.T) {
+	dir := t.TempDir()
+	artifact := compareFixture(t, dir, 1900000) // fresh 2000000 = +5.3%
+	current := writeFile(t, dir, "cur.txt", benchText)
+	var out bytes.Buffer
+	if err := run([]string{"-compare", artifact, "-current", current, "-threshold", "25"}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "Detection") || !strings.Contains(text, "ok") {
+		t.Fatalf("compare output:\n%s", text)
+	}
+	if !strings.Contains(text, "Absent") || !strings.Contains(text, "not in current run") {
+		t.Fatalf("missing-benchmark report absent:\n%s", text)
+	}
+	if !strings.Contains(text, "1 benchmark(s) compared") {
+		t.Fatalf("compared count absent:\n%s", text)
+	}
+}
+
+// TestCompareFlagsRegression: growth past the threshold is an error naming
+// the benchmark.
+func TestCompareFlagsRegression(t *testing.T) {
+	dir := t.TempDir()
+	artifact := compareFixture(t, dir, 1000000) // fresh 2000000 = +100%
+	current := writeFile(t, dir, "cur.txt", benchText)
+	var out bytes.Buffer
+	err := run([]string{"-compare", artifact, "-current", current, "-threshold", "25"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "1 regression(s): Detection") {
+		t.Fatalf("error = %v, want a Detection regression", err)
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Fatalf("compare output lacks REGRESSION flag:\n%s", out.String())
+	}
+}
+
+// TestRunRejections: missing -current and empty bench files fail cleanly.
+func TestRunRejections(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Fatal("run without -current succeeded")
+	}
+	empty := writeFile(t, t.TempDir(), "empty.txt", "no benchmarks here\n")
+	if err := run([]string{"-current", empty}, &out); err == nil {
+		t.Fatal("run on an empty bench file succeeded")
+	}
+}
