@@ -138,8 +138,21 @@ checkpoint-smoke:
 # processes drain the committed smoke campaign over the lease protocol, and
 # the merged result must be byte-identical to the committed single-process
 # golden — the cross-process half of the campaign-corpus contract.
+# Required /metrics families: the smoke run fails if the coordinator stops
+# exposing any of these (eager registration means they exist even at zero).
+SERVE_SMOKE_METRICS := \
+	satin_leases_granted_total satin_leases_expired_total \
+	satin_leases_renewed_total satin_lease_stale_rejections_total \
+	satin_uploads_verified_total satin_uploads_rejected_total \
+	satin_merges_total satin_http_requests_total \
+	satin_http_request_duration_seconds satin_job_cells_total \
+	satin_job_cells_done satin_job_cells_per_second \
+	satin_cell_duration_seconds satin_cells_forked_total \
+	satin_cells_reported_total
+
 serve-smoke:
 	$(GO) build -o /tmp/satin-serve ./cmd/satin-serve
+	$(GO) build -o /tmp/satin-sim ./cmd/satin-sim
 	rm -rf /tmp/satin_serve_smoke && mkdir -p /tmp/satin_serve_smoke
 	@set -e; \
 	/tmp/satin-serve -listen 127.0.0.1:8397 -data /tmp/satin_serve_smoke/data & \
@@ -148,12 +161,20 @@ serve-smoke:
 	/tmp/satin-serve -url http://127.0.0.1:8397 -submit testdata/campaigns/smoke.json -shards 2; \
 	/tmp/satin-serve -url http://127.0.0.1:8397 -worker -name w1 -dir /tmp/satin_serve_smoke/w1 2>/dev/null & \
 	w1=$$!; \
+	/tmp/satin-serve -url http://127.0.0.1:8397 -metrics > /tmp/satin_serve_smoke/metrics_live.txt; \
 	/tmp/satin-serve -url http://127.0.0.1:8397 -worker -name w2 -dir /tmp/satin_serve_smoke/w2 2>/dev/null; \
 	wait $$w1; \
 	/tmp/satin-serve -url http://127.0.0.1:8397 -watch c1; \
+	/tmp/satin-serve -url http://127.0.0.1:8397 -metrics > /tmp/satin_serve_smoke/metrics.txt; \
+	for m in $(SERVE_SMOKE_METRICS); do \
+		grep -q "^\# TYPE $$m " /tmp/satin_serve_smoke/metrics.txt \
+			|| { echo "serve-smoke: /metrics is missing family $$m"; exit 1; }; \
+	done; \
+	/tmp/satin-serve -url http://127.0.0.1:8397 -timeline c1 -timeline-out /tmp/satin_serve_smoke/timeline.json; \
+	/tmp/satin-sim -lint-chrome /tmp/satin_serve_smoke/timeline.json; \
 	/tmp/satin-serve -url http://127.0.0.1:8397 -result c1 -out /tmp/satin_serve_smoke/merged.result; \
 	cmp /tmp/satin_serve_smoke/merged.result testdata/campaigns/smoke.result.golden
-	@echo "serve-smoke OK: two-worker sharded result matches the committed golden byte for byte"
+	@echo "serve-smoke OK: golden bytes unchanged with live /metrics+/healthz scrapes; all required metric families present; timeline passes the Chrome lint"
 
 # Short fuzz run over the campaign parser, seeded from the committed
 # campaigns: any input that parses and validates must canonicalize, expand

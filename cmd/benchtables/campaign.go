@@ -7,10 +7,13 @@ import (
 	"os"
 	"time"
 
+	"sync"
+
 	"satin"
 	"satin/internal/campaign"
 	"satin/internal/obs"
 	"satin/internal/serve"
+	"satin/internal/telemetry"
 	"satin/internal/trace"
 )
 
@@ -45,6 +48,8 @@ func runCampaignFile(out, errOut io.Writer, path, outPath string, workers, maxCe
 		opt.GroupKey = satin.CheckpointGroupKey
 		opt.GroupTrial = satin.RunCheckpointGroup
 	}
+	var timingMu sync.Mutex
+	var cellTimes []telemetry.CellTiming
 	if progress {
 		// Progress rides the same obs bus the simulators publish on: the
 		// executor emits one KindCell event per completion and this sink
@@ -61,11 +66,24 @@ func runCampaignFile(out, errOut io.Writer, path, outPath string, workers, maxCe
 			fmt.Fprintf(errOut, "campaign: %d/%d in %v%s\n",
 				done, total, elapsed.Truncate(time.Millisecond), rateETA(done, total, elapsed))
 		}
+		// Wall-clock per-cell timings feed the post-run straggler report
+		// (Shard -1: a local run has no shards).
+		opt.CellDone = func(index int, wall time.Duration, forked bool) {
+			timingMu.Lock()
+			cellTimes = append(cellTimes, telemetry.CellTiming{
+				Index: index, Shard: -1,
+				Ms: float64(wall) / float64(time.Millisecond),
+			})
+			timingMu.Unlock()
+		}
 	}
 
 	res, err := campaign.Run(context.Background(), c, outPath, opt)
 	if err != nil {
 		return err
+	}
+	if progress {
+		telemetry.BuildStragglerReport(cellTimes, nil, 5).Render(errOut, "campaign: ")
 	}
 	renderCampaign(out, c, res, outPath)
 	return nil
@@ -139,6 +157,11 @@ func runCampaignServe(out, errOut io.Writer, path, outPath, serverURL string, sh
 	if final.MergeError != "" {
 		return fmt.Errorf("job %s merge failed: %s", final.ID, final.MergeError)
 	}
+	if progress {
+		// The coordinator's wall-clock record: re-leases, idle time, and the
+		// slowest cells/shard of the finished job.
+		final.Stragglers.Render(errOut, "campaign: ")
+	}
 	merged, err := client.Result(ctx, final.ID)
 	if err != nil {
 		return err
@@ -174,12 +197,16 @@ func runCampaignWorker(errOut io.Writer, serverURL string, workers int, fork boo
 		return fmt.Errorf("worker scratch dir: %w", err)
 	}
 	defer os.RemoveAll(dir)
+	logger, err := telemetry.NewLogger(errOut, telemetry.LogText)
+	if err != nil {
+		return err
+	}
 	opt := serve.WorkerOptions{
 		Name:    fmt.Sprintf("benchtables-%d", os.Getpid()),
 		Dir:     dir,
 		Trial:   satin.RunSpecTrial,
 		Workers: workers,
-		Log:     errOut,
+		Logger:  logger,
 	}
 	if fork {
 		opt.GroupKey = satin.CheckpointGroupKey

@@ -112,6 +112,22 @@ func TestRateETA(t *testing.T) {
 	if !strings.Contains(finished, "2.5 cells/s") || strings.Contains(finished, "ETA") {
 		t.Fatalf("rateETA(10, 10, 4s) = %q", finished)
 	}
+	// Sub-second elapsed must extrapolate, not truncate to a zero rate.
+	subSec := rateETA(1, 4, 100*time.Millisecond)
+	if !strings.Contains(subSec, "10.0 cells/s") || !strings.Contains(subSec, "ETA 300ms") {
+		t.Fatalf("rateETA(1, 4, 100ms) = %q", subSec)
+	}
+	// Overshoot (more done than planned, e.g. a resumed run re-counting)
+	// still drops the ETA instead of printing a negative one.
+	over := rateETA(12, 10, 4*time.Second)
+	if !strings.Contains(over, "3.0 cells/s") || strings.Contains(over, "ETA") {
+		t.Fatalf("rateETA(12, 10, 4s) = %q", over)
+	}
+	// Huge totals stay finite: a week-long ETA is rendered, not overflowed.
+	huge := rateETA(1, 1_000_000, time.Second)
+	if !strings.Contains(huge, "1.0 cells/s") || !strings.Contains(huge, "ETA 277h46m39s") {
+		t.Fatalf("rateETA(1, 1e6, 1s) = %q", huge)
+	}
 }
 
 // TestCampaignProgressShowsThroughput: -progress campaign lines carry the

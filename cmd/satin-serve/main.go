@@ -5,14 +5,21 @@
 // finalized file byte-identical to a single-process run (see EXPERIMENTS.md
 // "Sharded campaigns").
 //
-// One binary, five modes:
+// One binary, several modes:
 //
 //	satin-serve -listen 127.0.0.1:8373 -data serve.data     # server
 //	satin-serve -url URL -submit grid.json -shards 4        # submit a campaign
 //	satin-serve -url URL -worker                            # pull/execute/upload loop
 //	satin-serve -url URL -watch c1                          # stream job progress
 //	satin-serve -url URL -result c1 -out merged.result      # download merged result
+//	satin-serve -url URL -status [-json]                    # job statuses (+stragglers)
+//	satin-serve -url URL -timeline c1 -timeline-out t.json  # wall-clock Chrome trace
+//	satin-serve -url URL -metrics                           # health probe + /metrics text
 //	satin-serve -merge -out merged.result shard-*.result    # offline merge, no server
+//
+// The server additionally exposes GET /metrics (Prometheus text), /healthz,
+// /readyz, and per-job GET /v1/campaigns/{id}/timeline; -log-format selects
+// text or json structured logs for the server and worker modes.
 //
 // Workers execute their shard through the same campaign engine as
 // `benchtables -campaign` — checkpoint-fork acceleration included, since
@@ -22,10 +29,12 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -34,6 +43,7 @@ import (
 	"satin"
 	"satin/internal/campaign"
 	"satin/internal/serve"
+	"satin/internal/telemetry"
 	"satin/internal/trace"
 )
 
@@ -63,7 +73,16 @@ func run(args []string, out, errOut io.Writer) error {
 	result := fs.String("result", "", "download this job's finalized merged result from -url into -out")
 	outFile := fs.String("out", "", "result/merge modes: output file path")
 	merge := fs.Bool("merge", false, "offline: merge the positional shard result files into -out (no server involved)")
+	logFormat := fs.String("log-format", "text", "serve/worker modes: structured log format, text or json")
+	statusJSON := fs.Bool("json", false, "status mode: emit the job statuses as JSON instead of text")
+	timeline := fs.String("timeline", "", "download this job's wall-clock Chrome trace from -url")
+	timelineOut := fs.String("timeline-out", "", "timeline mode: write the trace to this file (default stdout)")
+	metrics := fs.Bool("metrics", false, "probe /healthz and /readyz on -url, then print the /metrics exposition")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger, err := telemetry.NewLogger(errOut, *logFormat)
+	if err != nil {
 		return err
 	}
 
@@ -124,7 +143,7 @@ func run(args []string, out, errOut io.Writer) error {
 			Dir:     *dir,
 			Trial:   satin.RunSpecTrial,
 			Workers: *pool,
-			Log:     errOut,
+			Logger:  logger,
 		}
 		if *fork {
 			opt.GroupKey = satin.CheckpointGroupKey
@@ -146,6 +165,13 @@ func run(args []string, out, errOut io.Writer) error {
 		if err != nil {
 			return err
 		}
+		if *statusJSON {
+			// The wire JobStatus, verbatim: scripts parse this, so it must
+			// round-trip through serve.JobStatus without loss.
+			enc := json.NewEncoder(out)
+			enc.SetIndent("", "  ")
+			return enc.Encode(jobs)
+		}
 		if len(jobs) == 0 {
 			fmt.Fprintln(out, "no campaigns")
 			return nil
@@ -154,6 +180,38 @@ func run(args []string, out, errOut io.Writer) error {
 			printStatus(out, st)
 		}
 		return nil
+
+	case *timeline != "":
+		if err := needURL("-timeline"); err != nil {
+			return err
+		}
+		data, err := client.Timeline(context.Background(), *timeline)
+		if err != nil {
+			return err
+		}
+		if *timelineOut == "" {
+			_, err = out.Write(data)
+			return err
+		}
+		if err := os.WriteFile(*timelineOut, data, 0o644); err != nil {
+			return fmt.Errorf("writing timeline: %w", err)
+		}
+		fmt.Fprintf(out, "job %s: %d timeline bytes written to %s\n", *timeline, len(data), *timelineOut)
+		return nil
+
+	case *metrics:
+		if err := needURL("-metrics"); err != nil {
+			return err
+		}
+		if err := client.Healthz(context.Background()); err != nil {
+			return err
+		}
+		data, err := client.MetricsText(context.Background())
+		if err != nil {
+			return err
+		}
+		_, err = out.Write(data)
+		return err
 
 	case *result != "":
 		if err := needURL("-result"); err != nil {
@@ -177,17 +235,18 @@ func run(args []string, out, errOut io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("listening: %w", err)
 		}
-		return serveMode(l, *dataDir, *leaseTTL, errOut)
+		return serveMode(l, *dataDir, *leaseTTL, errOut, logger)
 	}
 }
 
 // serveMode runs the coordinator on an existing listener (split from run so
 // tests can own the listener and close it to stop the server).
-func serveMode(l net.Listener, dataDir string, leaseTTL time.Duration, errOut io.Writer) error {
+func serveMode(l net.Listener, dataDir string, leaseTTL time.Duration, errOut io.Writer, logger *slog.Logger) error {
 	s, err := serve.New(serve.Options{
 		DataDir:  dataDir,
 		LeaseTTL: leaseTTL,
 		GroupKey: satin.CheckpointGroupKey,
+		Logger:   logger,
 	})
 	if err != nil {
 		return err
@@ -246,4 +305,5 @@ func printStatus(out io.Writer, st serve.JobStatus) {
 		}
 		fmt.Fprintln(out, line)
 	}
+	st.Stragglers.Render(out, "  ")
 }

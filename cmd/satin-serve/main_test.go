@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"net"
 	"os"
 	"path/filepath"
@@ -12,6 +13,9 @@ import (
 
 	"satin"
 	"satin/internal/campaign"
+	"satin/internal/profile"
+	"satin/internal/serve"
+	"satin/internal/telemetry"
 )
 
 // smokeCampaign mirrors testdata/campaigns/smoke.json closely enough for a
@@ -40,7 +44,7 @@ func startServer(t *testing.T) (string, func()) {
 	}
 	done := make(chan error, 1)
 	go func() {
-		done <- serveMode(l, t.TempDir(), 30*time.Second, new(bytes.Buffer))
+		done <- serveMode(l, t.TempDir(), 30*time.Second, new(bytes.Buffer), telemetry.NopLogger())
 	}()
 	return "http://" + l.Addr().String(), func() {
 		l.Close()
@@ -87,6 +91,63 @@ func TestCLIRoundTrip(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "4/4 cells, 2 shard(s), finalized") {
 		t.Fatalf("status output:\n%s", out.String())
+	}
+	// The finished job has a wall-clock record, so the straggler summary
+	// rides on the same status block.
+	if !strings.Contains(out.String(), "stragglers:") {
+		t.Fatalf("status output missing straggler summary:\n%s", out.String())
+	}
+
+	// -status -json must emit the wire JobStatus verbatim: a script that
+	// decodes it into serve.JobStatus sees the same fields the API returns.
+	out.Reset()
+	if err := run([]string{"-url", url, "-status", "-json"}, &out, &out); err != nil {
+		t.Fatalf("status -json: %v", err)
+	}
+	var jobs []serve.JobStatus
+	if err := json.Unmarshal(out.Bytes(), &jobs); err != nil {
+		t.Fatalf("status -json output is not JobStatus JSON: %v\n%s", err, out.String())
+	}
+	if len(jobs) != 1 || jobs[0].ID != "c1" || jobs[0].Done != 4 || !jobs[0].Finalized ||
+		len(jobs[0].Shards) != 2 || jobs[0].Stragglers == nil {
+		t.Fatalf("status -json round trip = %+v", jobs)
+	}
+
+	// The wall-clock timeline must pass the same structural lint as the
+	// virtual-time Chrome traces (-lint-chrome machinery).
+	tracePath := filepath.Join(dir, "timeline.json")
+	out.Reset()
+	if err := run([]string{"-url", url, "-timeline", "c1", "-timeline-out", tracePath}, &out, &out); err != nil {
+		t.Fatalf("timeline: %v\n%s", err, out.String())
+	}
+	traceData, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := profile.ValidateChromeTrace(bytes.NewReader(traceData))
+	if err != nil {
+		t.Fatalf("timeline fails chrome lint: %v\n%s", err, traceData)
+	}
+	// 1 job span + 2 lease spans + 4 cell spans + 1 merge + metadata.
+	if n < 8 {
+		t.Fatalf("timeline has %d events, want >= 8", n)
+	}
+
+	// -metrics probes health and prints the exposition.
+	out.Reset()
+	if err := run([]string{"-url", url, "-metrics"}, &out, &out); err != nil {
+		t.Fatalf("metrics: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{
+		"satin_leases_granted_total",
+		"satin_uploads_verified_total",
+		`satin_merges_total{outcome="ok"} 1`,
+		`satin_job_cells_done{job="c1"} 4`,
+		"satin_http_request_duration_seconds_bucket",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("metrics output missing %q:\n%s", want, out.String())
+		}
 	}
 
 	out.Reset()
@@ -184,6 +245,9 @@ func TestCLIModeValidation(t *testing.T) {
 		{"-result", "c1", "-out", "x"},
 		{"-merge"},
 		{"-merge", "-out", "x"},
+		{"-timeline", "c1"},
+		{"-metrics"},
+		{"-log-format", "yaml", "-status", "-url", "http://x"},
 	}
 	for _, args := range cases {
 		var out bytes.Buffer

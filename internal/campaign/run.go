@@ -78,6 +78,13 @@ type RunOptions struct {
 	// result file is byte-identical with grouping on or off.
 	GroupKey   GroupKeyFunc
 	GroupTrial GroupTrialFunc
+	// CellDone, when non-nil, observes each newly checkpointed cell's
+	// wall-clock cost: forked reports whether the cell ran inside a
+	// multi-cell fork group (wall is then the group's trial time split
+	// evenly across members). Telemetry side channel only — cancelled cells
+	// are not reported and nothing here touches the result bytes. Called
+	// from pool goroutines; implementations synchronize themselves.
+	CellDone func(index int, wall time.Duration, forked bool)
 }
 
 // RunResult summarizes one campaign execution.
@@ -160,6 +167,7 @@ func Run(ctx context.Context, c Spec, resultPath string, opt RunOptions) (RunRes
 		_, runErr := runner.RunObserved(ctx, len(units), opt.Workers, progress,
 			func(ctx context.Context, ui int) (struct{}, error) {
 				unit := units[ui]
+				unitStart := time.Now()
 				var results []GroupResult
 				if len(unit) == 1 {
 					metrics, trialErr := runCell(ctx, unit[0], opt.SpecTrial)
@@ -174,6 +182,7 @@ func Run(ctx context.Context, c Spec, resultPath string, opt RunOptions) (RunRes
 						return struct{}{}, fmt.Errorf("campaign: group trial returned %d results for %d members", len(results), len(unit))
 					}
 				}
+				cellWall := time.Since(unitStart) / time.Duration(len(unit))
 				var firstErr error
 				for i, r := range results {
 					cell := unit[i]
@@ -203,6 +212,9 @@ func Run(ctx context.Context, c Spec, resultPath string, opt RunOptions) (RunRes
 					mu.Unlock()
 					if appendErr != nil {
 						return struct{}{}, appendErr
+					}
+					if opt.CellDone != nil {
+						opt.CellDone(cell.Index, cellWall, len(unit) > 1)
 					}
 					busMu.Lock()
 					publishCell(opt.Bus, cell, res)

@@ -132,6 +132,37 @@ func TestRegistryHandlesAreCached(t *testing.T) {
 	}
 }
 
+// TestRegistryRejectsCrossKindNames: one name, one kind — re-registering a
+// name as a different kind panics instead of producing two metrics that
+// collide in Snapshot/Get.
+func TestRegistryRejectsCrossKindNames(t *testing.T) {
+	mustPanic := func(what string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", what)
+			}
+		}()
+		f()
+	}
+	r := NewRegistry()
+	r.Counter("c")
+	r.Gauge("g")
+	r.Histogram("h", []int64{1})
+	mustPanic("counter name as gauge", func() { r.Gauge("c") })
+	mustPanic("counter name as histogram", func() { r.Histogram("c", []int64{1}) })
+	mustPanic("gauge name as counter", func() { r.Counter("g") })
+	mustPanic("histogram name as gauge", func() { r.Gauge("h") })
+	// Same kind remains a cache hit, and the guard leaves the original
+	// handles untouched.
+	if r.Counter("c") == nil || r.Gauge("g") == nil || r.Histogram("h", nil) == nil {
+		t.Error("guard clobbered an existing handle")
+	}
+	if got := len(r.Snapshot().Rows); got != 3 {
+		t.Errorf("snapshot has %d rows, want 3", got)
+	}
+}
+
 // TestSnapshotDeterministic: identical activity on two registries renders
 // identically, regardless of creation order.
 func TestSnapshotDeterministic(t *testing.T) {

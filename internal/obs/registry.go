@@ -107,10 +107,18 @@ func (h *Histogram) Sum() int64 {
 // Registry holds a scenario's metrics. The zero value is not usable;
 // construct with NewRegistry. Handles are created once and cached by name,
 // so the hot path never touches the maps.
+//
+// Registration contract: a metric name identifies exactly one metric of
+// exactly one kind for the registry's lifetime. Re-requesting a name with
+// the same kind returns the original handle (components can share a metric
+// without coordinating); requesting it with a different kind panics —
+// otherwise Snapshot would carry two rows under one name and Get/exports
+// would resolve the collision arbitrarily.
 type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	kinds    map[string]string
 }
 
 // NewRegistry returns an empty registry.
@@ -119,17 +127,29 @@ func NewRegistry() *Registry {
 		counters: map[string]*Counter{},
 		gauges:   map[string]*Gauge{},
 		hists:    map[string]*Histogram{},
+		kinds:    map[string]string{},
 	}
 }
 
+// claim records name as belonging to kind, panicking if another kind
+// already owns it.
+func (r *Registry) claim(name, kind string) {
+	if prev, ok := r.kinds[name]; ok && prev != kind {
+		panic(fmt.Sprintf("obs: metric %q already registered as a %s, requested as a %s", name, prev, kind))
+	}
+	r.kinds[name] = kind
+}
+
 // Counter returns the named counter, creating it on first use. Returns nil
-// (a no-op handle) on a nil registry.
+// (a no-op handle) on a nil registry. Panics if the name is already
+// registered as a different kind.
 func (r *Registry) Counter(name string) *Counter {
 	if r == nil {
 		return nil
 	}
 	c, ok := r.counters[name]
 	if !ok {
+		r.claim(name, "counter")
 		c = &Counter{}
 		r.counters[name] = c
 	}
@@ -137,12 +157,14 @@ func (r *Registry) Counter(name string) *Counter {
 }
 
 // Gauge returns the named gauge, creating it on first use. Nil-safe.
+// Panics if the name is already registered as a different kind.
 func (r *Registry) Gauge(name string) *Gauge {
 	if r == nil {
 		return nil
 	}
 	g, ok := r.gauges[name]
 	if !ok {
+		r.claim(name, "gauge")
 		g = &Gauge{}
 		r.gauges[name] = g
 	}
@@ -151,12 +173,14 @@ func (r *Registry) Gauge(name string) *Gauge {
 
 // Histogram returns the named histogram, creating it with the given bucket
 // bounds on first use (later calls reuse the first bounds). Nil-safe.
+// Panics if the name is already registered as a different kind.
 func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
 	if r == nil {
 		return nil
 	}
 	h, ok := r.hists[name]
 	if !ok {
+		r.claim(name, "histogram")
 		b := append([]int64(nil), bounds...)
 		h = &Histogram{bounds: b, counts: make([]int64, len(b)+1)}
 		r.hists[name] = h

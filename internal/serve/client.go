@@ -113,9 +113,10 @@ func (c *Client) Lease(ctx context.Context, worker string) (*Lease, bool, error)
 	return resp.Lease, resp.Open, nil
 }
 
-// Progress reports one completed cell and renews the lease.
-func (c *Client) Progress(ctx context.Context, jobID string, shardIdx int, token string, index int, detail string) error {
-	body, _ := json.Marshal(ProgressReport{Token: token, Index: index, Detail: detail})
+// Progress reports one completed cell and renews the lease. The report's
+// telemetry fields (CellNs, Forked) ride along for free.
+func (c *Client) Progress(ctx context.Context, jobID string, shardIdx int, rep ProgressReport) error {
+	body, _ := json.Marshal(rep)
 	path := fmt.Sprintf("/v1/campaigns/%s/shards/%d/progress", url.PathEscape(jobID), shardIdx)
 	return c.do(ctx, http.MethodPost, path, bytes.NewReader(body), nil, nil)
 }
@@ -163,6 +164,50 @@ func (c *Client) Result(ctx context.Context, jobID string) ([]byte, error) {
 		return nil, fmt.Errorf("serve: reading result: %w", err)
 	}
 	return data, nil
+}
+
+// raw fetches one path's body bytes, mapping error statuses like do.
+func (c *Client) raw(ctx context.Context, path string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url(path), nil)
+	if err != nil {
+		return nil, fmt.Errorf("serve: building request: %w", err)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("serve: GET %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return nil, decodeError(resp)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("serve: reading %s: %w", path, err)
+	}
+	return data, nil
+}
+
+// Timeline downloads one job's wall-clock campaign timeline as Chrome
+// trace_event JSON.
+func (c *Client) Timeline(ctx context.Context, jobID string) ([]byte, error) {
+	return c.raw(ctx, "/v1/campaigns/"+url.PathEscape(jobID)+"/timeline")
+}
+
+// MetricsText downloads the server's Prometheus text exposition.
+func (c *Client) MetricsText(ctx context.Context) ([]byte, error) {
+	return c.raw(ctx, "/metrics")
+}
+
+// Healthz probes the liveness and readiness endpoints, returning nil only
+// when both answer 2xx.
+func (c *Client) Healthz(ctx context.Context) error {
+	if _, err := c.raw(ctx, "/healthz"); err != nil {
+		return fmt.Errorf("serve: health check: %w", err)
+	}
+	if _, err := c.raw(ctx, "/readyz"); err != nil {
+		return fmt.Errorf("serve: readiness check: %w", err)
+	}
+	return nil
 }
 
 // StreamEvents follows the job's JSONL progress stream from event index

@@ -21,6 +21,7 @@ package serve
 
 import (
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sync"
@@ -29,6 +30,7 @@ import (
 	"satin/internal/campaign"
 	"satin/internal/obs"
 	"satin/internal/shard"
+	"satin/internal/telemetry"
 	"satin/internal/trace"
 )
 
@@ -63,6 +65,10 @@ type Options struct {
 	// Bus, when non-nil, receives every progress event the server accepts,
 	// for in-process taps; HTTP event streams work without it.
 	Bus *obs.Bus
+	// Logger, when non-nil, receives structured protocol logs (lease
+	// grants, expiries, stale rejections, uploads, merges) with job/shard/
+	// worker/token fields. Nil means silent.
+	Logger *slog.Logger
 }
 
 // Server owns the campaign jobs. All state lives under one mutex; handlers
@@ -70,6 +76,8 @@ type Options struct {
 // shard file bytes before taking the lock.
 type Server struct {
 	opt Options
+	log *slog.Logger
+	tel *serverTelemetry
 
 	mu    sync.Mutex
 	jobs  map[string]*job
@@ -101,6 +109,13 @@ type job struct {
 	finalized  bool
 	mergeError string
 	resultPath string
+
+	// Wall-clock telemetry record (side channel — derived, never consulted
+	// by the protocol, and absent from every result byte).
+	submitted   time.Time
+	finalizedAt time.Time
+	cellTimes   []telemetry.CellTiming
+	spans       []telemetry.Span
 }
 
 // shardState is one shard's lease lifecycle.
@@ -110,6 +125,14 @@ type shardState struct {
 	worker string
 	expiry time.Time
 	path   string // verified upload, set when done
+
+	// Wall-clock telemetry record (side channel, like job's).
+	leases     int
+	activeNs   time.Duration
+	idleNs     time.Duration
+	idleSince  time.Time // when the shard last became leasable
+	leaseStart time.Time // current lease's grant instant
+	lastMark   time.Time // previous cell-arrival boundary within the lease
 }
 
 // New builds a Server. DataDir must exist or be creatable.
@@ -126,7 +149,16 @@ func New(opt Options) (*Server, error) {
 	if opt.Now == nil {
 		opt.Now = time.Now
 	}
-	return &Server{opt: opt, jobs: map[string]*job{}}, nil
+	log := opt.Logger
+	if log == nil {
+		log = telemetry.NopLogger()
+	}
+	return &Server{
+		opt:  opt,
+		log:  log,
+		tel:  newServerTelemetry(opt.Now()),
+		jobs: map[string]*job{},
+	}, nil
 }
 
 // Submit registers a campaign split into `shards` shards and returns its
@@ -169,6 +201,7 @@ func (s *Server) Submit(campaignJSON []byte, shards int) (JobStatus, error) {
 		}
 	}
 	s.next++
+	now := s.opt.Now()
 	j := &job{
 		id:        fmt.Sprintf("c%d", s.next),
 		name:      canon.Name,
@@ -179,16 +212,20 @@ func (s *Server) Submit(campaignJSON []byte, shards int) (JobStatus, error) {
 		dir:       filepath.Join(s.opt.DataDir, fmt.Sprintf("job-c%d", s.next)),
 		notify:    make(chan struct{}),
 		doneCells: map[int]bool{},
+		submitted: now,
 	}
 	if err := os.MkdirAll(j.dir, 0o755); err != nil {
 		return JobStatus{}, fmt.Errorf("serve: job dir: %w", err)
 	}
 	j.resultPath = filepath.Join(j.dir, "merged.result")
 	for range j.plan.Shards {
-		j.shards = append(j.shards, &shardState{state: StatePending})
+		j.shards = append(j.shards, &shardState{state: StatePending, idleSince: now})
 	}
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
+	s.jobTelemetryInit(j)
+	s.log.Info("job submitted", "job", j.id, "name", j.name,
+		"cells", len(j.cells), "shards", len(j.shards))
 	return s.statusLocked(j), nil
 }
 
@@ -215,11 +252,29 @@ func (s *Server) Lease(worker string) (*Lease, bool, error) {
 			if st.state == StateLeased && now.Before(st.expiry) {
 				continue
 			}
+			if st.state == StateLeased {
+				// The previous lease ran out its TTL: reclaim it, closing its
+				// interval at the expiry instant (the last moment we believed
+				// in the worker).
+				s.tel.leasesExpired.Inc()
+				s.closeLeaseSpanLocked(j, si, st, st.expiry, true)
+				s.log.Warn("lease expired", "job", j.id, "shard", si,
+					"worker", st.worker, "token", st.token)
+			}
 			s.next++
+			if !st.idleSince.IsZero() && now.After(st.idleSince) {
+				st.idleNs += now.Sub(st.idleSince)
+			}
 			st.state = StateLeased
 			st.token = fmt.Sprintf("l%d", s.next)
 			st.worker = worker
 			st.expiry = now.Add(s.opt.LeaseTTL)
+			st.leases++
+			st.leaseStart = now
+			st.lastMark = now
+			s.tel.leasesGranted.Inc()
+			s.log.Info("lease granted", "job", j.id, "shard", si,
+				"worker", worker, "token", st.token, "cells", len(j.plan.Shards[si]))
 			j.changed()
 			return &Lease{
 				Job:      j.id,
@@ -237,26 +292,64 @@ func (s *Server) Lease(worker string) (*Lease, bool, error) {
 // Progress records one completed cell from a shard worker and renews its
 // lease. The report's event is appended to the job's stream (and the
 // server bus, when configured) exactly as the in-process executor would
-// have published it.
-func (s *Server) Progress(jobID string, shardIdx int, token string, index int, detail string) error {
+// have published it. The report's wall-clock fields (CellNs, Forked) feed
+// telemetry only — the protocol ignores them.
+func (s *Server) Progress(jobID string, shardIdx int, rep ProgressReport) error {
 	s.mu.Lock()
 	j, st, err := s.shardLocked(jobID, shardIdx)
 	if err != nil {
 		s.mu.Unlock()
 		return err
 	}
-	if st.state != StateLeased || st.token != token {
+	if st.state != StateLeased || st.token != rep.Token {
+		s.tel.staleRejections.Inc()
+		s.log.Warn("stale progress report", "job", jobID, "shard", shardIdx,
+			"token", rep.Token, "cell", rep.Index)
 		s.mu.Unlock()
 		return leaseLost(jobID, shardIdx)
 	}
+	index, detail := rep.Index, rep.Detail
 	if index < 0 || index >= len(j.cells) {
 		s.mu.Unlock()
 		return badRequest(fmt.Errorf("serve: progress for cell %d of %d", index, len(j.cells)))
 	}
-	st.expiry = s.opt.Now().Add(s.opt.LeaseTTL)
+	now := s.opt.Now()
+	st.expiry = now.Add(s.opt.LeaseTTL)
 	e := trace.Event{Kind: trace.KindCell, Core: -1, Area: index, Detail: detail}
 	j.events = append(j.events, e)
 	j.doneCells[index] = true
+
+	// Telemetry. The cell's timeline span is the arrival interval on the
+	// shard's track ([lastMark, now] — sequential by construction, since
+	// reports append under s.mu), not the worker-reported duration, which
+	// overlaps under in-worker parallelism and belongs in the histogram.
+	s.tel.leasesRenewed.Inc()
+	s.tel.reg.Counter("satin_cells_reported_total", "", "job", j.id).Inc()
+	if rep.Forked {
+		s.tel.reg.Counter("satin_cells_forked_total", "", "job", j.id).Inc()
+	}
+	if rep.CellNs > 0 {
+		sec := float64(rep.CellNs) / float64(time.Second)
+		s.tel.reg.Histogram("satin_cell_duration_seconds", "", cellDurationBounds,
+			"job", j.id, "shard", fmt.Sprintf("%d", shardIdx)).Observe(sec)
+		j.cellTimes = append(j.cellTimes, telemetry.CellTiming{
+			Index: index, Shard: shardIdx,
+			Ms: float64(rep.CellNs) / float64(time.Millisecond),
+		})
+	}
+	j.spans = append(j.spans, telemetry.Span{
+		Process: "job " + j.id,
+		Thread:  fmt.Sprintf("shard %d", shardIdx),
+		Name:    fmt.Sprintf("cell %d", index),
+		Detail:  detail,
+		Begin:   st.lastMark.Sub(s.tel.t0),
+		End:     now.Sub(s.tel.t0),
+	})
+	st.lastMark = now
+	s.jobProgressMetricsLocked(j, now)
+	s.log.Debug("cell reported", "job", j.id, "shard", shardIdx,
+		"worker", st.worker, "token", rep.Token, "cell", index)
+
 	j.changed()
 	bus := s.opt.Bus
 	s.mu.Unlock()
@@ -284,16 +377,23 @@ func (s *Server) Upload(jobID string, shardIdx int, token string, data []byte) e
 	// A dead lease outranks a bad payload: the worker's actionable signal
 	// is "drop this shard", whatever it tried to send.
 	if st.state != StateLeased || st.token != token {
+		s.tel.staleRejections.Inc()
+		s.log.Warn("stale upload", "job", jobID, "shard", shardIdx, "token", token)
 		s.mu.Unlock()
 		return leaseLost(jobID, shardIdx)
 	}
-	if parseErr != nil {
+	rejected := func(err error) error {
+		s.tel.uploadsRejected.Inc()
+		s.log.Warn("upload rejected", "job", jobID, "shard", shardIdx,
+			"worker", st.worker, "token", token, "error", err.Error())
 		s.mu.Unlock()
-		return badRequest(fmt.Errorf("serve: shard upload: %w", parseErr))
+		return badRequest(err)
+	}
+	if parseErr != nil {
+		return rejected(fmt.Errorf("serve: shard upload: %w", parseErr))
 	}
 	if string(specBytes) != string(j.specBytes) {
-		s.mu.Unlock()
-		return badRequest(fmt.Errorf("serve: shard upload embeds a different campaign"))
+		return rejected(fmt.Errorf("serve: shard upload embeds a different campaign"))
 	}
 	have := map[int]bool{}
 	for _, r := range results {
@@ -301,8 +401,7 @@ func (s *Server) Upload(jobID string, shardIdx int, token string, data []byte) e
 	}
 	for _, idx := range j.plan.Shards[shardIdx] {
 		if !have[idx] {
-			s.mu.Unlock()
-			return badRequest(fmt.Errorf("serve: shard %d upload is missing cell %d", shardIdx, idx))
+			return rejected(fmt.Errorf("serve: shard %d upload is missing cell %d", shardIdx, idx))
 		}
 	}
 	path := filepath.Join(j.dir, fmt.Sprintf("shard-%d.result", shardIdx))
@@ -310,6 +409,11 @@ func (s *Server) Upload(jobID string, shardIdx int, token string, data []byte) e
 		s.mu.Unlock()
 		return fmt.Errorf("serve: storing shard: %w", err)
 	}
+	now := s.opt.Now()
+	s.tel.uploadsVerified.Inc()
+	s.closeLeaseSpanLocked(j, shardIdx, st, now, false)
+	s.log.Info("upload verified", "job", j.id, "shard", shardIdx,
+		"worker", st.worker, "token", token, "cells", len(results))
 	st.state = StateDone
 	st.path = path
 	for _, r := range results {
@@ -325,12 +429,32 @@ func (s *Server) Upload(jobID string, shardIdx int, token string, data []byte) e
 		shardFiles = append(shardFiles, other.path)
 	}
 	if allDone {
-		if _, err := campaign.Merge(j.resultPath, shardFiles...); err != nil {
-			j.mergeError = err.Error()
+		mergeErr := func() error { _, err := campaign.Merge(j.resultPath, shardFiles...); return err }()
+		mergeEnd := s.opt.Now()
+		if mergeErr != nil {
+			j.mergeError = mergeErr.Error()
+			s.tel.mergesError.Inc()
+			s.log.Error("merge failed", "job", j.id, "error", mergeErr.Error())
 		} else {
 			j.finalized = true
+			j.finalizedAt = mergeEnd
+			s.tel.mergesOK.Inc()
+			s.log.Info("job finalized", "job", j.id, "cells", len(j.cells))
 		}
+		detail := "ok"
+		if j.mergeError != "" {
+			detail = j.mergeError
+		}
+		j.spans = append(j.spans, telemetry.Span{
+			Process: "job " + j.id,
+			Thread:  "merge",
+			Name:    "merge",
+			Detail:  detail,
+			Begin:   now.Sub(s.tel.t0),
+			End:     mergeEnd.Sub(s.tel.t0),
+		})
 	}
+	s.jobProgressMetricsLocked(j, now)
 	j.changed()
 	s.mu.Unlock()
 	return nil
@@ -424,6 +548,7 @@ func (s *Server) statusLocked(j *job) JobStatus {
 			Worker: sh.worker,
 		})
 	}
+	st.Stragglers = s.stragglersLocked(j, now)
 	return st
 }
 

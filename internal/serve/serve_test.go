@@ -244,7 +244,7 @@ func TestLeaseExpiryReassignsShard(t *testing.T) {
 	// Progress renews: advance close to expiry, report, advance again —
 	// still held.
 	clock.Advance(50 * time.Second)
-	if err := s.Progress(leaseA.Job, leaseA.Shard, leaseA.Token, leaseA.Cells[0], "ok"); err != nil {
+	if err := s.Progress(leaseA.Job, leaseA.Shard, serve.ProgressReport{Token: leaseA.Token, Index: leaseA.Cells[0], Detail: "ok"}); err != nil {
 		t.Fatalf("Progress: %v", err)
 	}
 	clock.Advance(50 * time.Second)
@@ -261,7 +261,7 @@ func TestLeaseExpiryReassignsShard(t *testing.T) {
 		t.Fatalf("reassignment gave shard %d token %q (was shard %d token %q)",
 			leaseB.Shard, leaseB.Token, leaseA.Shard, leaseA.Token)
 	}
-	if err := s.Progress(leaseA.Job, leaseA.Shard, leaseA.Token, 0, "late"); err == nil {
+	if err := s.Progress(leaseA.Job, leaseA.Shard, serve.ProgressReport{Token: leaseA.Token, Detail: "late"}); err == nil {
 		t.Fatal("stale token accepted for progress")
 	}
 	if err := s.Upload(leaseA.Job, leaseA.Shard, leaseA.Token, nil); err == nil {
@@ -290,7 +290,7 @@ func TestStaleUploadOverHTTP(t *testing.T) {
 	if _, _, err := client.Lease(ctx, "B"); err != nil {
 		t.Fatalf("re-lease: %v", err)
 	}
-	err = client.Progress(ctx, lease.Job, lease.Shard, lease.Token, 0, "late")
+	err = client.Progress(ctx, lease.Job, lease.Shard, serve.ProgressReport{Token: lease.Token, Detail: "late"})
 	if !errors.Is(err, serve.ErrLeaseLost) {
 		t.Fatalf("stale progress error = %v, want ErrLeaseLost", err)
 	}

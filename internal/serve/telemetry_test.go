@@ -1,0 +1,310 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"satin/internal/campaign"
+	"satin/internal/profile"
+	"satin/internal/serve"
+	"satin/internal/telemetry"
+)
+
+// shardUpload runs the leased cells in-process and returns the shard's
+// result file bytes, exactly as a worker would produce them.
+func shardUpload(t *testing.T, dir string, lease *serve.Lease) []byte {
+	t.Helper()
+	c, err := campaign.Parse(lease.Campaign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "up.result")
+	if _, err := campaign.Run(context.Background(), c, path, campaign.RunOptions{
+		SpecTrial: fakeTrial, Only: append([]int(nil), lease.Cells...),
+	}); err != nil {
+		t.Fatalf("shard run: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestTelemetryLifecycle drives one deterministic lease → expire →
+// re-lease → upload → merge history on a fake clock and checks that every
+// protocol transition shows up in the metrics, the straggler report, and a
+// lint-clean timeline — without touching the protocol outcome.
+func TestTelemetryLifecycle(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	s := newServer(t, serve.Options{LeaseTTL: time.Minute, Now: clock.Now})
+
+	st, err := s.Submit([]byte(gridCampaign), 2)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+
+	// Worker A leases shard 0, reports one timed (forked) cell, then goes
+	// quiet until the lease expires.
+	leaseA, _, err := s.Lease("A")
+	if err != nil || leaseA == nil {
+		t.Fatalf("Lease A: %v, %v", leaseA, err)
+	}
+	clock.Advance(10 * time.Second)
+	if err := s.Progress(leaseA.Job, leaseA.Shard, serve.ProgressReport{
+		Token: leaseA.Token, Index: leaseA.Cells[0], Detail: "ok",
+		CellNs: (1500 * time.Millisecond).Nanoseconds(), Forked: true,
+	}); err != nil {
+		t.Fatalf("Progress: %v", err)
+	}
+	clock.Advance(2 * time.Minute) // expiry was +60s after the report
+
+	// Worker B inherits shard 0 (the expiry), takes shard 1 too, and
+	// uploads both.
+	leaseB0, _, err := s.Lease("B")
+	if err != nil || leaseB0 == nil || leaseB0.Shard != leaseA.Shard {
+		t.Fatalf("Lease B0 = %+v, %v (want reassigned shard %d)", leaseB0, err, leaseA.Shard)
+	}
+	leaseB1, _, err := s.Lease("B")
+	if err != nil || leaseB1 == nil {
+		t.Fatalf("Lease B1: %v, %v", leaseB1, err)
+	}
+	clock.Advance(5 * time.Second)
+	for _, l := range []*serve.Lease{leaseB0, leaseB1} {
+		if err := s.Upload(l.Job, l.Shard, l.Token, shardUpload(t, t.TempDir(), l)); err != nil {
+			t.Fatalf("Upload shard %d: %v", l.Shard, err)
+		}
+	}
+
+	// The dead worker's late report is rejected as stale.
+	err = s.Progress(leaseA.Job, leaseA.Shard, serve.ProgressReport{Token: leaseA.Token, Detail: "late"})
+	if err == nil || !strings.Contains(err.Error(), "lost") {
+		t.Fatalf("stale progress = %v, want lease-lost rejection", err)
+	}
+
+	var buf bytes.Buffer
+	if err := s.Metrics().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"satin_leases_granted_total 3",
+		"satin_leases_expired_total 1",
+		"satin_leases_renewed_total 1",
+		"satin_lease_stale_rejections_total 1",
+		"satin_uploads_verified_total 2",
+		"satin_uploads_rejected_total 0",
+		`satin_merges_total{outcome="ok"} 1`,
+		`satin_merges_total{outcome="error"} 0`,
+		`satin_job_cells_total{job="` + st.ID + `"} 6`,
+		`satin_job_cells_done{job="` + st.ID + `"} 6`,
+		`satin_cells_reported_total{job="` + st.ID + `"} 1`,
+		`satin_cells_forked_total{job="` + st.ID + `"} 1`,
+		`satin_cell_duration_seconds_count{job="` + st.ID + `",shard="0"} 1`,
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Fatalf("exposition:\n%s", buf.String())
+	}
+
+	// Straggler report: one re-lease, shard 0 both slower and the idle one.
+	final, err := s.Status(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := final.Stragglers
+	if sr == nil {
+		t.Fatal("finished job has no straggler report")
+	}
+	if sr.ReLeases != 1 || sr.SlowestShard != leaseA.Shard {
+		t.Fatalf("stragglers = %+v", sr)
+	}
+	if sr.IdleMs < 59_000 { // shard 0 sat unleased from expiry to re-grant (60s)
+		t.Fatalf("idle = %vms, want >= 59000", sr.IdleMs)
+	}
+	if len(sr.SlowestCells) != 1 || sr.SlowestCells[0].Ms != 1500 {
+		t.Fatalf("slowest cells = %+v", sr.SlowestCells)
+	}
+
+	// Timeline: job + two lease generations + cell + merge, all nesting.
+	spans, err := s.Timeline(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace bytes.Buffer
+	if err := telemetry.WriteChromeTrace(&trace, spans); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := profile.ValidateChromeTrace(bytes.NewReader(trace.Bytes())); err != nil {
+		t.Fatalf("timeline fails chrome lint: %v\n%s", err, trace.String())
+	}
+	names := map[string]bool{}
+	for _, sp := range spans {
+		names[sp.Name] = true
+	}
+	for _, want := range []string{
+		"job " + st.ID, "merge",
+		"lease " + leaseA.Token, "lease " + leaseB0.Token, "lease " + leaseB1.Token,
+	} {
+		if !names[want] {
+			t.Fatalf("timeline missing span %q (have %v)", want, names)
+		}
+	}
+
+	if _, err := s.Timeline("nope"); err == nil {
+		t.Fatal("Timeline of unknown job succeeded")
+	}
+}
+
+// TestObservabilityEndpoints: /healthz, /readyz, /metrics over HTTP, plus
+// instrumentation of the /v1 routes.
+func TestObservabilityEndpoints(t *testing.T) {
+	dataDir := t.TempDir()
+	s := newServer(t, serve.Options{DataDir: dataDir})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := &serve.Client{BaseURL: ts.URL}
+	ctx := context.Background()
+
+	if err := client.Healthz(ctx); err != nil {
+		t.Fatalf("Healthz: %v", err)
+	}
+
+	// A fresh server already exposes every static family, at zero.
+	text, err := client.MetricsText(ctx)
+	if err != nil {
+		t.Fatalf("MetricsText: %v", err)
+	}
+	for _, want := range []string{
+		"# TYPE satin_leases_granted_total counter",
+		"satin_leases_expired_total 0",
+		"satin_lease_stale_rejections_total 0",
+		"satin_uploads_rejected_total 0",
+		`satin_http_requests_total{code="200",route="status"} 0`,
+		`satin_http_request_duration_seconds_count{route="lease"} 0`,
+	} {
+		if !strings.Contains(string(text), want) {
+			t.Fatalf("fresh /metrics missing %q:\n%s", want, text)
+		}
+	}
+
+	// One submit + one status: the route counters move.
+	if _, err := client.Submit(ctx, []byte(gridCampaign), 1); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if _, err := client.Status(ctx, "c1"); err != nil {
+		t.Fatalf("Status: %v", err)
+	}
+	text, err = client.MetricsText(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`satin_http_requests_total{code="200",route="submit"} 1`,
+		`satin_http_requests_total{code="200",route="status"} 1`,
+	} {
+		if !strings.Contains(string(text), want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, text)
+		}
+	}
+
+	// Readiness degrades when the data dir vanishes; liveness does not.
+	if err := os.RemoveAll(dataDir); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz after losing data dir = %d, want 503", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestWriteErrorLogsServerFaults: a 5xx response leaves a structured log
+// record with the status and error; a 4xx stays quiet.
+func TestWriteErrorLogsServerFaults(t *testing.T) {
+	var logBuf bytes.Buffer
+	logger, err := telemetry.NewLogger(&logBuf, telemetry.LogJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataDir := t.TempDir()
+	s := newServer(t, serve.Options{DataDir: dataDir, Logger: logger})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := &serve.Client{BaseURL: ts.URL}
+	ctx := context.Background()
+
+	// Complete a single-shard job, then corrupt the stored merge so the
+	// result download becomes a server-side fault.
+	if _, err := client.Submit(ctx, []byte(gridCampaign), 1); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	lease, _, err := client.Lease(ctx, "A")
+	if err != nil || lease == nil {
+		t.Fatalf("Lease: %v, %v", lease, err)
+	}
+	if err := client.Upload(ctx, lease.Job, lease.Shard, lease.Token, shardUpload(t, t.TempDir(), lease)); err != nil {
+		t.Fatalf("Upload: %v", err)
+	}
+
+	// A 4xx (unknown job) is the client's problem: no log record.
+	logBuf.Reset()
+	if _, err := client.Status(ctx, "nope"); err == nil {
+		t.Fatal("Status of unknown job succeeded")
+	}
+	if strings.Contains(logBuf.String(), "request failed") {
+		t.Fatalf("4xx was logged as a fault:\n%s", logBuf.String())
+	}
+
+	if err := os.Remove(filepath.Join(dataDir, "job-"+lease.Job, "merged.result")); err != nil {
+		t.Fatal(err)
+	}
+	logBuf.Reset()
+	if _, err := client.Result(ctx, lease.Job); err == nil {
+		t.Fatal("Result with deleted merge succeeded")
+	}
+	var rec map[string]any
+	found := false
+	for _, line := range strings.Split(strings.TrimSpace(logBuf.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("log line is not JSON: %v (%q)", err, line)
+		}
+		if rec["msg"] == "request failed" {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("no 'request failed' record:\n%s", logBuf.String())
+	}
+	if rec["level"] != "ERROR" || rec["status"] != float64(500) {
+		t.Fatalf("record = %v", rec)
+	}
+	if msg, _ := rec["error"].(string); !strings.Contains(msg, "merged result") {
+		t.Fatalf("record error = %v", rec["error"])
+	}
+}

@@ -4,13 +4,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"satin/internal/campaign"
 	"satin/internal/obs"
+	"satin/internal/telemetry"
 	"satin/internal/trace"
 )
 
@@ -33,8 +35,9 @@ type WorkerOptions struct {
 	// Poll is the idle wait between lease attempts while jobs are still in
 	// flight elsewhere (default 150ms).
 	Poll time.Duration
-	// Log, when non-nil, receives one line per lease/upload transition.
-	Log io.Writer
+	// Logger, when non-nil, receives structured lease/upload transitions
+	// with worker/job/shard/token fields. Nil means silent.
+	Logger *slog.Logger
 }
 
 // RunWorker is the pull loop both `satin-serve -worker` and `benchtables
@@ -54,11 +57,10 @@ func RunWorker(ctx context.Context, client *Client, opt WorkerOptions) error {
 	if err := os.MkdirAll(opt.Dir, 0o755); err != nil {
 		return fmt.Errorf("serve: worker dir: %w", err)
 	}
-	logf := func(format string, args ...any) {
-		if opt.Log != nil {
-			fmt.Fprintf(opt.Log, format+"\n", args...)
-		}
+	if opt.Logger == nil {
+		opt.Logger = telemetry.NopLogger()
 	}
+	log := opt.Logger.With("worker", opt.Name)
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -69,7 +71,7 @@ func RunWorker(ctx context.Context, client *Client, opt WorkerOptions) error {
 		}
 		if lease == nil {
 			if !open {
-				logf("worker %s: no work left, exiting", opt.Name)
+				log.Info("no work left, exiting")
 				return nil
 			}
 			select {
@@ -79,17 +81,20 @@ func RunWorker(ctx context.Context, client *Client, opt WorkerOptions) error {
 			}
 			continue
 		}
-		logf("worker %s: leased job %s shard %d (%d cells)", opt.Name, lease.Job, lease.Shard, len(lease.Cells))
+		log.Info("leased shard", "job", lease.Job, "shard", lease.Shard,
+			"token", lease.Token, "cells", len(lease.Cells))
 		if err := runLease(ctx, client, opt, lease); err != nil {
 			if errors.Is(err, ErrLeaseLost) {
 				// The server reassigned the shard (our lease expired, or a
 				// peer finished it). Drop it and pull the next one.
-				logf("worker %s: lost lease on job %s shard %d", opt.Name, lease.Job, lease.Shard)
+				log.Warn("lost lease", "job", lease.Job, "shard", lease.Shard,
+					"token", lease.Token)
 				continue
 			}
 			return err
 		}
-		logf("worker %s: uploaded job %s shard %d", opt.Name, lease.Job, lease.Shard)
+		log.Info("uploaded shard", "job", lease.Job, "shard", lease.Shard,
+			"token", lease.Token)
 	}
 }
 
@@ -106,12 +111,32 @@ func runLease(ctx context.Context, client *Client, opt WorkerOptions, lease *Lea
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	var lost bool
+	// Wall-clock cell stats, stashed by the CellDone hook and attached to
+	// the progress report the bus subscriber sends anyway. CellDone for a
+	// cell runs before its bus publish (same goroutine), so the lookup
+	// always hits.
+	type cellStat struct {
+		wall   time.Duration
+		forked bool
+	}
+	var statMu sync.Mutex
+	stats := map[int]cellStat{}
 	bus := obs.NewBus()
 	bus.Subscribe(func(e trace.Event) {
 		if e.Kind != trace.KindCell || lost {
 			return
 		}
-		if err := client.Progress(ctx, lease.Job, lease.Shard, lease.Token, e.Area, e.Detail); err != nil {
+		statMu.Lock()
+		stat := stats[e.Area]
+		statMu.Unlock()
+		rep := ProgressReport{
+			Token:  lease.Token,
+			Index:  e.Area,
+			Detail: e.Detail,
+			CellNs: stat.wall.Nanoseconds(),
+			Forked: stat.forked,
+		}
+		if err := client.Progress(ctx, lease.Job, lease.Shard, rep); err != nil {
 			if errors.Is(err, ErrLeaseLost) {
 				lost = true
 				cancel()
@@ -130,6 +155,11 @@ func runLease(ctx context.Context, client *Client, opt WorkerOptions, lease *Lea
 		SpecTrial:  opt.Trial,
 		GroupKey:   opt.GroupKey,
 		GroupTrial: opt.GroupTrial,
+		CellDone: func(index int, wall time.Duration, forked bool) {
+			statMu.Lock()
+			stats[index] = cellStat{wall: wall, forked: forked}
+			statMu.Unlock()
+		},
 	})
 	if lost {
 		return fmt.Errorf("%w: while running job %s shard %d", ErrLeaseLost, lease.Job, lease.Shard)

@@ -1,0 +1,40 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// log.go standardizes structured logging for the distributed campaign
+// binaries: every satin-serve mode (and the benchtables worker path) logs
+// through a slog.Logger built here, with job/shard/worker/lease fields
+// attached at the call sites, so a fleet's logs are grep-able by cell and
+// machine-parseable when shipped.
+
+// Log formats accepted by NewLogger (the `-log-format` flag values).
+const (
+	LogText = "text"
+	LogJSON = "json"
+)
+
+// NewLogger builds a structured logger writing to w in the given format
+// ("text" or "json"). An empty format means text. Timestamps are kept —
+// this is wall-clock territory by definition.
+func NewLogger(w io.Writer, format string) (*slog.Logger, error) {
+	switch format {
+	case "", LogText:
+		return slog.New(slog.NewTextHandler(w, nil)), nil
+	case LogJSON:
+		return slog.New(slog.NewJSONHandler(w, nil)), nil
+	default:
+		return nil, fmt.Errorf("telemetry: unknown log format %q (want %s or %s)", format, LogText, LogJSON)
+	}
+}
+
+// NopLogger returns a logger that discards everything — the default for
+// components whose caller did not wire logging, so call sites never need a
+// nil check.
+func NopLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.LevelError + 1}))
+}

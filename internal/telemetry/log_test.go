@@ -1,0 +1,51 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestNewLoggerFormats(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := NewLogger(&buf, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("lease granted", "job", "c1", "shard", 2)
+	if out := buf.String(); !strings.Contains(out, "lease granted") || !strings.Contains(out, "shard=2") {
+		t.Fatalf("text output = %q", out)
+	}
+
+	buf.Reset()
+	log, err = NewLogger(&buf, LogJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Warn("lease expired", "job", "c1", "shard", 0, "token", "t-1")
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("json output not JSON: %v (%q)", err, buf.String())
+	}
+	if rec["msg"] != "lease expired" || rec["job"] != "c1" || rec["token"] != "t-1" {
+		t.Fatalf("record = %v", rec)
+	}
+	if rec["level"] != "WARN" {
+		t.Fatalf("level = %v", rec["level"])
+	}
+
+	if _, err := NewLogger(&buf, "yaml"); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+func TestNopLoggerSilent(t *testing.T) {
+	log := NopLogger()
+	// Must not panic and must not write anywhere observable.
+	log.Error("dropped", "k", "v")
+	if log.Enabled(nil, slog.LevelError) {
+		t.Fatal("nop logger enabled at Error")
+	}
+}

@@ -1,0 +1,396 @@
+// Package telemetry is the wall-clock, process-level observability layer
+// for the distributed campaign stack: metrics with Prometheus text-format
+// exposition, a wall-clock span timeline exported as Chrome trace_event
+// JSON, straggler/anomaly reports, and structured-logging setup.
+//
+// It is deliberately separate from the deterministic virtual-time pair
+// `internal/obs`/`internal/profile`: those measure what happens *inside* a
+// simulated universe and are part of the reproducible result surface
+// (goldens include their output), while telemetry measures the machinery
+// *around* the universes — lease churn, upload verification, HTTP latency,
+// real seconds per cell. Telemetry is a side channel: nothing in this
+// package may feed back into result bytes, and the distributed smoke tests
+// pin that by scraping /metrics mid-run while still requiring the merged
+// campaign file to match its committed golden byte for byte.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing count with an atomic hot path.
+// All methods are safe on a nil receiver (a no-op handle), mirroring
+// obs.Counter so components can hold un-wired handles at zero cost.
+type Counter struct{ v atomic.Int64 }
+
+// Add increases the counter by n (n < 0 is ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if c == nil || n < 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increases the counter by one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Value reports the current count (0 on a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a point-in-time value with an atomic hot path. Nil-safe.
+type Gauge struct{ v atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(math.Float64bits(v))
+}
+
+// Value reports the stored value (0 on a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.v.Load())
+}
+
+// Histogram counts float64 observations into fixed cumulative-at-exposition
+// buckets. Bounds are inclusive upper edges in ascending order; an implicit
+// +Inf bucket catches the rest. The observe path is lock-free: one atomic
+// add per bucket plus a CAS loop for the float sum. Nil-safe.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1, non-cumulative
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum reports the total of all observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// metric kind strings (also the Prometheus TYPE values).
+const (
+	kindCounter   = "counter"
+	kindGauge     = "gauge"
+	kindHistogram = "histogram"
+)
+
+// series is one labeled instance inside a family.
+type series struct {
+	labels string // rendered `{k="v",...}` suffix, "" for unlabeled
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family is every series sharing one metric name.
+type family struct {
+	name   string
+	help   string
+	kind   string
+	bounds []float64 // histogram families only
+	series map[string]*series
+	order  []string // series keys in registration order (sorted at write)
+}
+
+// Registry holds the process's telemetry metrics. Registration (Counter/
+// Gauge/Histogram) takes a mutex and caches the handle; the returned
+// handles are the atomic hot path — hold them, don't re-look them up per
+// event. The zero value is not usable; construct with NewRegistry. All
+// methods are safe on a nil registry and return nil (no-op) handles.
+//
+// Contract: registering the same (name, labels) twice returns the first
+// instance; registering a name under a different kind, or a histogram name
+// with different bounds, panics — metric identity is code-static, so a
+// mismatch is a programming error best caught loudly at wire-up.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// Counter returns the counter `name` with the given label pairs
+// ("k1", "v1", "k2", "v2", ...), creating it on first use. help is kept
+// from the first registration of the family.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.series(name, help, kindCounter, nil, labels).c
+}
+
+// Gauge returns the gauge `name` with the given label pairs. Nil-safe.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.series(name, help, kindGauge, nil, labels).g
+}
+
+// Histogram returns the histogram `name` with the given bucket bounds and
+// label pairs. Every series of one family shares the family's bounds (the
+// first registration wins; differing bounds panic). Nil-safe.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram %q bounds must be strictly ascending", name))
+		}
+	}
+	return r.series(name, help, kindHistogram, bounds, labels).h
+}
+
+// series resolves (name, labels) to its instance, creating the family and
+// the series (with its concrete metric) under the lock as needed.
+func (r *Registry) series(name, help, kind string, bounds []float64, labels []string) *series {
+	if !validName(name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+	key := renderLabels(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, bounds: append([]float64(nil), bounds...), series: map[string]*series{}}
+		r.families[name] = f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("telemetry: metric %q already registered as a %s, cannot re-register as a %s", name, f.kind, kind))
+	}
+	if kind == kindHistogram && !equalBounds(f.bounds, bounds) {
+		panic(fmt.Sprintf("telemetry: histogram %q already registered with different bounds", name))
+	}
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labels: key}
+		switch kind {
+		case kindCounter:
+			s.c = &Counter{}
+		case kindGauge:
+			s.g = &Gauge{}
+		case kindHistogram:
+			s.h = &Histogram{bounds: f.bounds, counts: make([]atomic.Int64, len(f.bounds)+1)}
+		}
+		f.series[key] = s
+		f.order = append(f.order, key)
+	}
+	return s
+}
+
+func equalBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// validName reports whether name is a legal Prometheus metric name.
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		alpha := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !alpha && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// renderLabels builds the deterministic `{k="v",...}` suffix: pairs sorted
+// by key, values escaped. Empty labels render as "".
+func renderLabels(name string, kv []string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	if len(kv)%2 != 0 {
+		panic(fmt.Sprintf("telemetry: metric %q has an odd label list (want k,v pairs)", name))
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		if !validName(kv[i]) || strings.Contains(kv[i], ":") {
+			panic(fmt.Sprintf("telemetry: metric %q has an invalid label name %q", name, kv[i]))
+		}
+		pairs = append(pairs, pair{kv[i], kv[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(p.v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel applies the Prometheus text-format label escapes.
+func escapeLabel(v string) string {
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// formatFloat renders a sample value the way Prometheus expects.
+func formatFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// withLabel splices one extra label (e.g. le) into a rendered label suffix.
+func withLabel(labels, k, v string) string {
+	extra := k + `="` + escapeLabel(v) + `"`
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return labels[:len(labels)-1] + "," + extra + "}"
+}
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format (version 0.0.4): families sorted by name, series sorted by label
+// string, histograms as cumulative `_bucket{le=...}` plus `_sum`/`_count`.
+// The output is deterministic for a given registry state.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	// Snapshot the family/series structure under one lock; the atomic
+	// values are read afterwards (each sample is individually consistent,
+	// which is all a scrape promises).
+	type famSnap struct {
+		name, help, kind string
+		bounds           []float64
+		series           []*series
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]famSnap, 0, len(names))
+	for _, name := range names {
+		f := r.families[name]
+		keys := append([]string(nil), f.order...)
+		sort.Strings(keys)
+		snap := famSnap{name: f.name, help: f.help, kind: f.kind, bounds: f.bounds}
+		for _, key := range keys {
+			snap.series = append(snap.series, f.series[key])
+		}
+		fams = append(fams, snap)
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range f.series {
+			switch f.kind {
+			case kindCounter:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, s.labels, strconv.FormatInt(s.c.Value(), 10))
+			case kindGauge:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, s.labels, formatFloat(s.g.Value()))
+			case kindHistogram:
+				cum := int64(0)
+				for i, bound := range f.bounds {
+					cum += s.h.counts[i].Load()
+					fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, withLabel(s.labels, "le", formatFloat(bound)), cum)
+				}
+				cum += s.h.counts[len(f.bounds)].Load()
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, withLabel(s.labels, "le", "+Inf"), cum)
+				fmt.Fprintf(&b, "%s_sum%s %s\n", f.name, s.labels, formatFloat(s.h.Sum()))
+				fmt.Fprintf(&b, "%s_count%s %d\n", f.name, s.labels, s.h.Count())
+			}
+		}
+	}
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return fmt.Errorf("telemetry: writing metrics: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,298 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestCounterGaugeHistogramBasics: values accumulate; nil handles no-op.
+func TestCounterGaugeHistogramBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("t_total", "help")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters only go up
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	g := r.Gauge("t_gauge", "help")
+	g.Set(2.5)
+	if g.Value() != 2.5 {
+		t.Fatalf("gauge = %v, want 2.5", g.Value())
+	}
+	h := r.Histogram("t_hist", "help", []float64{1, 10})
+	for _, v := range []float64{0.5, 1, 5, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 || h.Sum() != 106.5 {
+		t.Fatalf("hist count=%d sum=%v, want 4/106.5", h.Count(), h.Sum())
+	}
+
+	var nilC *Counter
+	var nilG *Gauge
+	var nilH *Histogram
+	nilC.Inc()
+	nilG.Set(1)
+	nilH.Observe(1)
+	if nilC.Value() != 0 || nilG.Value() != 0 || nilH.Count() != 0 {
+		t.Fatal("nil handles must read zero")
+	}
+	var nilR *Registry
+	nilR.Counter("x", "").Inc()
+	if err := nilR.WritePrometheus(&bytes.Buffer{}); err != nil {
+		t.Fatalf("nil registry write: %v", err)
+	}
+}
+
+// TestSameSeriesIsOneInstance: re-registering (name, labels) returns the
+// first instance; different labels are distinct series.
+func TestSameSeriesIsOneInstance(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("dup_total", "", "job", "c1")
+	b := r.Counter("dup_total", "", "job", "c1")
+	if a != b {
+		t.Fatal("same (name, labels) produced two instances")
+	}
+	other := r.Counter("dup_total", "", "job", "c2")
+	if other == a {
+		t.Fatal("different labels shared an instance")
+	}
+}
+
+// TestKindMismatchPanics: one name, two kinds is a loud programming error.
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("clash", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cross-kind re-registration did not panic")
+		}
+	}()
+	r.Gauge("clash", "")
+}
+
+// TestHistogramBoundsMismatchPanics: a family's bounds are fixed at first
+// registration.
+func TestHistogramBoundsMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("h", "", []float64{1, 2}, "shard", "0")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bounds mismatch did not panic")
+		}
+	}()
+	r.Histogram("h", "", []float64{1, 3}, "shard", "1")
+}
+
+// promSample is one parsed exposition line.
+type promSample struct {
+	name   string
+	labels string
+	value  float64
+}
+
+// parseProm is a strict parser for the subset of the Prometheus text
+// format the registry emits: it fails the test on any malformed line,
+// wrong TYPE declaration order, or unparseable value — the acceptance
+// check that /metrics output is machine-valid, not eyeballed.
+func parseProm(t *testing.T, text string) (types map[string]string, samples []promSample) {
+	t.Helper()
+	types = map[string]string{}
+	declared := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("blank line in exposition")
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			parts := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			if len(parts) < 1 || parts[0] == "" {
+				t.Fatalf("malformed HELP line %q", line)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(parts) != 2 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			switch parts[1] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("unknown type in %q", line)
+			}
+			if declared[parts[0]] {
+				t.Fatalf("duplicate TYPE for %s", parts[0])
+			}
+			declared[parts[0]] = true
+			types[parts[0]] = parts[1]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("unknown comment line %q", line)
+		}
+		sp := strings.LastIndex(line, " ")
+		if sp < 0 {
+			t.Fatalf("sample line %q has no value", line)
+		}
+		id, valText := line[:sp], line[sp+1:]
+		v, err := strconv.ParseFloat(valText, 64)
+		if err != nil {
+			t.Fatalf("sample %q value: %v", line, err)
+		}
+		name, labels := id, ""
+		if i := strings.IndexByte(id, '{'); i >= 0 {
+			name, labels = id[:i], id[i:]
+			if !strings.HasSuffix(labels, "}") {
+				t.Fatalf("unterminated labels in %q", line)
+			}
+		}
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(name, suffix) && declared[strings.TrimSuffix(name, suffix)] {
+				base = strings.TrimSuffix(name, suffix)
+			}
+		}
+		if !declared[base] {
+			t.Fatalf("sample %q precedes its TYPE declaration", line)
+		}
+		samples = append(samples, promSample{name: name, labels: labels, value: v})
+	}
+	return types, samples
+}
+
+func findSample(samples []promSample, name, labels string) (float64, bool) {
+	for _, s := range samples {
+		if s.name == name && s.labels == labels {
+			return s.value, true
+		}
+	}
+	return 0, false
+}
+
+// TestWritePrometheusFormat: the exposition parses strictly, carries every
+// registered family, and renders histograms cumulatively.
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("satin_leases_granted_total", "Leases granted.").Add(3)
+	r.Gauge("satin_job_cells_done", "Cells done.", "job", "c1").Set(7)
+	h := r.Histogram("satin_cell_duration_seconds", "Cell wall time.", []float64{0.1, 1}, "job", "c1", "shard", "0")
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	types, samples := parseProm(t, buf.String())
+	if types["satin_leases_granted_total"] != "counter" ||
+		types["satin_job_cells_done"] != "gauge" ||
+		types["satin_cell_duration_seconds"] != "histogram" {
+		t.Fatalf("types = %v", types)
+	}
+	if v, ok := findSample(samples, "satin_leases_granted_total", ""); !ok || v != 3 {
+		t.Fatalf("counter sample = %v, %v", v, ok)
+	}
+	if v, ok := findSample(samples, "satin_job_cells_done", `{job="c1"}`); !ok || v != 7 {
+		t.Fatalf("gauge sample = %v, %v", v, ok)
+	}
+	// Cumulative buckets: 0.1 → 1, 1 → 2, +Inf → 3; labels sorted (job
+	// before shard) with le spliced last.
+	for _, want := range []struct {
+		labels string
+		v      float64
+	}{
+		{`{job="c1",shard="0",le="0.1"}`, 1},
+		{`{job="c1",shard="0",le="1"}`, 2},
+		{`{job="c1",shard="0",le="+Inf"}`, 3},
+	} {
+		if v, ok := findSample(samples, "satin_cell_duration_seconds_bucket", want.labels); !ok || v != want.v {
+			t.Fatalf("bucket %s = %v (ok=%v), want %v\n%s", want.labels, v, ok, want.v, buf.String())
+		}
+	}
+	if v, ok := findSample(samples, "satin_cell_duration_seconds_sum", `{job="c1",shard="0"}`); !ok || math.Abs(v-5.55) > 1e-9 {
+		t.Fatalf("sum = %v, %v", v, ok)
+	}
+	if v, ok := findSample(samples, "satin_cell_duration_seconds_count", `{job="c1",shard="0"}`); !ok || v != 3 {
+		t.Fatalf("count = %v, %v", v, ok)
+	}
+}
+
+// TestWritePrometheusDeterministic: two writes of the same state are
+// byte-identical regardless of registration interleaving.
+func TestWritePrometheusDeterministic(t *testing.T) {
+	build := func(order []string) string {
+		r := NewRegistry()
+		for _, job := range order {
+			r.Counter("c_total", "h", "job", job).Inc()
+			r.Gauge("b_gauge", "h").Set(1)
+			r.Gauge("a_gauge", "h").Set(2)
+		}
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a := build([]string{"z", "a", "m"})
+	b := build([]string{"m", "z", "a"})
+	if a != b {
+		t.Fatalf("exposition depends on registration order:\n%s\nvs\n%s", a, b)
+	}
+	if !strings.Contains(a, "# TYPE a_gauge gauge") {
+		t.Fatalf("missing TYPE line:\n%s", a)
+	}
+}
+
+// TestLabelEscaping: quotes, backslashes, and newlines survive the wire.
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "", "detail", "a\"b\\c\nd").Inc()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `esc_total{detail="a\"b\\c\nd"} 1`) {
+		t.Fatalf("escaping wrong:\n%s", buf.String())
+	}
+}
+
+// TestConcurrentHotPath: handles race-free under parallel updates and a
+// concurrent scrape (run with -race).
+func TestConcurrentHotPath(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hot_total", "")
+	h := r.Histogram("hot_seconds", "", []float64{0.5})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(0.25)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 50; j++ {
+			var buf bytes.Buffer
+			if err := r.WritePrometheus(&buf); err != nil {
+				t.Error(err)
+				return
+			}
+			// Concurrent registration of new series must not upset a scrape.
+			r.Counter("hot_total", "", "job", strconv.Itoa(j)).Inc()
+		}
+	}()
+	wg.Wait()
+	if c.Value() != 8000 || h.Count() != 8000 {
+		t.Fatalf("lost updates: counter=%d hist=%d", c.Value(), h.Count())
+	}
+}

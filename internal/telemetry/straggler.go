@@ -1,0 +1,138 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// straggler.go distills a campaign's wall-clock record into the questions
+// an operator actually asks when a 10k-cell job is slower than it should
+// be: which cells were slow, which shard dragged, how much worker time was
+// spent idle, and how often leases had to be reassigned.
+
+// CellTiming is one completed cell's wall-clock cost.
+type CellTiming struct {
+	Index int `json:"index"`
+	// Shard is the shard that reported the cell, or -1 for a local
+	// (unsharded) run.
+	Shard int `json:"shard"`
+	// Ms is the cell's wall-clock duration in milliseconds.
+	Ms float64 `json:"ms"`
+}
+
+// ShardTiming is one shard's wall-clock lease record.
+type ShardTiming struct {
+	Shard int `json:"shard"`
+	// Leases counts how many times the shard was handed out; every lease
+	// after the first is a re-lease (a worker died or went quiet).
+	Leases int `json:"leases"`
+	// ActiveMs is total time the shard spent under a live lease; IdleMs is
+	// time it spent waiting for one (including the gap after an expiry).
+	ActiveMs float64 `json:"active_ms"`
+	IdleMs   float64 `json:"idle_ms"`
+	Done     bool    `json:"done"`
+}
+
+// StragglerReport is the straggler/anomaly summary for one campaign.
+type StragglerReport struct {
+	// TimedCells counts the cells with a wall-clock record.
+	TimedCells int `json:"timed_cells"`
+	// SlowestCells holds the top cells by duration, slowest first.
+	SlowestCells []CellTiming `json:"slowest_cells,omitempty"`
+	// ReLeases totals lease reassignments across shards (0 on a healthy
+	// run: every shard finished under its first lease).
+	ReLeases int `json:"re_leases"`
+	// SlowestShard is the shard with the most active time, or -1 when no
+	// shard data exists (a local run).
+	SlowestShard int `json:"slowest_shard"`
+	// IdleMs totals shard idle time — wall-clock the fleet spent with a
+	// shard assigned to nobody.
+	IdleMs float64 `json:"idle_ms"`
+	// Shards echoes the per-shard record the totals were built from.
+	Shards []ShardTiming `json:"shards,omitempty"`
+}
+
+// BuildStragglerReport folds per-cell and per-shard timings into a report.
+// topN bounds SlowestCells (<=0 means 5). cells and shards may each be
+// empty; an entirely empty input returns nil (nothing to report).
+func BuildStragglerReport(cells []CellTiming, shards []ShardTiming, topN int) *StragglerReport {
+	if len(cells) == 0 && len(shards) == 0 {
+		return nil
+	}
+	if topN <= 0 {
+		topN = 5
+	}
+	r := &StragglerReport{TimedCells: len(cells), SlowestShard: -1}
+	sorted := append([]CellTiming(nil), cells...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Ms != sorted[j].Ms {
+			return sorted[i].Ms > sorted[j].Ms
+		}
+		return sorted[i].Index < sorted[j].Index
+	})
+	if len(sorted) > topN {
+		sorted = sorted[:topN]
+	}
+	r.SlowestCells = sorted
+	slowest := -1.0
+	for _, sh := range shards {
+		if sh.Leases > 1 {
+			r.ReLeases += sh.Leases - 1
+		}
+		r.IdleMs += sh.IdleMs
+		if sh.ActiveMs > slowest {
+			slowest = sh.ActiveMs
+			r.SlowestShard = sh.Shard
+		}
+	}
+	r.Shards = append([]ShardTiming(nil), shards...)
+	return r
+}
+
+// fmtMs renders a millisecond quantity compactly (1.2s past a second).
+func fmtMs(ms float64) string {
+	d := time.Duration(ms * float64(time.Millisecond))
+	if d >= time.Second {
+		return d.Truncate(10 * time.Millisecond).String()
+	}
+	return d.Truncate(time.Millisecond).String()
+}
+
+// Render writes the human-readable report, one indented line per fact, in
+// the shape `satin-serve -status` and `benchtables -progress` print.
+func (r *StragglerReport) Render(w io.Writer, indent string) {
+	if r == nil {
+		return
+	}
+	if len(r.Shards) > 0 {
+		fmt.Fprintf(w, "%sstragglers: %d re-lease(s), idle %s", indent, r.ReLeases, fmtMs(r.IdleMs))
+		if r.SlowestShard >= 0 {
+			fmt.Fprintf(w, ", slowest shard %d", r.SlowestShard)
+		}
+		fmt.Fprintln(w)
+		for _, sh := range r.Shards {
+			state := "running"
+			if sh.Done {
+				state = "done"
+			}
+			fmt.Fprintf(w, "%s  shard %d: %d lease(s), active %s, idle %s, %s\n",
+				indent, sh.Shard, sh.Leases, fmtMs(sh.ActiveMs), fmtMs(sh.IdleMs), state)
+		}
+	}
+	if len(r.SlowestCells) > 0 {
+		fmt.Fprintf(w, "%sslowest cells:", indent)
+		for i, c := range r.SlowestCells {
+			if i > 0 {
+				fmt.Fprint(w, ",")
+			}
+			if c.Shard >= 0 {
+				fmt.Fprintf(w, " %d (%s, shard %d)", c.Index, fmtMs(c.Ms), c.Shard)
+			} else {
+				fmt.Fprintf(w, " %d (%s)", c.Index, fmtMs(c.Ms))
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}

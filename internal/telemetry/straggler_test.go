@@ -1,0 +1,98 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestBuildStragglerReportEmpty(t *testing.T) {
+	if r := BuildStragglerReport(nil, nil, 5); r != nil {
+		t.Fatalf("empty input produced %+v", r)
+	}
+	var nilReport *StragglerReport
+	var buf bytes.Buffer
+	nilReport.Render(&buf, "  ") // must not panic
+	if buf.Len() != 0 {
+		t.Fatalf("nil report rendered %q", buf.String())
+	}
+}
+
+func TestBuildStragglerReport(t *testing.T) {
+	cells := []CellTiming{
+		{Index: 0, Shard: 0, Ms: 10},
+		{Index: 1, Shard: 0, Ms: 250},
+		{Index: 2, Shard: 1, Ms: 250},
+		{Index: 3, Shard: 1, Ms: 40},
+	}
+	shards := []ShardTiming{
+		{Shard: 0, Leases: 1, ActiveMs: 300, IdleMs: 5, Done: true},
+		{Shard: 1, Leases: 3, ActiveMs: 900, IdleMs: 120, Done: false},
+	}
+	r := BuildStragglerReport(cells, shards, 3)
+	if r.TimedCells != 4 {
+		t.Fatalf("TimedCells = %d", r.TimedCells)
+	}
+	if r.ReLeases != 2 {
+		t.Fatalf("ReLeases = %d, want 2", r.ReLeases)
+	}
+	if r.SlowestShard != 1 {
+		t.Fatalf("SlowestShard = %d, want 1", r.SlowestShard)
+	}
+	if r.IdleMs != 125 {
+		t.Fatalf("IdleMs = %v, want 125", r.IdleMs)
+	}
+	// Sorted by Ms desc then Index asc; capped at topN.
+	if len(r.SlowestCells) != 3 ||
+		r.SlowestCells[0].Index != 1 || r.SlowestCells[1].Index != 2 || r.SlowestCells[2].Index != 3 {
+		t.Fatalf("SlowestCells = %+v", r.SlowestCells)
+	}
+
+	var buf bytes.Buffer
+	r.Render(&buf, "  ")
+	out := buf.String()
+	for _, want := range []string{
+		"  stragglers: 2 re-lease(s)",
+		"slowest shard 1",
+		"  shard 0: 1 lease(s)",
+		"done",
+		"  shard 1: 3 lease(s)",
+		"running",
+		"slowest cells: 1 (250ms, shard 0), 2 (250ms, shard 1), 3 (40ms, shard 1)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+
+	// The report must survive a JSON round trip (it rides on -status -json).
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back StragglerReport
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.ReLeases != r.ReLeases || len(back.SlowestCells) != len(r.SlowestCells) {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+}
+
+func TestBuildStragglerReportLocalRun(t *testing.T) {
+	cells := []CellTiming{{Index: 5, Shard: -1, Ms: 1500}, {Index: 2, Shard: -1, Ms: 3}}
+	r := BuildStragglerReport(cells, nil, 0) // topN<=0 defaults to 5
+	if r.SlowestShard != -1 || r.ReLeases != 0 || len(r.Shards) != 0 {
+		t.Fatalf("local report = %+v", r)
+	}
+	var buf bytes.Buffer
+	r.Render(&buf, "")
+	out := buf.String()
+	if strings.Contains(out, "stragglers:") {
+		t.Fatalf("local run should not print shard summary:\n%s", out)
+	}
+	if !strings.Contains(out, "slowest cells: 5 (1.5s), 2 (3ms)") {
+		t.Fatalf("render = %q", out)
+	}
+}

@@ -11,12 +11,14 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"testing"
 	"time"
 
 	"satin/internal/campaign"
+	"satin/internal/serve"
 	"satin/internal/shard"
 )
 
@@ -75,6 +77,77 @@ func TestShardedMergeReproducesGolden(t *testing.T) {
 				t.Errorf("merged %d-shard result drifted from testdata/campaigns/smoke.result.golden", k)
 			}
 		})
+	}
+}
+
+// TestShardedServeGoldenWhileScraped: the full coordinator/worker protocol
+// drains the smoke campaign while a scraper hammers /metrics and /healthz
+// the whole time — telemetry is a side channel, so the merged result must
+// still be the committed golden bytes.
+func TestShardedServeGoldenWhileScraped(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "campaigns", "smoke.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := serve.New(serve.Options{DataDir: t.TempDir(), GroupKey: CheckpointGroupKey})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := &serve.Client{BaseURL: ts.URL}
+	ctx := context.Background()
+
+	st, err := client.Submit(ctx, data, 2)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+
+	stop := make(chan struct{})
+	scraped := make(chan int)
+	go func() {
+		n := 0
+		for {
+			select {
+			case <-stop:
+				scraped <- n
+				return
+			default:
+			}
+			if err := client.Healthz(ctx); err != nil {
+				t.Errorf("Healthz during run: %v", err)
+			}
+			if _, err := client.MetricsText(ctx); err != nil {
+				t.Errorf("MetricsText during run: %v", err)
+			}
+			n++
+		}
+	}()
+
+	err = serve.RunWorker(ctx, client, serve.WorkerOptions{
+		Name:       "scraped-worker",
+		Dir:        t.TempDir(),
+		Trial:      RunSpecTrial,
+		GroupKey:   CheckpointGroupKey,
+		GroupTrial: RunCheckpointGroup,
+		Workers:    2,
+		Poll:       time.Millisecond,
+	})
+	close(stop)
+	n := <-scraped
+	if err != nil {
+		t.Fatalf("worker: %v", err)
+	}
+	if n == 0 {
+		t.Fatal("scraper never completed a pass; the invariance claim was not exercised")
+	}
+
+	got, err := client.Result(ctx, st.ID)
+	if err != nil {
+		t.Fatalf("Result: %v", err)
+	}
+	if !bytes.Equal(got, smokeGolden(t)) {
+		t.Errorf("scrape-concurrent sharded result drifted from testdata/campaigns/smoke.result.golden (%d scrapes)", n)
 	}
 }
 
